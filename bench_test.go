@@ -1,0 +1,255 @@
+// Benchmarks regenerating every figure of the paper's evaluation
+// (Sect. V). Each benchmark runs one figure generator on a reduced but
+// shape-preserving grid, so `go test -bench=. -benchmem` reproduces the
+// full evaluation in bounded time; EXPERIMENTS.md records paper-versus-
+// measured results from the full grids. The Ablation benchmarks back the
+// design-choice comparisons called out in DESIGN.md.
+package scshare_test
+
+import (
+	"testing"
+
+	"scshare"
+	"scshare/internal/approx"
+	"scshare/internal/cloud"
+	"scshare/internal/core"
+	"scshare/internal/markov"
+)
+
+// BenchmarkFig5Forwarding regenerates Fig. 5: forwarding probability vs
+// utilization for 10- and 100-VM clouds at two SLAs, model vs simulation.
+func BenchmarkFig5Forwarding(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figs, err := scshare.Fig5(scshare.Fig5Options{
+			Utilizations: []float64{0.4, 0.6, 0.8, 0.9},
+			SimHorizon:   8000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(figs) != 2 {
+			b.Fatalf("got %d figures", len(figs))
+		}
+	}
+}
+
+// BenchmarkFig6TwoSC regenerates Figs. 6a/6b: approximate vs exact
+// lend/borrow/public rates on the 2-SC federation.
+func BenchmarkFig6TwoSC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figs, err := scshare.Fig6TwoSC(scshare.Fig6TwoSCOpts{
+			TargetShares:  []int{1, 9},
+			TargetLambdas: []float64{4, 7, 9},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(figs) != 2 {
+			b.Fatalf("got %d figures", len(figs))
+		}
+	}
+}
+
+// BenchmarkFig6TenSC regenerates Figs. 6c/6d: approximate model vs the
+// discrete-event simulator on the 10-SC federation. This is the heaviest
+// figure; the reduced grid keeps one target share and load point.
+func BenchmarkFig6TenSC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figs, err := scshare.Fig6TenSC(scshare.Fig6TenSCOpts{
+			TargetShares:  []int{1},
+			TargetLambdas: []float64{7},
+			SimHorizon:    20000,
+			Approx:        approx.Config{Prune: 1e-5, PoolCap: 12},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(figs) != 1 {
+			b.Fatalf("got %d figures", len(figs))
+		}
+	}
+}
+
+// BenchmarkFig6Large regenerates Figs. 6e/6f: the 100-VM 2-SC federation.
+func BenchmarkFig6Large(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		figs, err := scshare.Fig6Large(scshare.Fig6LargeOpts{
+			PeerUtils:   []float64{0.8},
+			TargetUtils: []float64{0.7, 0.85},
+			SimHorizon:  10000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(figs) != 1 {
+			b.Fatalf("got %d figures", len(figs))
+		}
+	}
+}
+
+// benchFig7 runs one Fig. 7 scenario on the fluid evaluator (full ratio
+// grid) — the approximate-model variant is exercised separately because of
+// its cost.
+func benchFig7(b *testing.B, idx int) {
+	b.Helper()
+	sc := scshare.PaperFig7Scenarios()[idx]
+	for i := 0; i < b.N; i++ {
+		fig, err := scshare.Fig7(scshare.Fig7Options{Scenario: sc, Model: core.ModelFluid})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(fig.Series) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkFig7a..d regenerate the four market scenarios of Fig. 7.
+func BenchmarkFig7a(b *testing.B) { benchFig7(b, 0) }
+func BenchmarkFig7b(b *testing.B) { benchFig7(b, 1) }
+func BenchmarkFig7c(b *testing.B) { benchFig7(b, 2) }
+func BenchmarkFig7d(b *testing.B) { benchFig7(b, 3) }
+
+// BenchmarkFig7aApproxModel runs the 7a sweep with the paper's approximate
+// performance model on a reduced ratio grid.
+func BenchmarkFig7aApproxModel(b *testing.B) {
+	sc := scshare.PaperFig7Scenarios()[0]
+	for i := 0; i < b.N; i++ {
+		fig, err := scshare.Fig7(scshare.Fig7Options{
+			Scenario: sc,
+			Ratios:   []float64{0.3, 0.7},
+			MaxShare: 4,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(fig.Series) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkFig8aApproxTime regenerates Fig. 8a: the approximate model's
+// cost as the federation grows.
+func BenchmarkFig8aApproxTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := scshare.Fig8a(scshare.Fig8aOptions{Ks: []int{2, 4, 6}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(fig.Series) != 3 {
+			b.Fatal("missing series")
+		}
+	}
+}
+
+// BenchmarkFig8bGameIterations regenerates Fig. 8b: repeated-game rounds
+// to equilibrium vs federation size and Tabu distance.
+func BenchmarkFig8bGameIterations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fig, err := scshare.Fig8b(scshare.Fig8bOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(fig.Series) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// --- Ablations (DESIGN.md Sect. 7) ---
+
+func ablationFederation() (cloud.Federation, []int) {
+	return cloud.Federation{
+		SCs: []cloud.SC{
+			{Name: "peer", VMs: 10, ArrivalRate: 7, ServiceRate: 1, SLA: 0.2, PublicPrice: 1},
+			{Name: "target", VMs: 10, ArrivalRate: 7, ServiceRate: 1, SLA: 0.2, PublicPrice: 1},
+		},
+		FederationPrice: 0.5,
+	}, []int{5, 5}
+}
+
+// BenchmarkAblationApproxOnePass measures the paper-literal single-pass
+// hierarchy (first level never lends).
+func BenchmarkAblationApproxOnePass(b *testing.B) {
+	fed, shares := ablationFederation()
+	for i := 0; i < b.N; i++ {
+		if _, err := approx.Solve(approx.Config{
+			Federation: fed, Shares: shares, Target: 1, Passes: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationApproxTwoPass measures the feedback refinement.
+func BenchmarkAblationApproxTwoPass(b *testing.B) {
+	fed, shares := ablationFederation()
+	for i := 0; i < b.N; i++ {
+		if _, err := approx.Solve(approx.Config{
+			Federation: fed, Shares: shares, Target: 1, Passes: 2,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Steady-state solver ablation: Gauss-Seidel vs power iteration on a
+// federation-sized chain.
+func ablationChain(b *testing.B) *markov.CTMC {
+	b.Helper()
+	const n = 5000
+	bl := markov.NewBuilder(n)
+	for q := 0; q < n-1; q++ {
+		bl.Add(q, q+1, 7)
+		bl.Add(q+1, q, float64(min(q+1, 10)))
+		if q%7 == 0 && q+3 < n {
+			bl.Add(q, q+3, 0.5)
+		}
+	}
+	c, err := bl.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+func BenchmarkAblationSteadyStateGaussSeidel(b *testing.B) {
+	c := ablationChain(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.SteadyStateGaussSeidel(markov.SteadyStateOptions{Tol: 1e-9}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationSteadyStatePower(b *testing.B) {
+	c := ablationChain(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.SteadyState(markov.SteadyStateOptions{Tol: 1e-9}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Performance-model ablation on identical inputs: the paper's hierarchy vs
+// the coarse fluid fixed point.
+func BenchmarkAblationModelApprox(b *testing.B) {
+	fed, shares := ablationFederation()
+	for i := 0; i < b.N; i++ {
+		if _, err := scshare.ApproxMetrics(fed, shares, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationModelFluid(b *testing.B) {
+	fed, shares := ablationFederation()
+	for i := 0; i < b.N; i++ {
+		if _, err := scshare.FluidMetrics(fed, shares); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

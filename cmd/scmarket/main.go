@@ -1,0 +1,128 @@
+// Command scmarket runs the SC-Share market game on a compact federation
+// spec: it finds a sharing equilibrium at a fixed federation price, or
+// sweeps the price ratio C^G/C^P and reports the federation efficiency per
+// fairness metric (the Fig. 7 analysis for arbitrary federations).
+//
+// Usage:
+//
+//	scmarket -scs 10:9,10:7,10:4 -price 0.4 -gamma 0
+//	scmarket -scs 10:9,10:7,10:4 -sweep 0.1,0.3,0.5,0.7,0.9 -model fluid
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"scshare/internal/cli"
+	"scshare/internal/core"
+	"scshare/internal/market"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "scmarket:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("scmarket", flag.ContinueOnError)
+	scs := fs.String("scs", "", "federation spec: VMs:lambda[:SLA[:price]] per SC, comma separated")
+	price := fs.Float64("price", 0.5, "federation VM price C^G (ignored with -sweep)")
+	gamma := fs.Float64("gamma", 0, "utility exponent of Eq. (2): 0=UF0 .. 1=UF1")
+	model := fs.String("model", "approx", "performance model: approx, exact, sim, fluid")
+	sweep := fs.String("sweep", "", "optional comma-separated C^G/C^P ratios to sweep")
+	asJSON := fs.Bool("json", false, "emit the equilibrium advice as JSON")
+	maxShare := fs.Int("max-share", 0, "cap on each SC's shared VMs (default: all VMs)")
+	tabu := fs.Int("tabu", 2, "Tabu search distance")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fed, err := cli.ParseFederation(*scs, *price)
+	if err != nil {
+		return err
+	}
+	kind, err := modelKind(*model)
+	if err != nil {
+		return err
+	}
+	cfg := core.Config{
+		Federation:   fed,
+		Model:        kind,
+		Gamma:        *gamma,
+		TabuDistance: *tabu,
+	}
+	if *maxShare > 0 {
+		cfg.MaxShares = make([]int, len(fed.SCs))
+		for i := range cfg.MaxShares {
+			cfg.MaxShares[i] = min(*maxShare, fed.SCs[i].VMs)
+		}
+	}
+	fw, err := core.New(cfg)
+	if err != nil {
+		return err
+	}
+	if *sweep != "" {
+		return runSweep(fw, *sweep)
+	}
+	if *asJSON {
+		adv, err := fw.Advise(nil, market.AlphaUtilitarian)
+		if err != nil {
+			return err
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(adv)
+	}
+	return runEquilibrium(fw, *price)
+}
+
+func modelKind(name string) (core.ModelKind, error) {
+	switch name {
+	case "approx":
+		return core.ModelApprox, nil
+	case "exact":
+		return core.ModelExact, nil
+	case "sim":
+		return core.ModelSim, nil
+	case "fluid":
+		return core.ModelFluid, nil
+	}
+	return 0, fmt.Errorf("unknown model %q", name)
+}
+
+func runEquilibrium(fw *core.Framework, price float64) error {
+	out, err := fw.Equilibrium(nil, market.AlphaUtilitarian)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("equilibrium after %d rounds (%d model evaluations) at C^G=%v\n",
+		out.Rounds, out.Evals, price)
+	fmt.Printf("%-4s %6s %12s %12s %12s\n", "SC", "share", "baseline", "cost", "utility")
+	for i := range out.Shares {
+		fmt.Printf("%-4d %6d %12.5f %12.5f %12.5g\n",
+			i, out.Shares[i], out.BaselineCosts[i], out.Costs[i], out.Utilities[i])
+	}
+	return nil
+}
+
+func runSweep(fw *core.Framework, spec string) error {
+	ratios, err := cli.ParseFloats(spec)
+	if err != nil {
+		return err
+	}
+	alphas := []float64{market.AlphaUtilitarian, market.AlphaProportional, market.AlphaMaxMin}
+	pts, err := fw.SweepPrices(ratios, alphas, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %-14s %12s %12s %12s %8s\n",
+		"CG/CP", "shares", "utilitarian", "proportional", "max-min", "rounds")
+	for _, pt := range pts {
+		fmt.Printf("%-8.3g %-14v %12.4f %12.4f %12.4f %8d\n",
+			pt.Ratio, pt.Shares, pt.Efficiency[0], pt.Efficiency[1], pt.Efficiency[2], pt.Rounds)
+	}
+	return nil
+}

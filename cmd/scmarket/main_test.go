@@ -1,0 +1,49 @@
+package main
+
+import "testing"
+
+func TestEquilibriumRun(t *testing.T) {
+	err := run([]string{"-scs", "10:9,10:7,10:4", "-price", "0.4", "-model", "fluid"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepRun(t *testing.T) {
+	err := run([]string{"-scs", "10:9,10:4", "-model", "fluid",
+		"-sweep", "0.2,0.6", "-max-share", "4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestModelKinds(t *testing.T) {
+	for _, name := range []string{"approx", "exact", "sim", "fluid"} {
+		if _, err := modelKind(name); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := modelKind("nope"); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                          // missing spec
+		{"-scs", "10:9", "-model", "nope"},          // bad model
+		{"-scs", "10:9", "-gamma", "3"},             // bad gamma
+		{"-scs", "10:9", "-sweep", "x"},             // bad sweep list
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestJSONAdvice(t *testing.T) {
+	if err := run([]string{"-scs", "10:9,10:4", "-price", "0.3", "-model", "fluid", "-json"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,134 @@
+// Command scshare regenerates the figures of the paper's evaluation
+// (Sect. V). Each figure is printed as an aligned table or written as CSV.
+//
+// Usage:
+//
+//	scshare -fig fig5            # forwarding-probability validation
+//	scshare -fig fig6a -csv      # 2-SC accuracy, CSV on stdout
+//	scshare -fig fig7b -fast     # market sweep, reduced grid
+//	scshare -fig fig8b
+//	scshare -fig all -fast
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"scshare/internal/core"
+	"scshare/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "scshare:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("scshare", flag.ContinueOnError)
+	figID := fs.String("fig", "", "figure to regenerate: fig5, fig6a, fig6c, fig6e, fig7a..fig7d, fig8a, fig8b, or all")
+	asCSV := fs.Bool("csv", false, "emit CSV instead of tables")
+	fast := fs.Bool("fast", false, "use reduced grids and the fluid model where applicable")
+	simHorizon := fs.Float64("sim-horizon", 0, "override simulation horizon (seconds of simulated time)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *figID == "" {
+		fs.Usage()
+		return fmt.Errorf("missing -fig")
+	}
+	ids := []string{*figID}
+	if *figID == "all" {
+		ids = []string{"fig5", "fig6a", "fig6c", "fig6e", "fig7a", "fig7b", "fig7c", "fig7d", "fig8a", "fig8b"}
+	}
+	for _, id := range ids {
+		figs, err := generate(id, *fast, *simHorizon)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		for _, fig := range figs {
+			if *asCSV {
+				if err := fig.WriteCSV(os.Stdout); err != nil {
+					return err
+				}
+			} else {
+				fmt.Println(fig)
+			}
+		}
+	}
+	return nil
+}
+
+func generate(id string, fast bool, simHorizon float64) ([]experiments.Figure, error) {
+	switch {
+	case id == "fig5":
+		opts := experiments.Fig5Options{SimHorizon: 30000}
+		if simHorizon > 0 {
+			opts.SimHorizon = simHorizon
+		}
+		if fast {
+			opts.Utilizations = []float64{0.6, 0.8, 0.9}
+			opts.SimHorizon = 4000
+		}
+		return experiments.Fig5(opts)
+	case id == "fig6a" || id == "fig6b":
+		opts := experiments.Fig6TwoSCOptions{}
+		if fast {
+			opts.TargetLambdas = []float64{4, 7, 9}
+		}
+		return experiments.Fig6TwoSC(opts)
+	case id == "fig6c" || id == "fig6d":
+		opts := experiments.Fig6TenSCOptions{SimHorizon: simHorizon}
+		if fast {
+			opts.TargetLambdas = []float64{7}
+			opts.TargetShares = []int{1}
+			opts.SimHorizon = 20000
+		}
+		return experiments.Fig6TenSC(opts)
+	case id == "fig6e" || id == "fig6f":
+		opts := experiments.Fig6LargeOptions{SimHorizon: simHorizon}
+		if fast {
+			opts.TargetUtils = []float64{0.7}
+			opts.PeerUtils = []float64{0.8}
+		}
+		return experiments.Fig6Large(opts)
+	case strings.HasPrefix(id, "fig7"):
+		for _, sc := range experiments.PaperFig7Scenarios() {
+			if sc.ID != id {
+				continue
+			}
+			opts := experiments.Fig7Options{Scenario: sc}
+			if fast {
+				opts.Model = core.ModelFluid
+			} else {
+				opts.MaxShare = 6
+			}
+			fig, err := experiments.Fig7(opts)
+			if err != nil {
+				return nil, err
+			}
+			return []experiments.Figure{fig}, nil
+		}
+		return nil, fmt.Errorf("unknown Fig. 7 scenario %q", id)
+	case id == "fig8a":
+		opts := experiments.Fig8aOptions{}
+		if fast {
+			opts.Ks = []int{2, 3, 4, 5}
+		}
+		fig, err := experiments.Fig8a(opts)
+		if err != nil {
+			return nil, err
+		}
+		return []experiments.Figure{fig}, nil
+	case id == "fig8b":
+		fig, err := experiments.Fig8b(experiments.Fig8bOptions{})
+		if err != nil {
+			return nil, err
+		}
+		return []experiments.Figure{fig}, nil
+	}
+	return nil, fmt.Errorf("unknown figure %q", id)
+}

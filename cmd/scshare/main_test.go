@@ -1,0 +1,60 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGenerateFig5Fast(t *testing.T) {
+	figs, err := generate("fig5", true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 2 {
+		t.Fatalf("%d figures", len(figs))
+	}
+	if !strings.Contains(figs[0].String(), "fig5a") {
+		t.Error("missing figure id in rendering")
+	}
+}
+
+func TestGenerateFig7Fast(t *testing.T) {
+	figs, err := generate("fig7c", true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 1 || figs[0].ID != "fig7c" {
+		t.Fatalf("figures %v", figs)
+	}
+}
+
+func TestGenerateFig8bFast(t *testing.T) {
+	figs, err := generate("fig8b", true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 1 {
+		t.Fatalf("%d figures", len(figs))
+	}
+}
+
+func TestGenerateUnknown(t *testing.T) {
+	if _, err := generate("fig99", true, 0); err == nil {
+		t.Error("unknown figure accepted")
+	}
+	if _, err := generate("fig7x", true, 0); err == nil {
+		t.Error("unknown fig7 scenario accepted")
+	}
+}
+
+func TestRunRequiresFigure(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("missing -fig accepted")
+	}
+}
+
+func TestRunCSV(t *testing.T) {
+	if err := run([]string{"-fig", "fig7d", "-fast", "-csv"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,95 @@
+// Command scsim runs the discrete-event federation simulator on a compact
+// federation spec and prints the measured per-SC metrics.
+//
+// Usage:
+//
+//	scsim -scs 10:9,10:4 -shares 3,3 -price 0.4 -horizon 50000
+//	scsim -scs 10:9,10:4 -shares 5,5 -outage 0:1000:2000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"scshare/internal/cli"
+	"scshare/internal/sim"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "scsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("scsim", flag.ContinueOnError)
+	scs := fs.String("scs", "", "federation spec: VMs:lambda[:SLA[:price]] per SC, comma separated")
+	shares := fs.String("shares", "", "shared VMs per SC, comma separated (default: none)")
+	price := fs.Float64("price", 0.5, "federation VM price C^G")
+	horizon := fs.Float64("horizon", 50000, "simulated seconds")
+	warmup := fs.Float64("warmup", 0, "warm-up seconds discarded from statistics (default horizon/20)")
+	seed := fs.Int64("seed", 1, "RNG seed")
+	outage := fs.String("outage", "", "optional outage as sc:start:duration")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fed, err := cli.ParseFederation(*scs, *price)
+	if err != nil {
+		return err
+	}
+	shareVec, err := cli.ParseInts(*shares)
+	if err != nil {
+		return err
+	}
+	if shareVec == nil {
+		shareVec = make([]int, len(fed.SCs))
+	}
+	cfg := sim.Config{
+		Federation: fed,
+		Shares:     shareVec,
+		Horizon:    *horizon,
+		Warmup:     *warmup,
+		Seed:       *seed,
+	}
+	if cfg.Warmup == 0 {
+		cfg.Warmup = cfg.Horizon / 20
+	}
+	if *outage != "" {
+		o, err := parseOutage(*outage)
+		if err != nil {
+			return err
+		}
+		cfg.Outages = []sim.Outage{o}
+	}
+	res, err := sim.Run(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("simulated %.0fs (post-warmup) with seed %d\n", res.Horizon, *seed)
+	fmt.Print(cli.MetricsTable(fed, shareVec, res.Metrics))
+	return nil
+}
+
+func parseOutage(spec string) (sim.Outage, error) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 3 {
+		return sim.Outage{}, fmt.Errorf("outage: want sc:start:duration, got %q", spec)
+	}
+	scIdx, err := strconv.Atoi(parts[0])
+	if err != nil {
+		return sim.Outage{}, fmt.Errorf("outage sc: %w", err)
+	}
+	start, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		return sim.Outage{}, fmt.Errorf("outage start: %w", err)
+	}
+	dur, err := strconv.ParseFloat(parts[2], 64)
+	if err != nil {
+		return sim.Outage{}, fmt.Errorf("outage duration: %w", err)
+	}
+	return sim.Outage{SC: scIdx, Start: start, Duration: dur}, nil
+}

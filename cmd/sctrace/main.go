@@ -1,0 +1,108 @@
+// Command sctrace generates and analyzes arrival traces for the
+// trace-driven simulation pipeline: synthesize interarrival traces from
+// Poisson/MMPP/batched processes, or fit a recorded trace's first two
+// moments to a phase-type model ready for the simulator.
+//
+// Usage:
+//
+//	sctrace gen -rate 7 -n 10000 > trace.txt
+//	sctrace gen -mmpp 12:2:0.1:0.1 -n 10000 > bursty.txt
+//	sctrace fit < trace.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"strings"
+
+	"scshare/internal/cli"
+	"scshare/internal/phasetype"
+	"scshare/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sctrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: sctrace <gen|fit> [flags]")
+	}
+	switch args[0] {
+	case "gen":
+		return runGen(args[1:], out)
+	case "fit":
+		return runFit(in, out)
+	}
+	return fmt.Errorf("unknown subcommand %q (want gen or fit)", args[0])
+}
+
+func runGen(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sctrace gen", flag.ContinueOnError)
+	rate := fs.Float64("rate", 0, "Poisson arrival rate")
+	mmpp := fs.String("mmpp", "", "MMPP spec rate1:rate2:r12:r21 (overrides -rate)")
+	batch := fs.Float64("batch", 1, "mean geometric batch size (>= 1)")
+	n := fs.Int("n", 10000, "number of interarrival samples")
+	seed := fs.Int64("seed", 1, "RNG seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var (
+		factory workload.Factory
+		err     error
+	)
+	switch {
+	case *mmpp != "":
+		parts, perr := cli.ParseFloats(strings.ReplaceAll(*mmpp, ":", ","))
+		if perr != nil || len(parts) != 4 {
+			return fmt.Errorf("mmpp spec %q: want rate1:rate2:r12:r21", *mmpp)
+		}
+		factory, err = workload.MMPP2(parts[0], parts[1], parts[2], parts[3])
+	case *rate > 0:
+		factory, err = workload.Poisson(*rate)
+	default:
+		return fmt.Errorf("need -rate or -mmpp")
+	}
+	if err != nil {
+		return err
+	}
+	if *batch < 1 {
+		return fmt.Errorf("batch mean %v must be >= 1", *batch)
+	}
+	if *batch > 1 {
+		if factory, err = workload.Batched(factory, *batch); err != nil {
+			return err
+		}
+	}
+	xs, err := workload.SampleTrace(factory, *n, *seed)
+	if err != nil {
+		return err
+	}
+	return workload.WriteTrace(out, xs)
+}
+
+func runFit(in io.Reader, out io.Writer) error {
+	xs, err := workload.ReadTrace(in)
+	if err != nil {
+		return err
+	}
+	mean, scv, err := workload.Stats(xs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "samples: %d\nmean interarrival: %.6g (rate %.6g)\nscv: %.6g\n",
+		len(xs), mean, 1/mean, scv)
+	d, err := phasetype.FitTwoMoment(mean, scv)
+	if err != nil {
+		fmt.Fprintf(out, "phase-type fit: infeasible (%v)\n", err)
+		return nil
+	}
+	fmt.Fprintf(out, "phase-type fit: %#v\n", d)
+	return nil
+}

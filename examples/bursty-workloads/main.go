@@ -1,0 +1,72 @@
+// Bursty workloads: stress the federation beyond the paper's assumptions.
+//
+// The paper models Poisson arrivals and exponential service (Sect. II-A)
+// and sketches phase-type and batch extensions in Sect. VII. This example
+// simulates the same federation under three workload regimes — the
+// baseline, bursty MMPP arrivals, and heavy-tailed (hyperexponential)
+// service times — and shows how burstiness erodes the SLA that the
+// admission rule was tuned for.
+//
+// Run with: go run ./examples/bursty-workloads
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scshare"
+	"scshare/internal/phasetype"
+	"scshare/internal/workload"
+)
+
+func main() {
+	fed := scshare.Federation{
+		SCs: []scshare.SC{
+			{Name: "busy", VMs: 10, ArrivalRate: 8.5, ServiceRate: 1, SLA: 0.2, PublicPrice: 1},
+			{Name: "calm", VMs: 10, ArrivalRate: 4, ServiceRate: 1, SLA: 0.2, PublicPrice: 1},
+		},
+		FederationPrice: 0.4,
+	}
+	shares := []int{2, 5}
+	const horizon = 50000.0
+
+	run := func(label string, cfg scshare.SimConfig) {
+		cfg.Federation = fed
+		cfg.Shares = shares
+		cfg.Horizon = horizon
+		cfg.Warmup = horizon / 20
+		cfg.Seed = 21
+		res, err := scshare.Simulate(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, w := res.Metrics[0], res.Waits[0]
+		fmt.Printf("%-26s forward %6.3f%%  mean wait %6.4fs  SLA violations %5.2f%%\n",
+			label, 100*m.ForwardProb, w.Mean, 100*w.ViolationProb)
+	}
+
+	run("baseline (Poisson, M)", scshare.SimConfig{})
+
+	// Bursty arrivals with the same long-run rate as the baseline:
+	// MMPP2Rate(12, 2, r, r) = 7 -> scale to 8.5.
+	burst, err := workload.MMPP2(8.5*12.0/7.0, 8.5*2.0/7.0, 0.05, 0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	calm, err := workload.Poisson(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run("bursty arrivals (MMPP)", scshare.SimConfig{
+		Workloads: []workload.Factory{burst, calm},
+	})
+
+	// Heavy-tailed service with the same mean but SCV 4.
+	heavy, err := phasetype.FitTwoMoment(1, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	run("heavy-tailed service (H2)", scshare.SimConfig{
+		Services: []phasetype.Distribution{heavy, heavy},
+	})
+}

@@ -1,0 +1,78 @@
+// Federation sizing: how much capacity does a federation substitute?
+//
+// An SC facing growing demand can either buy more servers or join a
+// federation. This example computes, for a range of loads, how many VMs
+// the SC needs to keep its public-cloud forwarding below a target when it
+// stands alone (Sect. III-A model), and contrasts that with the smaller
+// footprint it needs when a partner shares five VMs (approximate model of
+// Sect. III-C).
+//
+// Run with: go run ./examples/federation-sizing
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scshare"
+)
+
+const (
+	maxForward = 0.02 // SLA budget: at most 2% of requests go public
+	sla        = 0.2
+)
+
+func main() {
+	fmt.Printf("target: forward at most %.0f%% of requests (Q=%.1f)\n\n", 100*maxForward, sla)
+	fmt.Printf("%-8s %14s %18s %8s\n", "load", "VMs standalone", "VMs with partner", "saved")
+	for _, lambda := range []float64{4, 6, 8, 10, 12} {
+		alone, err := sizeStandalone(lambda)
+		if err != nil {
+			log.Fatal(err)
+		}
+		joined, err := sizeFederated(lambda)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8.3g %14d %18d %8d\n", lambda, alone, joined, alone-joined)
+	}
+}
+
+// sizeStandalone finds the smallest VM count meeting the forwarding target
+// without a federation.
+func sizeStandalone(lambda float64) (int, error) {
+	for n := 1; n <= 64; n++ {
+		b, err := scshare.NoSharing(scshare.SC{
+			Name: "solo", VMs: n, ArrivalRate: lambda, ServiceRate: 1, SLA: sla, PublicPrice: 1,
+		})
+		if err != nil {
+			return 0, err
+		}
+		if b.ForwardProb <= maxForward {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("no feasible size for lambda=%v", lambda)
+}
+
+// sizeFederated finds the smallest VM count when a partner SC shares five
+// of its VMs.
+func sizeFederated(lambda float64) (int, error) {
+	for n := 1; n <= 64; n++ {
+		fed := scshare.Federation{
+			SCs: []scshare.SC{
+				{Name: "partner", VMs: 10, ArrivalRate: 4, ServiceRate: 1, SLA: sla, PublicPrice: 1},
+				{Name: "me", VMs: n, ArrivalRate: lambda, ServiceRate: 1, SLA: sla, PublicPrice: 1},
+			},
+			FederationPrice: 0.4,
+		}
+		m, err := scshare.ApproxMetrics(fed, []int{5, 0}, 1)
+		if err != nil {
+			return 0, err
+		}
+		if m.ForwardProb <= maxForward {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("no feasible size for lambda=%v", lambda)
+}

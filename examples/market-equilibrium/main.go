@@ -1,0 +1,66 @@
+// Market equilibrium: let three selfish SCs negotiate sharing decisions.
+//
+// The example builds the SC-Share framework (Fig. 2 of the paper) on a
+// 3-SC federation with heterogeneous loads and runs the repeated
+// non-cooperative game of Algorithm 1 until no SC wants to change its
+// shared-VM count. It then verifies the outcome is a pure-strategy Nash
+// equilibrium by exhaustive unilateral deviation.
+//
+// Run with: go run ./examples/market-equilibrium
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scshare"
+)
+
+func main() {
+	fed := scshare.Federation{
+		SCs: []scshare.SC{
+			{Name: "alpha", VMs: 10, ArrivalRate: 8.4, ServiceRate: 1, SLA: 0.2, PublicPrice: 1.0},
+			{Name: "beta", VMs: 10, ArrivalRate: 7.3, ServiceRate: 1, SLA: 0.2, PublicPrice: 1.0},
+			{Name: "gamma", VMs: 10, ArrivalRate: 5.8, ServiceRate: 1, SLA: 0.2, PublicPrice: 1.0},
+		},
+		FederationPrice: 0.35,
+	}
+	fw, err := scshare.New(scshare.Config{
+		Federation: fed,
+		Model:      scshare.ModelFluid, // fast; swap for ModelApprox for the paper's model
+		Gamma:      scshare.UF0,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	out, err := fw.Equilibrium(nil, scshare.AlphaUtilitarian)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Equilibrium after %d rounds (%d performance-model evaluations):\n\n", out.Rounds, out.Evals)
+	fmt.Printf("%-7s %6s %10s %10s %10s %10s\n", "SC", "share", "baseline", "cost", "saving", "utility")
+	for i, sc := range fed.SCs {
+		fmt.Printf("%-7s %6d %10.4f %10.4f %10.4f %10.5f\n",
+			sc.Name, out.Shares[i], out.BaselineCosts[i], out.Costs[i],
+			out.BaselineCosts[i]-out.Costs[i], out.Utilities[i])
+	}
+
+	w, err := scshare.Welfare(scshare.AlphaUtilitarian, out.Shares, out.Utilities)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nUtilitarian welfare (Eq. 3): %.5f\n", w)
+
+	// Nash check: no SC can profit by deviating unilaterally.
+	game := scshare.Game{
+		Federation: fed,
+		Evaluator:  fw.Evaluator(),
+		Gamma:      scshare.UF0,
+	}
+	ok, err := game.IsEquilibrium(out, 1e-9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Pure-strategy Nash equilibrium: %v\n", ok)
+}

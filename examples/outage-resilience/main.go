@@ -1,0 +1,52 @@
+// Outage resilience: what a federation buys when a provider goes dark.
+//
+// The paper motivates federations with the 2017 AWS outage: when one cloud
+// fails, others can absorb the load. This example simulates a loaded SC
+// (a) alone, (b) inside a federation, and (c) inside a federation whose
+// partner suffers a mid-run outage, and compares the public-cloud
+// forwarding in each configuration.
+//
+// Run with: go run ./examples/outage-resilience
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scshare"
+)
+
+func main() {
+	fed := scshare.Federation{
+		SCs: []scshare.SC{
+			{Name: "busy", VMs: 10, ArrivalRate: 9.2, ServiceRate: 1, SLA: 0.2, PublicPrice: 1.0},
+			{Name: "helper", VMs: 10, ArrivalRate: 4, ServiceRate: 1, SLA: 0.2, PublicPrice: 1.0},
+		},
+		FederationPrice: 0.4,
+	}
+	const horizon = 60000.0
+
+	run := func(label string, shares []int, outages []scshare.Outage) {
+		res, err := scshare.Simulate(scshare.SimConfig{
+			Federation: fed,
+			Shares:     shares,
+			Horizon:    horizon,
+			Warmup:     horizon / 20,
+			Seed:       7,
+			Outages:    outages,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := res.Metrics[0]
+		fmt.Printf("%-28s forward %6.3f%%  borrow %.3f VMs  cost %.4f $/s\n",
+			label, 100*m.ForwardProb, m.BorrowRate,
+			m.NetCost(fed.SCs[0].PublicPrice, fed.FederationPrice))
+	}
+
+	run("standalone", []int{0, 0}, nil)
+	run("federated", []int{2, 6}, nil)
+	run("federated, partner outage", []int{2, 6}, []scshare.Outage{
+		{SC: 1, Start: horizon * 0.4, Duration: horizon * 0.2},
+	})
+}

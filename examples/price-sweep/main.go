@@ -1,0 +1,62 @@
+// Price sweep: find the federation price region for each fairness goal.
+//
+// The paper's Fig. 7 shows three C^G/C^P operating regions — proportional
+// fairness peaks at low ratios, max-min in the middle, utilitarian near
+// the top. This example sweeps the ratio on a 3-SC federation and prints
+// the best region per fairness metric.
+//
+// Run with: go run ./examples/price-sweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scshare"
+)
+
+func main() {
+	fed := scshare.Federation{
+		SCs: []scshare.SC{
+			{Name: "sc0", VMs: 10, ArrivalRate: 5.8, ServiceRate: 1, SLA: 0.2, PublicPrice: 1.0},
+			{Name: "sc1", VMs: 10, ArrivalRate: 7.3, ServiceRate: 1, SLA: 0.2, PublicPrice: 1.0},
+			{Name: "sc2", VMs: 10, ArrivalRate: 8.4, ServiceRate: 1, SLA: 0.2, PublicPrice: 1.0},
+		},
+	}
+	fw, err := scshare.New(scshare.Config{
+		Federation: fed,
+		Model:      scshare.ModelFluid,
+		Gamma:      scshare.UF0,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	var ratios []float64
+	for r := 0.1; r <= 1.0001; r += 0.1 {
+		ratios = append(ratios, r)
+	}
+	alphas := []float64{scshare.AlphaUtilitarian, scshare.AlphaProportional, scshare.AlphaMaxMin}
+	names := []string{"utilitarian", "proportional", "max-min"}
+	pts, err := fw.SweepPrices(ratios, alphas, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%-8s %-12s %12s %12s %12s\n", "CG/CP", "shares", names[0], names[1], names[2])
+	best := make([]float64, len(alphas))
+	bestAt := make([]float64, len(alphas))
+	for _, pt := range pts {
+		fmt.Printf("%-8.2f %-12v %12.4f %12.4f %12.4f\n",
+			pt.Ratio, pt.Shares, pt.Efficiency[0], pt.Efficiency[1], pt.Efficiency[2])
+		for ai, e := range pt.Efficiency {
+			if e > best[ai] {
+				best[ai], bestAt[ai] = e, pt.Ratio
+			}
+		}
+	}
+	fmt.Println()
+	for ai, name := range names {
+		fmt.Printf("best %-12s efficiency %.4f at C^G/C^P = %.2f\n", name, best[ai], bestAt[ai])
+	}
+}

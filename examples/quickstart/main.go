@@ -1,0 +1,56 @@
+// Quickstart: estimate what a two-SC federation is worth.
+//
+// A loaded SC ("hot") keeps missing its SLA and buys public-cloud VMs; a
+// lightly loaded SC ("cold") has idle capacity. The example solves the
+// no-sharing baseline of each SC, then evaluates a sharing decision with
+// the paper's approximate performance model and compares operating costs
+// under Eq. (1).
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scshare"
+)
+
+func main() {
+	fed := scshare.Federation{
+		SCs: []scshare.SC{
+			{Name: "hot", VMs: 10, ArrivalRate: 9, ServiceRate: 1, SLA: 0.2, PublicPrice: 1.0},
+			{Name: "cold", VMs: 10, ArrivalRate: 4, ServiceRate: 1, SLA: 0.2, PublicPrice: 1.0},
+		},
+		FederationPrice: 0.4, // C^G: 40% of the public-cloud price
+	}
+
+	fmt.Println("Without a federation (Sect. III-A baseline):")
+	baselines := make([]scshare.Baseline, len(fed.SCs))
+	for i, sc := range fed.SCs {
+		b, err := scshare.NoSharing(sc)
+		if err != nil {
+			log.Fatal(err)
+		}
+		baselines[i] = b
+		fmt.Printf("  %-5s forwards %5.2f%% of requests, cost %.4f $/s, utilization %.2f\n",
+			sc.Name, 100*b.ForwardProb, b.Cost, b.Utilization)
+	}
+
+	shares := []int{2, 5} // hot contributes 2 VMs, cold contributes 5
+	fmt.Printf("\nWith the federation (shares %v, C^G=%.2f):\n", shares, fed.FederationPrice)
+	for i, sc := range fed.SCs {
+		m, err := scshare.ApproxMetrics(fed, shares, i)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cost := m.NetCost(sc.PublicPrice, fed.FederationPrice)
+		fmt.Printf("  %-5s borrows %.3f VMs, lends %.3f VMs, cost %.4f $/s (saves %.4f)\n",
+			sc.Name, m.BorrowRate, m.LendRate, cost, baselines[i].Cost-cost)
+		u, err := scshare.Utility(baselines[i].Cost, cost, baselines[i].Utilization, m.Utilization, scshare.UF0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("        utility (Eq. 2, UF0): %.5f\n", u)
+	}
+}

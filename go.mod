@@ -1,0 +1,3 @@
+module scshare
+
+go 1.24

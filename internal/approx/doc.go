@@ -1,0 +1,35 @@
+// Package approx implements the paper's main performance-model
+// contribution (Sect. III-C): a hierarchical approximation of the detailed
+// federation CTMC whose cost is linear in the number of SCs.
+//
+// For a target SC, the federation is processed one SC at a time. Level i
+// is a four-dimensional chain M^i over states (q_i, s_i, o_i, a_i):
+//
+//	q_i  requests of SC i's own customers queued or in service locally,
+//	s_i  VMs of SC i serving SCs 1..i-1,
+//	o_i  foreign shared VMs serving SC i,
+//	a_i  foreign shared VMs (not SC i's) serving SCs 1..i-1.
+//
+// The influence of SCs 1..i-1 on M^i enters through interaction
+// probability vectors P^A, P^D_loc and P^D_rem: distributions over the
+// pair (a_loc, a_rem) of predecessor allocations after one mean
+// inter-event period, obtained by transient analysis (uniformization with
+// Fox-Glynn truncation) of M^{i-1} started from a conditional initial
+// distribution.
+//
+// Two mechanisms the paper leaves unspecified are reconstructed here and
+// documented in DESIGN.md:
+//
+//   - Source disaggregation: M^{i-1} does not record which SC supplied each
+//     shared VM, so its foreign usage F = o+a is split between SC i's pool
+//     (size S_i) and the rest hypergeometrically; SC (i-1)'s own lent VMs
+//     s_{i-1} always land in a_rem.
+//   - Conditioning: the initial distribution pi^X restricts M^{i-1}'s
+//     steady state to states whose total shared usage s+o+a equals the
+//     usage s_i + a_i observed in the current M^i state (nearest non-empty
+//     total as fallback), then renormalizes.
+//
+// Transient runs are cached per (conditioning group, log-bucketed event
+// duration), which keeps the interaction computation far below the cost of
+// the state-space explosion it replaces (Fig. 8a).
+package approx

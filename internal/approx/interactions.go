@@ -1,0 +1,381 @@
+package approx
+
+import (
+	"math"
+
+	"scshare/internal/numeric"
+)
+
+// allocEntry is one atom of an interaction probability vector: with
+// probability p the predecessors hold aloc of the current SC's shared VMs
+// and arem other shared VMs; cong reports whether they have waiting
+// requests (deciding the lend-or-keep branches of C4/C5) and dead is the
+// share headroom the previous SC advertises but cannot back with idle VMs
+// (subtracted from the borrowable pool in C2).
+type allocEntry struct {
+	aloc, arem int
+	dead       int
+	cong       bool
+	p          float64
+}
+
+// tauBucketWidth is the log-spacing used to quantize inter-event durations
+// so interaction vectors can be cached across states.
+const tauBucketWidth = 0.4
+
+// relaxationCutoff is the number of expected uniformized jumps beyond which
+// the conditional distribution is treated as fully relaxed to the steady
+// state.
+const relaxationCutoff = 10.0
+
+// defaultPrune drops negligible atoms from interaction vectors; the
+// remainder is renormalized, so total event rates are preserved.
+const defaultPrune = 1e-6
+
+type cacheKey struct {
+	group  int
+	bucket int
+}
+
+// interactions produces the P^A / P^D_loc / P^D_rem vectors of one level
+// from the solved previous level. A nil prev represents M^1, which has no
+// predecessors: the vectors collapse to the point mass (0, 0, idle).
+//
+// The transient analysis is organized around a key linearity: the
+// uniformization iterates v_k = pi^X P^k do not depend on the event
+// duration tau — only the Poisson weights do. Each conditioning group
+// therefore computes its iterates once, collapses every iterate to the
+// small summary space (F, lent, dead, cong), and serves any tau bucket as
+// a Poisson-weighted mixture of those cached summaries.
+type interactions struct {
+	prev     *level
+	curShare int // S of the SC whose level is being built (marked pool)
+	// peerShares are the shares of the other pool members (everyone except
+	// the previous level's SC and the current SC). The foreign usage F is
+	// split with lender weights min(S_j, F): a declared share only grabs
+	// demand up to the concurrent demand itself, so over-declaring shares
+	// buys no extra lending — without this saturation the market game
+	// degenerates into a share-declaration arms race.
+	peerShares []int
+	epsilon    float64
+	// preserveS keeps the current s across events for a predecessor-less
+	// level whose s is driven by the explicit successor-demand process;
+	// without that process s must collapse to 0 or the chain decomposes
+	// into disconnected closed classes.
+	preserveS bool
+	prune     float64
+	// uncondition starts every transient from the unconditioned steady
+	// state (accuracy ablation).
+	uncondition bool
+
+	gamma       float64
+	kmax        int
+	steadyJoint []float64
+	groupJoints map[int][][]float64 // g -> J_0..J_kmax (summary joints)
+	cache       map[cacheKey][]allocEntry
+
+	// Summary-space strides (see jointIndex).
+	strideC, strideD, strideL, dim int
+
+	// scratch is the dense merge buffer reused by alloc.
+	scratch    []float64
+	scratchDim int
+}
+
+func newInteractions(prev *level, curShare int, peerShares []int, epsilon, prune float64) *interactions {
+	if epsilon <= 0 {
+		epsilon = 1e-9
+	}
+	if prune <= 0 {
+		prune = defaultPrune
+	}
+	in := &interactions{
+		prev:        prev,
+		curShare:    curShare,
+		peerShares:  peerShares,
+		epsilon:     epsilon,
+		prune:       prune,
+		groupJoints: make(map[int][][]float64),
+		cache:       make(map[cacheKey][]allocEntry),
+	}
+	if prev != nil {
+		in.gamma = prev.gamma
+		in.kmax = int(relaxationCutoff+6*math.Sqrt(relaxationCutoff)) + 4
+		in.strideC = 2
+		in.strideD = in.strideC * (prev.share + 1)
+		in.strideL = in.strideD * (prev.share + 1)
+		in.dim = in.strideL * (prev.poolDim + 1)
+		in.steadyJoint = in.summarize(prev.steady)
+	}
+	return in
+}
+
+var pointMass = []allocEntry{{p: 1}}
+
+// alloc returns the interaction vector for a state of the level under
+// construction: current allocations (s, a) — whose sum is the conditioning
+// group — the mean inter-event duration tau, and the state's legality
+// clamps (aloc <= capAloc, arem <= capArem). Without predecessors the
+// current allocations are preserved: they belong to the successor-demand
+// process, which has its own explicit transitions.
+func (in *interactions) alloc(lv *level, s, a int, tau float64, capAloc, capArem int) []allocEntry {
+	if in.prev == nil {
+		if in.preserveS {
+			return []allocEntry{{aloc: min(s, capAloc), p: 1}}
+		}
+		return pointMass
+	}
+	base := in.lookup(s+a, tau)
+	return in.clamp(base, capAloc, capArem)
+}
+
+// jointIndex addresses the summary cell of (foreign, lent, dead, cong).
+func (in *interactions) jointIndex(f, lent, dead, cong int) int {
+	return f*in.strideL + lent*in.strideD + dead*in.strideC + cong
+}
+
+// summarize collapses a full distribution over the previous level's states
+// to the summary joint.
+func (in *interactions) summarize(p []float64) []float64 {
+	prev := in.prev
+	out := make([]float64, in.dim)
+	for idx, w := range p {
+		if w == 0 {
+			continue
+		}
+		c := 0
+		if prev.cong[idx] {
+			c = 1
+		}
+		out[in.jointIndex(prev.foreign[idx], prev.lent[idx], prev.dead[idx], c)] += w
+	}
+	return out
+}
+
+// groupIterates returns (building if needed) the summary joints of the
+// uniformization iterates for conditioning group g. Once an iterate has
+// relaxed to the steady state the remaining slots alias the steady joint.
+func (in *interactions) groupIterates(g int) [][]float64 {
+	if js, ok := in.groupJoints[g]; ok {
+		return js
+	}
+	prev := in.prev
+	v := in.conditionalStart(g)
+	js := make([][]float64, in.kmax+1)
+	js[0] = in.summarize(v)
+	next := make([]float64, len(v))
+	relaxed := false
+	for k := 1; k <= in.kmax; k++ {
+		if relaxed {
+			js[k] = in.steadyJoint
+			continue
+		}
+		if err := prev.uniform.Step(next, v); err != nil {
+			// Cannot happen for matching dimensions; degrade to steady.
+			js[k] = in.steadyJoint
+			relaxed = true
+			continue
+		}
+		v, next = next, v
+		if numeric.L1Diff(v, prev.steady) < 1e-8 {
+			relaxed = true
+			js[k] = in.steadyJoint
+			continue
+		}
+		js[k] = in.summarize(v)
+	}
+	in.groupJoints[g] = js
+	return js
+}
+
+// lookup returns (building if needed) the interaction vector for the
+// conditioning group and duration bucket.
+func (in *interactions) lookup(g int, tau float64) []allocEntry {
+	bucket := int(math.Round(math.Log(tau) / tauBucketWidth))
+	key := cacheKey{group: g, bucket: bucket}
+	if v, ok := in.cache[key]; ok {
+		return v
+	}
+	v := in.buildVector(g, math.Exp(float64(bucket)*tauBucketWidth))
+	in.cache[key] = v
+	return v
+}
+
+// buildVector mixes the cached iterate summaries with Poisson(gamma*tau)
+// weights and disaggregates the result into interaction atoms.
+func (in *interactions) buildVector(g int, tau float64) []allocEntry {
+	prev := in.prev
+	jumps := in.gamma * tau
+	var joint []float64
+	switch {
+	case jumps > relaxationCutoff:
+		joint = in.steadyJoint
+	case jumps < 0.05:
+		joint = in.groupIterates(g)[0]
+	default:
+		js := in.groupIterates(g)
+		fg := numeric.NewFoxGlynn(jumps, in.epsilon)
+		mixed := make([]float64, in.dim)
+		for k := fg.Left; k <= fg.Right; k++ {
+			w := fg.Weights[k-fg.Left]
+			src := in.steadyJoint
+			if k <= in.kmax {
+				src = js[k]
+			}
+			for i, x := range src {
+				mixed[i] += w * x
+			}
+		}
+		joint = mixed
+	}
+
+	// Disaggregate: the foreign usage F splits hypergeometrically between
+	// the current SC's pool slice and the rest of the previous level's
+	// pool, with every lender's weight saturated at F itself (a share can
+	// only capture as much lending as there is concurrent demand); the
+	// previous SC's own lent VMs land in arem.
+	maxArem := prev.poolDim + prev.share
+	maxDead := prev.share
+	strideC := 2
+	strideD := strideC * (maxDead + 1)
+	strideA := strideD * (maxArem + 1)
+	acc := make([]float64, strideA*(in.curShare+1))
+	for i, w := range joint {
+		if w < 1e-15 {
+			continue
+		}
+		f := i / in.strideL
+		lent := (i % in.strideL) / in.strideD
+		dead := (i % in.strideD) / in.strideC
+		c := i % 2
+		marked := min(in.curShare, f)
+		total := marked
+		for _, s := range in.peerShares {
+			total += min(s, f)
+		}
+		hi := min(marked, f)
+		for k := 0; k <= hi; k++ {
+			ph := numeric.HypergeomPMF(k, marked, total, f)
+			if ph == 0 {
+				continue
+			}
+			arem := f - k + lent
+			acc[k*strideA+arem*strideD+dead*strideC+c] += w * ph
+		}
+	}
+	var out []allocEntry
+	total := 0.0
+	for i, w := range acc {
+		if w <= in.prune {
+			continue
+		}
+		out = append(out, allocEntry{
+			aloc: i / strideA,
+			arem: (i % strideA) / strideD,
+			dead: (i % strideD) / strideC,
+			cong: i%2 == 1,
+			p:    w,
+		})
+		total += w
+	}
+	if len(out) == 0 || total == 0 {
+		return pointMass
+	}
+	for i := range out {
+		out[i].p /= total
+	}
+	return out
+}
+
+// conditionalStart restricts the previous level's steady state to the
+// states whose total shared usage equals g (falling back to the nearest
+// non-empty total) and renormalizes: the pi^X construction of the paper
+// applied to the observable aggregate.
+func (in *interactions) conditionalStart(g int) []float64 {
+	prev := in.prev
+	if in.uncondition {
+		return prev.steady
+	}
+	if g < 0 {
+		g = 0
+	}
+	if g >= len(prev.groups) {
+		g = len(prev.groups) - 1
+	}
+	pick := func(gg int) ([]float64, bool) {
+		if gg < 0 || gg >= len(prev.groups) {
+			return nil, false
+		}
+		mass := 0.0
+		for _, idx := range prev.groups[gg] {
+			mass += prev.steady[idx]
+		}
+		if mass <= 1e-14 {
+			return nil, false
+		}
+		p0 := make([]float64, len(prev.steady))
+		for _, idx := range prev.groups[gg] {
+			p0[idx] = prev.steady[idx] / mass
+		}
+		return p0, true
+	}
+	if p0, ok := pick(g); ok {
+		return p0
+	}
+	for d := 1; d < len(prev.groups); d++ {
+		if p0, ok := pick(g - d); ok {
+			return p0
+		}
+		if p0, ok := pick(g + d); ok {
+			return p0
+		}
+	}
+	return numeric.Clone(prev.steady)
+}
+
+// clamp projects an unclamped vector onto the legal region of the current
+// state, merging atoms that collide after clamping.
+func (in *interactions) clamp(base []allocEntry, capAloc, capArem int) []allocEntry {
+	if capAloc < 0 {
+		capAloc = 0
+	}
+	if capArem < 0 {
+		capArem = 0
+	}
+	maxDead := in.prev.share
+	strideC := 2
+	strideD := strideC * (maxDead + 1)
+	strideA := strideD * (capArem + 1)
+	dim := strideA * (capAloc + 1)
+	if in.scratchDim < dim {
+		in.scratch = make([]float64, dim)
+		in.scratchDim = dim
+	}
+	buf := in.scratch[:dim]
+	for i := range buf {
+		buf[i] = 0
+	}
+	for _, e := range base {
+		aloc := min(e.aloc, capAloc)
+		arem := min(e.arem, capArem)
+		c := 0
+		if e.cong {
+			c = 1
+		}
+		buf[aloc*strideA+arem*strideD+e.dead*strideC+c] += e.p
+	}
+	out := make([]allocEntry, 0, len(base))
+	for i, w := range buf {
+		if w == 0 {
+			continue
+		}
+		out = append(out, allocEntry{
+			aloc: i / strideA,
+			arem: (i % strideA) / strideD,
+			dead: (i % strideD) / strideC,
+			cong: i%2 == 1,
+			p:    w,
+		})
+	}
+	return out
+}

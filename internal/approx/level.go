@@ -1,0 +1,276 @@
+package approx
+
+import (
+	"fmt"
+	"math"
+
+	"scshare/internal/cloud"
+	"scshare/internal/markov"
+	"scshare/internal/queueing"
+)
+
+// level is one chain M^i of the hierarchy.
+type level struct {
+	sc    cloud.SC
+	share int // S_i of this level's SC
+	pool  int // B_i = sum of the other SCs' shares (declared pool)
+	// poolDim truncates the modeled (o, a) grid: shared-VM usage beyond it
+	// has negligible probability (it is sized from the federation's
+	// overflow demand), so states above it are not enumerated and the pool
+	// is treated as exhausted there.
+	poolDim int
+	qmax    int
+
+	// Compact state indexing: idx = (q*(share+1) + s)*nOA + oaIdx[o][a].
+	nOA    int
+	oaIdx  [][]int
+	oaList [][2]int
+
+	chain   *markov.CTMC
+	uniform *markov.DTMC // uniformized chain reused by interaction iterates
+	gamma   float64      // uniformization rate of uniform
+	steady  []float64
+	// demandDriven marks a predecessor-less level whose s dimension tracks
+	// lending to successors (the feedback refinement); such lending must
+	// not be re-exported to the next level as predecessor usage.
+	demandDriven bool
+
+	// Per-state summaries consumed by the next level.
+	foreign []int  // F(y) = o+a: usage of the pool excluding this SC
+	lent    []int  // P(y) = s: this SC's VMs serving predecessors
+	cong    []bool // does this SC have waiting requests?
+	dead    []int  // share headroom this SC cannot actually lend (no idle VM)
+
+	// groups[g] lists states with total shared usage s+o+a == g.
+	groups [][]int
+
+	// forward is the per-state probability that an arrival at this SC is
+	// forwarded to the public cloud, accumulated during assembly.
+	forward []float64
+}
+
+// numStates returns the size of this level's state space.
+func (lv *level) numStates() int { return (lv.qmax + 1) * (lv.share + 1) * lv.nOA }
+
+func (lv *level) index(q, s, oa int) int {
+	return (q*(lv.share+1)+s)*lv.nOA + oa
+}
+
+func (lv *level) decode(idx int) (q, s, o, a int) {
+	oa := idx % lv.nOA
+	rest := idx / lv.nOA
+	s = rest % (lv.share + 1)
+	q = rest / (lv.share + 1)
+	return q, s, lv.oaList[oa][0], lv.oaList[oa][1]
+}
+
+// queueCap picks the truncation level for q: beyond it the admission
+// probability has decayed to numerical zero even with every shared VM
+// assisting the SC.
+func queueCap(sc cloud.SC, pool int) int {
+	m := float64(sc.VMs+pool) * sc.ServiceRate * sc.SLA
+	return sc.VMs + int(math.Ceil(m+6*math.Sqrt(m))) + 4
+}
+
+// newLevel allocates the state space scaffolding. poolDim <= pool bounds
+// the modeled shared-VM usage.
+func newLevel(sc cloud.SC, share, pool, poolDim, qcap int) *level {
+	if poolDim <= 0 || poolDim > pool {
+		poolDim = pool
+	}
+	if qcap <= 0 {
+		qcap = queueCap(sc, poolDim)
+	}
+	lv := &level{sc: sc, share: share, pool: pool, poolDim: poolDim, qmax: qcap}
+	lv.oaIdx = make([][]int, poolDim+1)
+	for o := 0; o <= poolDim; o++ {
+		lv.oaIdx[o] = make([]int, poolDim+1)
+		for a := 0; a <= poolDim; a++ {
+			lv.oaIdx[o][a] = -1
+			if o+a <= poolDim {
+				lv.oaIdx[o][a] = len(lv.oaList)
+				lv.oaList = append(lv.oaList, [2]int{o, a})
+			}
+		}
+	}
+	lv.nOA = len(lv.oaList)
+	return lv
+}
+
+// pNoForward is the SLA admission probability for an arrival at this SC
+// when it commands V = N - s + o servers and has q + o requests in its
+// system (the excess q - (N - s) is exactly the q' of the paper's
+// performance-parameter formulas).
+func (lv *level) pNoForward(q, s, o int) float64 {
+	v := lv.sc.VMs - s + o
+	return queueing.PNoForward(q+o, v, lv.sc.ServiceRate, lv.sc.SLA)
+}
+
+// build assembles the generator of M^i from the predecessor interactions
+// and solves for the steady state. For the first level (no predecessors)
+// demand > 0 adds an explicit successor-demand process: idle shareable VMs
+// are acquired at rate demand and released at the service rate — the
+// feedback refinement described in the package documentation.
+func (lv *level) build(prev *interactions, demand float64, opts markov.SteadyStateOptions) error {
+	n := lv.numStates()
+	b := markov.NewBuilder(n)
+	lv.forward = make([]float64, n)
+	lv.demandDriven = prev.prev == nil && demand > 0
+	lambda, mu := lv.sc.ArrivalRate, lv.sc.ServiceRate
+	// trans merges the per-state contributions (many interaction atoms map
+	// to the same destination) before they reach the builder, which keeps
+	// the generator sparse.
+	trans := make(map[int]float64, 256)
+	for idx := 0; idx < n; idx++ {
+		clear(trans)
+		add := func(dst int, rate float64) { trans[dst] += rate }
+		q, s, o, a := lv.decode(idx)
+		// Predecessor allocations can never exceed the VMs this SC's own
+		// in-service requests leave free.
+		capAloc := lv.share
+		if free := lv.sc.VMs - min(q, lv.sc.VMs-s); free < capAloc {
+			capAloc = free
+		}
+
+		// Successor-demand process (first level under feedback only).
+		if prev.prev == nil && demand > 0 {
+			if s < lv.share && q+s < lv.sc.VMs {
+				add(lv.index(q, s+1, lv.oaIdx[o][a]), demand)
+			}
+			if s > 0 {
+				add(lv.index(q, s-1, lv.oaIdx[o][a]), float64(s)*mu)
+			}
+		}
+
+		// Arrival event (C1-C3).
+		arr := prev.alloc(lv, s, a, 1/lambda, capAloc, lv.poolDim-o)
+		for _, e := range arr {
+			switch {
+			case q+e.aloc < lv.sc.VMs: // C1: local idle VM
+				add(lv.index(q+1, e.aloc, lv.oaIdx[o][e.arem]), lambda*e.p)
+			case o+e.arem < min(lv.pool-e.dead, lv.poolDim): // C2: borrow a shared VM
+				add(lv.index(q, e.aloc, lv.oaIdx[o+1][e.arem]), lambda*e.p)
+			default: // C3: queue with P^NF, else forward
+				pq := lv.pNoForward(q, e.aloc, o)
+				if q >= lv.qmax {
+					pq = 0 // truncated: treat as certain forwarding
+				}
+				if pq > 0 {
+					add(lv.index(q+1, e.aloc, lv.oaIdx[o][e.arem]), lambda*e.p*pq)
+				}
+				lv.forward[idx] += e.p * (1 - pq)
+			}
+		}
+
+		// Local departure event (C4).
+		if l := min(q, lv.sc.VMs-s); l > 0 {
+			rate := float64(l) * mu
+			dep := prev.alloc(lv, s, a, 1/rate, capAloc, lv.poolDim-o)
+			for _, e := range dep {
+				switch {
+				case q-1+e.aloc >= lv.sc.VMs: // own queue absorbs the VM
+					add(lv.index(q-1, e.aloc, lv.oaIdx[o][e.arem]), rate*e.p)
+				case e.cong && e.aloc < capAloc: // lend to waiting predecessors
+					add(lv.index(q-1, e.aloc+1, lv.oaIdx[o][e.arem]), rate*e.p)
+				default:
+					add(lv.index(q-1, e.aloc, lv.oaIdx[o][e.arem]), rate*e.p)
+				}
+			}
+		}
+
+		// Remote departure event (C5).
+		if o > 0 {
+			rate := float64(o) * mu
+			dep := prev.alloc(lv, s, a, 1/rate, capAloc, lv.poolDim-(o-1))
+			for _, e := range dep {
+				switch {
+				case e.cong && o-1+e.arem+1 <= lv.poolDim: // predecessors take it
+					add(lv.index(q, e.aloc, lv.oaIdx[o-1][e.arem+1]), rate*e.p)
+				case q+e.aloc > lv.sc.VMs: // own queue keeps the VM busy
+					add(lv.index(q-1, e.aloc, lv.oaIdx[o][e.arem]), rate*e.p)
+				default: // returned to its owner
+					add(lv.index(q, e.aloc, lv.oaIdx[o-1][e.arem]), rate*e.p)
+				}
+			}
+		}
+
+		for dst, rate := range trans {
+			b.Add(idx, dst, rate)
+		}
+	}
+	chain, err := b.Build()
+	if err != nil {
+		return fmt.Errorf("approx: level for %s: %w", lv.sc.Name, err)
+	}
+	lv.chain = chain
+	lv.uniform, lv.gamma = chain.Uniformized(1.0)
+	pi, err := chain.SteadyStateGaussSeidel(opts)
+	if err != nil {
+		// Power iteration is slower but more robust; fall back.
+		pi, err = chain.SteadyState(opts)
+		if err != nil {
+			return fmt.Errorf("approx: level for %s: %w", lv.sc.Name, err)
+		}
+	}
+	lv.steady = pi
+	lv.summarize()
+	return nil
+}
+
+// summarize precomputes the per-state quantities consumed by the next
+// level's interaction computation.
+func (lv *level) summarize() {
+	n := lv.numStates()
+	lv.foreign = make([]int, n)
+	lv.lent = make([]int, n)
+	lv.cong = make([]bool, n)
+	lv.dead = make([]int, n)
+	lv.groups = make([][]int, lv.share+lv.poolDim+1)
+	for idx := 0; idx < n; idx++ {
+		q, s, o, a := lv.decode(idx)
+		lv.foreign[idx] = o + a
+		lv.lent[idx] = s
+		if lv.demandDriven {
+			// s serves successors, not predecessors: it is invisible to
+			// the next level's a_rem but still occupies real VMs (dead).
+			lv.lent[idx] = 0
+		}
+		lv.cong[idx] = q > lv.sc.VMs-s
+		// Share headroom this SC advertises but cannot back with an idle
+		// VM right now; the next level subtracts it from the borrowable
+		// pool (lender-availability refinement, see package doc).
+		headroom := lv.share - s
+		idle := lv.sc.VMs - q - s
+		if idle < 0 {
+			idle = 0
+		}
+		if idle < headroom {
+			lv.dead[idx] = headroom - idle
+		}
+		g := lv.lent[idx] + o + a
+		lv.groups[g] = append(lv.groups[g], idx)
+	}
+}
+
+// metrics evaluates the paper's performance parameters on this level's
+// steady state.
+func (lv *level) metrics() cloud.Metrics {
+	var lend, borrow, busy, fwd float64
+	for idx, p := range lv.steady {
+		if p == 0 {
+			continue
+		}
+		q, s, o, _ := lv.decode(idx)
+		lend += p * float64(s)
+		borrow += p * float64(o)
+		busy += p * float64(min(q, lv.sc.VMs-s)+s)
+		fwd += p * lv.forward[idx]
+	}
+	return cloud.Metrics{
+		PublicRate:  lv.sc.ArrivalRate * fwd,
+		BorrowRate:  borrow,
+		LendRate:    lend,
+		Utilization: busy / float64(lv.sc.VMs),
+		ForwardProb: fwd,
+	}
+}

@@ -1,0 +1,247 @@
+package approx
+
+import (
+	"fmt"
+	"math"
+
+	"scshare/internal/cloud"
+	"scshare/internal/markov"
+	"scshare/internal/queueing"
+)
+
+// Config parameterizes one approximate solve.
+type Config struct {
+	Federation cloud.Federation
+	// Shares is S_i for every SC.
+	Shares []int
+	// Target is the SC whose metrics are computed (the last level of the
+	// hierarchy). The remaining SCs are processed in ascending index order
+	// unless Order overrides it.
+	Target int
+	// Order optionally fixes the level order; it must be a permutation of
+	// the SC indices ending with Target.
+	Order []int
+	// QueueCap optionally overrides the per-SC queue truncation.
+	QueueCap []int
+	// Epsilon is the transient-analysis truncation (default 1e-9).
+	Epsilon float64
+	// Prune drops interaction atoms below this probability (default 1e-6);
+	// larger values trade accuracy for speed on big federations.
+	Prune float64
+	// Uncondition disables the pi^X conditioning of the interaction
+	// vectors (the transient analysis then always starts from the previous
+	// level's unconditioned steady state). For the ablation benchmarks
+	// only: it degrades accuracy.
+	Uncondition bool
+	// PoolCap bounds the modeled shared-VM usage per level. 0 sizes it
+	// automatically from the federation's overflow demand (the declared
+	// pool B_i often vastly exceeds what is ever in use); negative values
+	// disable the cap and model the full declared pool.
+	PoolCap int
+	// Passes selects the number of hierarchy passes. 1 is the paper's
+	// literal construction, in which the first level never lends its own
+	// VMs; with 2 (the default) the hierarchy is rebuilt once with the
+	// first level carrying an explicit successor-demand process whose rate
+	// is estimated from the first pass (see package doc and DESIGN.md).
+	Passes int
+	// Solver configures the per-level steady-state solves.
+	Solver markov.SteadyStateOptions
+}
+
+// Model is the solved hierarchy for one target SC.
+type Model struct {
+	cfg     Config
+	levels  []*level
+	metrics cloud.Metrics
+}
+
+// Solve builds and solves M^1..M^K for the configured target SC.
+func Solve(cfg Config) (*Model, error) {
+	if err := cfg.Federation.Validate(); err != nil {
+		return nil, fmt.Errorf("approx: %w", err)
+	}
+	if err := cfg.Federation.ValidateShares(cfg.Shares); err != nil {
+		return nil, fmt.Errorf("approx: %w", err)
+	}
+	k := len(cfg.Federation.SCs)
+	if cfg.Target < 0 || cfg.Target >= k {
+		return nil, fmt.Errorf("approx: target %d out of range [0,%d)", cfg.Target, k)
+	}
+	order, err := levelOrder(cfg, k)
+	if err != nil {
+		return nil, err
+	}
+	passes := cfg.Passes
+	if passes <= 0 {
+		passes = 2
+	}
+	m := &Model{cfg: cfg}
+	overflow, err := overflowErlangs(cfg.Federation)
+	if err != nil {
+		return nil, err
+	}
+	demand := 0.0
+	for pass := 0; pass < passes; pass++ {
+		m.levels = m.levels[:0]
+		var prev *level
+		prevIdx := -1
+		for _, scIdx := range order {
+			sc := cfg.Federation.SCs[scIdx]
+			share := cfg.Shares[scIdx]
+			pool := cloud.PoolExcluding(cfg.Shares, scIdx)
+			qcap := 0
+			if cfg.QueueCap != nil && scIdx < len(cfg.QueueCap) {
+				qcap = cfg.QueueCap[scIdx]
+			}
+			// Shares of the other members of the previous level's pool
+			// (everyone except the previous SC and this one); they weight
+			// the demand split in the interaction vectors.
+			var peerShares []int
+			for j, s := range cfg.Shares {
+				if j != scIdx && j != prevIdx {
+					peerShares = append(peerShares, s)
+				}
+			}
+			lv := newLevel(sc, share, pool, poolDim(cfg, overflow, scIdx, pool), qcap)
+			inter := newInteractions(prev, share, peerShares, cfg.Epsilon, cfg.Prune)
+			inter.preserveS = prev == nil && demand > 0
+			inter.uncondition = cfg.Uncondition
+			if err := lv.build(inter, demand, cfg.Solver); err != nil {
+				return nil, err
+			}
+			m.levels = append(m.levels, lv)
+			prev = lv
+			prevIdx = scIdx
+		}
+		if pass+1 < passes {
+			demand = m.successorDemand(order)
+		}
+	}
+	m.metrics = m.levels[len(m.levels)-1].metrics()
+	return m, nil
+}
+
+// successorDemand estimates the rate at which the rest of the federation
+// acquires the first-level SC's shared VMs: every other SC's borrowed-VM
+// throughput, attributed to the first SC in proportion to its slice of
+// that SC's borrowable pool.
+func (m *Model) successorDemand(order []int) float64 {
+	first := order[0]
+	firstShare := m.cfg.Shares[first]
+	if firstShare == 0 {
+		return 0
+	}
+	total := 0.0
+	for li, lv := range m.levels {
+		if li == 0 {
+			continue
+		}
+		scIdx := order[li]
+		pool := cloud.PoolExcluding(m.cfg.Shares, scIdx)
+		if pool == 0 {
+			continue
+		}
+		met := lv.metrics()
+		total += met.BorrowRate * lv.sc.ServiceRate * float64(firstShare) / float64(pool)
+	}
+	return total
+}
+
+// overflowErlangs estimates each SC's demand on the shared pool as the
+// Erlang load of the requests its no-sharing model would forward; this
+// sizes the modeled pool dimension.
+func overflowErlangs(fed cloud.Federation) ([]float64, error) {
+	out := make([]float64, len(fed.SCs))
+	for i, sc := range fed.SCs {
+		m, err := queueing.Solve(sc)
+		if err != nil {
+			return nil, fmt.Errorf("approx: overflow estimate for SC %d: %w", i, err)
+		}
+		out[i] = m.Metrics().PublicRate / sc.ServiceRate
+	}
+	return out, nil
+}
+
+// poolDim bounds the modeled (o, a) usage grid of SC scIdx's level: the
+// total overflow demand of the other SCs plus a generous fluctuation
+// margin, clipped to the declared pool.
+func poolDim(cfg Config, overflow []float64, scIdx, pool int) int {
+	if cfg.PoolCap < 0 {
+		return pool
+	}
+	if cfg.PoolCap > 0 {
+		return min(pool, cfg.PoolCap)
+	}
+	d := 0.0
+	for j, x := range overflow {
+		if j != scIdx {
+			d += x
+		}
+	}
+	return min(pool, int(math.Ceil(d+6*math.Sqrt(d)))+3)
+}
+
+func levelOrder(cfg Config, k int) ([]int, error) {
+	if cfg.Order == nil {
+		order := make([]int, 0, k)
+		for i := 0; i < k; i++ {
+			if i != cfg.Target {
+				order = append(order, i)
+			}
+		}
+		return append(order, cfg.Target), nil
+	}
+	if len(cfg.Order) != k {
+		return nil, fmt.Errorf("approx: order has %d entries for %d SCs", len(cfg.Order), k)
+	}
+	seen := make([]bool, k)
+	for _, i := range cfg.Order {
+		if i < 0 || i >= k || seen[i] {
+			return nil, fmt.Errorf("approx: order %v is not a permutation", cfg.Order)
+		}
+		seen[i] = true
+	}
+	if cfg.Order[k-1] != cfg.Target {
+		return nil, fmt.Errorf("approx: order must end with target %d, got %v", cfg.Target, cfg.Order)
+	}
+	return cfg.Order, nil
+}
+
+// Metrics returns the target SC's performance parameters.
+func (m *Model) Metrics() cloud.Metrics { return m.metrics }
+
+// TotalStates returns the summed size of all level chains; the quantity
+// the paper compares against the exponential detailed model (Fig. 8a).
+func (m *Model) TotalStates() int {
+	t := 0
+	for _, lv := range m.levels {
+		t += lv.numStates()
+	}
+	return t
+}
+
+// LevelSizes returns the state count of each level in order.
+func (m *Model) LevelSizes() []int {
+	out := make([]int, len(m.levels))
+	for i, lv := range m.levels {
+		out[i] = lv.numStates()
+	}
+	return out
+}
+
+// SolveAll computes metrics for every SC by running the hierarchy once per
+// target, which is exactly how SCs use the model in a decentralized way.
+func SolveAll(cfg Config) ([]cloud.Metrics, error) {
+	out := make([]cloud.Metrics, len(cfg.Federation.SCs))
+	for i := range cfg.Federation.SCs {
+		c := cfg
+		c.Target = i
+		c.Order = nil
+		m, err := Solve(c)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = m.Metrics()
+	}
+	return out, nil
+}

@@ -1,0 +1,314 @@
+package approx
+
+import (
+	"math"
+	"testing"
+
+	"scshare/internal/cloud"
+	"scshare/internal/exact"
+	"scshare/internal/numeric"
+	"scshare/internal/queueing"
+)
+
+func fed2(lambdaPeer, lambdaTarget float64) cloud.Federation {
+	return cloud.Federation{
+		SCs: []cloud.SC{
+			{Name: "peer", VMs: 10, ArrivalRate: lambdaPeer, ServiceRate: 1, SLA: 0.2, PublicPrice: 1},
+			{Name: "target", VMs: 10, ArrivalRate: lambdaTarget, ServiceRate: 1, SLA: 0.2, PublicPrice: 1},
+		},
+		FederationPrice: 0.5,
+	}
+}
+
+func TestSolveValidation(t *testing.T) {
+	fed := fed2(7, 7)
+	if _, err := Solve(Config{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := Solve(Config{Federation: fed, Shares: []int{1}}); err == nil {
+		t.Error("short share vector accepted")
+	}
+	if _, err := Solve(Config{Federation: fed, Shares: []int{1, 1}, Target: 5}); err == nil {
+		t.Error("out-of-range target accepted")
+	}
+	if _, err := Solve(Config{Federation: fed, Shares: []int{1, 1}, Target: 1, Order: []int{0}}); err == nil {
+		t.Error("short order accepted")
+	}
+	if _, err := Solve(Config{Federation: fed, Shares: []int{1, 1}, Target: 1, Order: []int{1, 0}}); err == nil {
+		t.Error("order not ending with target accepted")
+	}
+	if _, err := Solve(Config{Federation: fed, Shares: []int{1, 1}, Target: 1, Order: []int{0, 0}}); err == nil {
+		t.Error("non-permutation order accepted")
+	}
+}
+
+// A single SC with nothing shared must reduce to the Sect. III-A model.
+func TestSingleSCMatchesNoSharing(t *testing.T) {
+	sc := cloud.SC{Name: "solo", VMs: 10, ArrivalRate: 8, ServiceRate: 1, SLA: 0.2, PublicPrice: 1}
+	m, err := Solve(Config{
+		Federation: cloud.Federation{SCs: []cloud.SC{sc}, FederationPrice: 0.5},
+		Shares:     []int{0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := queueing.Solve(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := m.Metrics(), ref.Metrics()
+	if numeric.RelErr(got.ForwardProb, want.ForwardProb, 1e-9) > 1e-3 {
+		t.Errorf("forward prob %v, want %v", got.ForwardProb, want.ForwardProb)
+	}
+	if numeric.RelErr(got.Utilization, want.Utilization, 1e-9) > 1e-3 {
+		t.Errorf("utilization %v, want %v", got.Utilization, want.Utilization)
+	}
+	if got.LendRate != 0 || got.BorrowRate != 0 {
+		t.Errorf("solo SC has federation flows: %+v", got)
+	}
+}
+
+// Zero shares across the federation must also decouple into no-sharing
+// models, regardless of K.
+func TestZeroSharesDecouple(t *testing.T) {
+	fed := fed2(7, 5)
+	m, err := Solve(Config{Federation: fed, Shares: []int{0, 0}, Target: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := queueing.Solve(fed.SCs[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if numeric.RelErr(m.Metrics().Utilization, ref.Metrics().Utilization, 1e-9) > 1e-3 {
+		t.Errorf("utilization %v, want %v", m.Metrics().Utilization, ref.Metrics().Utilization)
+	}
+}
+
+// The paper's headline accuracy claim (Fig. 6a/6b band): against the
+// detailed CTMC on a 2-SC federation, the lend/borrow estimates stay
+// within ~10% at a small share and ~25% at a large one, with the paper's
+// bias directions.
+func TestAccuracyVsExactTwoSC(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validation is slow")
+	}
+	fed := fed2(7, 7)
+	tests := []struct {
+		share   int
+		lendTol float64
+	}{
+		{1, 0.12},
+		{5, 0.25},
+	}
+	for _, tt := range tests {
+		shares := []int{5, tt.share}
+		am, err := Solve(Config{Federation: fed, Shares: shares, Target: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		em, err := exact.Solve(exact.Config{Federation: fed, Shares: shares})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, want := am.Metrics(), em.Metrics(1)
+		if e := numeric.RelErr(got.LendRate, want.LendRate, 0.05); e > tt.lendTol {
+			t.Errorf("share=%d lend: approx %v, exact %v (err %.0f%%)",
+				tt.share, got.LendRate, want.LendRate, 100*e)
+		}
+		if e := numeric.RelErr(got.BorrowRate, want.BorrowRate, 0.05); e > 0.12 {
+			t.Errorf("share=%d borrow: approx %v, exact %v (err %.0f%%)",
+				tt.share, got.BorrowRate, want.BorrowRate, 100*e)
+		}
+		if math.Abs(got.Utilization-want.Utilization) > 0.02 {
+			t.Errorf("share=%d utilization: approx %v, exact %v",
+				tt.share, got.Utilization, want.Utilization)
+		}
+		// Paper-reported bias direction: lending is under-estimated.
+		if got.LendRate > want.LendRate*1.05 {
+			t.Errorf("share=%d: lend over-estimated (%v > %v), expected the paper's under-estimation bias",
+				tt.share, got.LendRate, want.LendRate)
+		}
+	}
+}
+
+// Paper-literal single pass must under-estimate lending more than the
+// two-pass feedback refinement (the ablation DESIGN.md calls out).
+func TestFeedbackPassImprovesLendEstimate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validation is slow")
+	}
+	fed := fed2(7, 7)
+	shares := []int{5, 5}
+	one, err := Solve(Config{Federation: fed, Shares: shares, Target: 1, Passes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := Solve(Config{Federation: fed, Shares: shares, Target: 1, Passes: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := exact.Solve(exact.Config{Federation: fed, Shares: shares})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := em.Metrics(1).LendRate
+	e1 := math.Abs(one.Metrics().LendRate - want)
+	e2 := math.Abs(two.Metrics().LendRate - want)
+	if e2 >= e1 {
+		t.Errorf("feedback did not improve lend estimate: 1-pass err %v, 2-pass err %v", e1, e2)
+	}
+}
+
+func TestMetricsSanity(t *testing.T) {
+	fed := fed2(8, 6)
+	m, err := Solve(Config{Federation: fed, Shares: []int{3, 4}, Target: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := m.Metrics()
+	if g.Utilization < 0 || g.Utilization > 1 {
+		t.Errorf("utilization %v", g.Utilization)
+	}
+	if g.ForwardProb < 0 || g.ForwardProb > 1 {
+		t.Errorf("forward prob %v", g.ForwardProb)
+	}
+	if g.LendRate < 0 || g.LendRate > 4 {
+		t.Errorf("lend %v outside [0, share]", g.LendRate)
+	}
+	if g.BorrowRate < 0 || g.BorrowRate > 3 {
+		t.Errorf("borrow %v outside [0, pool]", g.BorrowRate)
+	}
+	if math.Abs(g.PublicRate-fed.SCs[1].ArrivalRate*g.ForwardProb) > 1e-9 {
+		t.Errorf("public rate %v inconsistent with forward prob %v", g.PublicRate, g.ForwardProb)
+	}
+	if m.TotalStates() <= 0 {
+		t.Error("no states")
+	}
+	if len(m.LevelSizes()) != 2 {
+		t.Errorf("level sizes %v", m.LevelSizes())
+	}
+}
+
+// More shared VMs from the peer must not increase the target's forwarding.
+func TestMorePeerSharingHelps(t *testing.T) {
+	fed := fed2(5, 9)
+	prev := math.Inf(1)
+	for _, peerShare := range []int{0, 2, 6} {
+		m, err := Solve(Config{Federation: fed, Shares: []int{peerShare, 2}, Target: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp := m.Metrics().ForwardProb
+		if fp > prev+1e-6 {
+			t.Errorf("peerShare=%d: forward prob %v rose above %v", peerShare, fp, prev)
+		}
+		prev = fp
+	}
+}
+
+func TestSolveAll(t *testing.T) {
+	fed := fed2(7, 5)
+	ms, err := SolveAll(Config{Federation: fed, Shares: []int{2, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("got %d metrics", len(ms))
+	}
+	// The busier SC borrows more than the calmer one.
+	if ms[0].BorrowRate <= ms[1].BorrowRate {
+		t.Errorf("busy SC borrows %v <= calm SC %v", ms[0].BorrowRate, ms[1].BorrowRate)
+	}
+}
+
+// The hierarchy cost is what the paper banks on: total approximate states
+// across levels must be microscopic next to the detailed model.
+func TestStateSpaceReduction(t *testing.T) {
+	fed := cloud.Federation{FederationPrice: 0.5}
+	shares := make([]int, 5)
+	for i := range shares {
+		fed.SCs = append(fed.SCs, cloud.SC{
+			Name: "sc", VMs: 10, ArrivalRate: 7, ServiceRate: 1, SLA: 0.2, PublicPrice: 1,
+		})
+		shares[i] = 2
+	}
+	m, err := Solve(Config{Federation: fed, Shares: shares, Target: 4, Passes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	detailed := exact.StateSpaceSize(fed, shares)
+	if ratio := detailed / float64(m.TotalStates()); ratio < 1000 {
+		t.Errorf("approximate model saves only %.1fx states", ratio)
+	}
+}
+
+func TestCustomQueueCap(t *testing.T) {
+	fed := fed2(6, 6)
+	m, err := Solve(Config{Federation: fed, Shares: []int{2, 2}, Target: 1, QueueCap: []int{14, 14}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	auto, err := Solve(Config{Federation: fed, Shares: []int{2, 2}, Target: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TotalStates() >= auto.TotalStates() {
+		t.Errorf("custom cap did not shrink: %d >= %d", m.TotalStates(), auto.TotalStates())
+	}
+	if math.Abs(m.Metrics().Utilization-auto.Metrics().Utilization) > 5e-3 {
+		t.Errorf("truncation shifted utilization: %v vs %v",
+			m.Metrics().Utilization, auto.Metrics().Utilization)
+	}
+}
+
+func TestExplicitOrder(t *testing.T) {
+	fed := fed2(7, 7)
+	m, err := Solve(Config{Federation: fed, Shares: []int{3, 3}, Target: 0, Order: []int{1, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Metrics().Utilization <= 0 {
+		t.Error("empty metrics under explicit order")
+	}
+}
+
+// The pi^X conditioning ablation: both variants must track the exact model
+// (the difference between them is small and scenario-dependent — on this
+// symmetric case the unconditioned start is marginally closer on lend+borrow
+// while conditioning matters for the forwarding tail; see DESIGN.md).
+func TestConditioningAblationStaysInBand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-validation is slow")
+	}
+	fed := fed2(7, 7)
+	shares := []int{5, 5}
+	em, err := exact.Solve(exact.Config{Federation: fed, Shares: shares})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := em.Metrics(1)
+	cond, err := Solve(Config{Federation: fed, Shares: shares, Target: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	uncond, err := Solve(Config{Federation: fed, Shares: shares, Target: 1, Uncondition: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	errOf := func(m cloud.Metrics) float64 {
+		return math.Abs(m.LendRate-want.LendRate) + math.Abs(m.BorrowRate-want.BorrowRate)
+	}
+	ec, eu := errOf(cond.Metrics()), errOf(uncond.Metrics())
+	t.Logf("conditioned err %v, unconditioned err %v (exact lend %v borrow %v)",
+		ec, eu, want.LendRate, want.BorrowRate)
+	if ec > 0.35*(want.LendRate+want.BorrowRate) {
+		t.Errorf("conditioned variant out of band: err %v", ec)
+	}
+	if eu > 0.35*(want.LendRate+want.BorrowRate) {
+		t.Errorf("unconditioned variant out of band: err %v", eu)
+	}
+	if cond.Metrics() == uncond.Metrics() {
+		t.Error("ablation switch had no effect")
+	}
+}

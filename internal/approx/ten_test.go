@@ -1,0 +1,49 @@
+package approx
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"scshare/internal/cloud"
+	"scshare/internal/sim"
+)
+
+// TestTenSCAccuracy cross-validates the hierarchy against the simulator on
+// the paper's 10-SC scenario (Fig. 6c/6d configuration).
+func TestTenSCAccuracy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow cross-validation")
+	}
+	fed := cloud.Federation{}
+	shares := []int{3, 3, 3, 2, 2, 2, 1, 1, 1, 5}
+	lams := []float64{7, 7, 7, 8, 8, 8, 9, 9, 9, 7}
+	for i := 0; i < 10; i++ {
+		fed.SCs = append(fed.SCs, cloud.SC{Name: fmt.Sprintf("sc%d", i), VMs: 10,
+			ArrivalRate: lams[i], ServiceRate: 1, SLA: 0.2, PublicPrice: 1})
+	}
+	t0 := time.Now()
+	m, err := Solve(Config{Federation: fed, Shares: shares, Target: 9, Prune: 1e-5, PoolCap: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solveTime := time.Since(t0)
+	res, err := sim.Run(sim.Config{Federation: fed, Shares: shares, Horizon: 60000, Warmup: 2000, Seed: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := m.Metrics(), res.Metrics[9]
+	t.Logf("approx (%v, %d states): %+v", solveTime, m.TotalStates(), got)
+	t.Logf("sim: %+v", want)
+	// Paper band: within ~20% below 0.9 utilization, I-bar under- and
+	// O-bar over-estimated relative to exact.
+	if rel := (want.LendRate - got.LendRate) / want.LendRate; rel < -0.10 || rel > 0.40 {
+		t.Errorf("lend: approx %v vs sim %v (rel gap %v)", got.LendRate, want.LendRate, rel)
+	}
+	if rel := (got.BorrowRate - want.BorrowRate) / want.BorrowRate; rel < -0.30 || rel > 0.40 {
+		t.Errorf("borrow: approx %v vs sim %v (rel gap %v)", got.BorrowRate, want.BorrowRate, rel)
+	}
+	if d := got.Utilization - want.Utilization; d < -0.08 || d > 0.08 {
+		t.Errorf("utilization: approx %v vs sim %v", got.Utilization, want.Utilization)
+	}
+}

@@ -1,0 +1,114 @@
+// Package cli holds the flag-parsing helpers shared by the scshare, scsim
+// and scmarket command-line tools: compact textual federation specs and
+// integer/float list parsing.
+package cli
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"scshare/internal/cloud"
+)
+
+// ParseFederation parses a compact federation spec: one SC per
+// comma-separated element, each "VMs:lambda:SLA:publicPrice" with the last
+// two fields optional (defaults 0.2 and 1.0). Example:
+//
+//	"10:7,10:5:0.2,100:80:0.5:1.2"
+func ParseFederation(spec string, federationPrice float64) (cloud.Federation, error) {
+	fed := cloud.Federation{FederationPrice: federationPrice}
+	if strings.TrimSpace(spec) == "" {
+		return fed, fmt.Errorf("cli: empty federation spec")
+	}
+	for i, part := range strings.Split(spec, ",") {
+		fields := strings.Split(strings.TrimSpace(part), ":")
+		if len(fields) < 2 || len(fields) > 4 {
+			return fed, fmt.Errorf("cli: SC %d: want VMs:lambda[:SLA[:price]], got %q", i, part)
+		}
+		vms, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return fed, fmt.Errorf("cli: SC %d: VMs: %w", i, err)
+		}
+		lambda, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return fed, fmt.Errorf("cli: SC %d: lambda: %w", i, err)
+		}
+		sla := 0.2
+		if len(fields) >= 3 {
+			if sla, err = strconv.ParseFloat(fields[2], 64); err != nil {
+				return fed, fmt.Errorf("cli: SC %d: SLA: %w", i, err)
+			}
+		}
+		price := 1.0
+		if len(fields) == 4 {
+			if price, err = strconv.ParseFloat(fields[3], 64); err != nil {
+				return fed, fmt.Errorf("cli: SC %d: price: %w", i, err)
+			}
+		}
+		fed.SCs = append(fed.SCs, cloud.SC{
+			Name:        fmt.Sprintf("sc%d", i),
+			VMs:         vms,
+			ArrivalRate: lambda,
+			ServiceRate: 1,
+			SLA:         sla,
+			PublicPrice: price,
+		})
+	}
+	if err := fed.Validate(); err != nil {
+		return fed, fmt.Errorf("cli: %w", err)
+	}
+	return fed, nil
+}
+
+// ParseInts parses a comma-separated integer list ("3,3,1").
+func ParseInts(spec string) ([]int, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(spec, ",")
+	out := make([]int, 0, len(parts))
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil {
+			return nil, fmt.Errorf("cli: element %d: %w", i, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// ParseFloats parses a comma-separated float list ("0.1,0.5,0.9").
+func ParseFloats(spec string) ([]float64, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	parts := strings.Split(spec, ",")
+	out := make([]float64, 0, len(parts))
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return nil, fmt.Errorf("cli: element %d: %w", i, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// MetricsTable renders per-SC metrics as an aligned table.
+func MetricsTable(fed cloud.Federation, shares []int, ms []cloud.Metrics) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s %5s %8s %6s %9s %9s %9s %9s %9s\n",
+		"SC", "VMs", "lambda", "share", "P-bar", "O-bar", "I-bar", "util", "P(fwd)")
+	for i, sc := range fed.SCs {
+		share := 0
+		if i < len(shares) {
+			share = shares[i]
+		}
+		m := ms[i]
+		fmt.Fprintf(&b, "%-8s %5d %8.3g %6d %9.4f %9.4f %9.4f %9.4f %9.4f\n",
+			sc.Name, sc.VMs, sc.ArrivalRate, share,
+			m.PublicRate, m.BorrowRate, m.LendRate, m.Utilization, m.ForwardProb)
+	}
+	return b.String()
+}

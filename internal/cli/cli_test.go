@@ -1,0 +1,92 @@
+package cli
+
+import (
+	"strings"
+	"testing"
+
+	"scshare/internal/cloud"
+)
+
+func TestParseFederation(t *testing.T) {
+	fed, err := ParseFederation("10:7,10:5:0.5,100:80:0.2:1.5", 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fed.SCs) != 3 {
+		t.Fatalf("got %d SCs", len(fed.SCs))
+	}
+	if fed.FederationPrice != 0.4 {
+		t.Errorf("federation price %v", fed.FederationPrice)
+	}
+	if fed.SCs[0].SLA != 0.2 || fed.SCs[0].PublicPrice != 1 {
+		t.Errorf("defaults not applied: %+v", fed.SCs[0])
+	}
+	if fed.SCs[1].SLA != 0.5 {
+		t.Errorf("SLA not parsed: %+v", fed.SCs[1])
+	}
+	if fed.SCs[2].PublicPrice != 1.5 || fed.SCs[2].VMs != 100 {
+		t.Errorf("full spec not parsed: %+v", fed.SCs[2])
+	}
+}
+
+func TestParseFederationErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"10",
+		"10:7:0.2:1:9",
+		"x:7",
+		"10:y",
+		"10:7:z",
+		"10:7:0.2:w",
+		"0:7", // invalid SC (validated)
+	}
+	for _, spec := range cases {
+		if _, err := ParseFederation(spec, 0.5); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}
+
+func TestParseInts(t *testing.T) {
+	got, err := ParseInts(" 1, 2,3 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("got %v", got)
+	}
+	if _, err := ParseInts("1,x"); err == nil {
+		t.Error("bad int accepted")
+	}
+	if got, err := ParseInts(""); err != nil || got != nil {
+		t.Errorf("empty spec: %v, %v", got, err)
+	}
+}
+
+func TestParseFloats(t *testing.T) {
+	got, err := ParseFloats("0.1,0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1] != 0.5 {
+		t.Errorf("got %v", got)
+	}
+	if _, err := ParseFloats("a"); err == nil {
+		t.Error("bad float accepted")
+	}
+}
+
+func TestMetricsTable(t *testing.T) {
+	fed, err := ParseFederation("10:7,10:5", 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := []cloud.Metrics{{PublicRate: 0.1}, {LendRate: 0.5}}
+	out := MetricsTable(fed, []int{1, 2}, ms)
+	if !strings.Contains(out, "sc0") || !strings.Contains(out, "sc1") {
+		t.Errorf("table missing SCs:\n%s", out)
+	}
+	if !strings.Contains(out, "0.5000") {
+		t.Errorf("table missing metric value:\n%s", out)
+	}
+}

@@ -1,0 +1,21 @@
+package cli
+
+import "testing"
+
+// FuzzParseFederation guards the CLI entry point against malformed specs:
+// it must return an error or a valid federation, never panic.
+func FuzzParseFederation(f *testing.F) {
+	f.Add("10:7,10:5:0.2,100:80:0.5:1.2", 0.4)
+	f.Add("", 0.0)
+	f.Add("10", 1.0)
+	f.Add("1:0.0001:9999:0", -1.0)
+	f.Fuzz(func(t *testing.T, spec string, price float64) {
+		fed, err := ParseFederation(spec, price)
+		if err != nil {
+			return
+		}
+		if verr := fed.Validate(); verr != nil {
+			t.Errorf("accepted spec %q yields invalid federation: %v", spec, verr)
+		}
+	})
+}

@@ -1,0 +1,152 @@
+// Package cloud defines the domain vocabulary shared by every SC-Share
+// model: small-cloud configurations, federations, prices, the performance
+// metrics produced by the performance models, and the net operating cost of
+// Eq. (1) in the paper.
+package cloud
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Common validation errors.
+var (
+	ErrNoVMs          = errors.New("cloud: SC must have at least one VM")
+	ErrBadRate        = errors.New("cloud: arrival and service rates must be positive")
+	ErrBadSLA         = errors.New("cloud: SLA waiting-time bound must be positive")
+	ErrBadPrice       = errors.New("cloud: prices must be non-negative")
+	ErrBadShare       = errors.New("cloud: shared VMs must be between 0 and the SC's VM count")
+	ErrEmptyFed       = errors.New("cloud: federation needs at least one SC")
+	ErrPriceInversion = errors.New("cloud: federation price must not exceed the public-cloud price")
+)
+
+// SC describes one small cloud: its capacity, workload, SLA, and the price
+// it pays for public-cloud VMs (C_i^P in the paper). VM requests arrive as a
+// Poisson process and service times are exponential, matching Sect. II-A.
+type SC struct {
+	// Name identifies the SC in reports.
+	Name string
+	// VMs is N_i, the number of homogeneous VMs.
+	VMs int
+	// ArrivalRate is lambda_i (requests per second).
+	ArrivalRate float64
+	// ServiceRate is mu_i (service completions per busy VM per second).
+	ServiceRate float64
+	// SLA is Q_i, the maximum waiting time before a VM must be provided.
+	SLA float64
+	// PublicPrice is C_i^P, the cost of one public-cloud VM per second.
+	PublicPrice float64
+}
+
+// Validate reports whether the SC configuration is usable.
+func (s SC) Validate() error {
+	switch {
+	case s.VMs <= 0:
+		return fmt.Errorf("%w (got %d)", ErrNoVMs, s.VMs)
+	case s.ArrivalRate <= 0 || s.ServiceRate <= 0:
+		return fmt.Errorf("%w (lambda=%v, mu=%v)", ErrBadRate, s.ArrivalRate, s.ServiceRate)
+	case s.SLA <= 0:
+		return fmt.Errorf("%w (got %v)", ErrBadSLA, s.SLA)
+	case s.PublicPrice < 0:
+		return fmt.Errorf("%w (public price %v)", ErrBadPrice, s.PublicPrice)
+	}
+	return nil
+}
+
+// OfferedLoad returns lambda/mu in Erlangs.
+func (s SC) OfferedLoad() float64 { return s.ArrivalRate / s.ServiceRate }
+
+// OfferedUtilization returns the offered load per VM, lambda/(N mu). The
+// achieved utilization is reported by the performance models.
+func (s SC) OfferedUtilization() float64 {
+	return s.ArrivalRate / (float64(s.VMs) * s.ServiceRate)
+}
+
+// Federation is a set of SCs with a common federation VM price C^G
+// (homogeneous across SCs per Sect. II-B).
+type Federation struct {
+	SCs []SC
+	// FederationPrice is C^G, the price of one shared VM per second.
+	FederationPrice float64
+}
+
+// Validate checks every member and the federation price against each
+// member's public price (the paper assumes C^P > C^G; equality is permitted
+// because Fig. 7 sweeps the ratio up to 1).
+func (f Federation) Validate() error {
+	if len(f.SCs) == 0 {
+		return ErrEmptyFed
+	}
+	if f.FederationPrice < 0 {
+		return fmt.Errorf("%w (federation price %v)", ErrBadPrice, f.FederationPrice)
+	}
+	for i, sc := range f.SCs {
+		if err := sc.Validate(); err != nil {
+			return fmt.Errorf("SC %d (%s): %w", i, sc.Name, err)
+		}
+		if f.FederationPrice > sc.PublicPrice {
+			return fmt.Errorf("SC %d (%s): %w (C^G=%v > C^P=%v)",
+				i, sc.Name, ErrPriceInversion, f.FederationPrice, sc.PublicPrice)
+		}
+	}
+	return nil
+}
+
+// ValidateShares checks a sharing decision vector against the federation.
+func (f Federation) ValidateShares(shares []int) error {
+	if len(shares) != len(f.SCs) {
+		return fmt.Errorf("cloud: %d shares for %d SCs", len(shares), len(f.SCs))
+	}
+	for i, s := range shares {
+		if s < 0 || s > f.SCs[i].VMs {
+			return fmt.Errorf("SC %d (%s): %w (share %d of %d VMs)",
+				i, f.SCs[i].Name, ErrBadShare, s, f.SCs[i].VMs)
+		}
+	}
+	return nil
+}
+
+// PoolExcluding returns B_i = sum_{j != i} S_j, the maximum number of VMs
+// the rest of the federation can lend to SC i.
+func PoolExcluding(shares []int, i int) int {
+	total := 0
+	for j, s := range shares {
+		if j != i {
+			total += s
+		}
+	}
+	return total
+}
+
+// Metrics are the per-SC performance parameters produced by every
+// performance model in this repository (Sect. III).
+type Metrics struct {
+	// PublicRate is P-bar_i^{S_i}: mean VMs/s bought from the public cloud.
+	PublicRate float64
+	// BorrowRate is O-bar_i^{S_i}: mean VMs/s used from other SCs.
+	BorrowRate float64
+	// LendRate is I-bar_i^{S_i}: mean VMs/s of this SC used by other SCs.
+	LendRate float64
+	// Utilization is rho_i^{S_i}: the fraction of this SC's VMs busy
+	// (serving local or remote requests).
+	Utilization float64
+	// ForwardProb is the probability an arriving request is forwarded to
+	// the public cloud.
+	ForwardProb float64
+}
+
+// NetCost evaluates Eq. (1): C_i = P-bar*C^P + (O-bar - I-bar)*C^G.
+func (m Metrics) NetCost(publicPrice, federationPrice float64) float64 {
+	return m.PublicRate*publicPrice + (m.BorrowRate-m.LendRate)*federationPrice
+}
+
+// Sub returns the elementwise difference m - o; used when comparing models.
+func (m Metrics) Sub(o Metrics) Metrics {
+	return Metrics{
+		PublicRate:  m.PublicRate - o.PublicRate,
+		BorrowRate:  m.BorrowRate - o.BorrowRate,
+		LendRate:    m.LendRate - o.LendRate,
+		Utilization: m.Utilization - o.Utilization,
+		ForwardProb: m.ForwardProb - o.ForwardProb,
+	}
+}

@@ -1,0 +1,143 @@
+package cloud
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func validSC() SC {
+	return SC{Name: "sc", VMs: 10, ArrivalRate: 7, ServiceRate: 1, SLA: 0.2, PublicPrice: 1}
+}
+
+func TestSCValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*SC)
+		want   error
+	}{
+		{"valid", func(*SC) {}, nil},
+		{"no VMs", func(s *SC) { s.VMs = 0 }, ErrNoVMs},
+		{"negative lambda", func(s *SC) { s.ArrivalRate = -1 }, ErrBadRate},
+		{"zero mu", func(s *SC) { s.ServiceRate = 0 }, ErrBadRate},
+		{"zero SLA", func(s *SC) { s.SLA = 0 }, ErrBadSLA},
+		{"negative price", func(s *SC) { s.PublicPrice = -0.5 }, ErrBadPrice},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			sc := validSC()
+			tt.mutate(&sc)
+			err := sc.Validate()
+			if tt.want == nil {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				return
+			}
+			if !errors.Is(err, tt.want) {
+				t.Fatalf("got %v, want %v", err, tt.want)
+			}
+		})
+	}
+}
+
+func TestSCLoadHelpers(t *testing.T) {
+	sc := validSC()
+	if got := sc.OfferedLoad(); got != 7 {
+		t.Errorf("OfferedLoad = %v", got)
+	}
+	if got := sc.OfferedUtilization(); math.Abs(got-0.7) > 1e-12 {
+		t.Errorf("OfferedUtilization = %v", got)
+	}
+}
+
+func TestFederationValidate(t *testing.T) {
+	fed := Federation{SCs: []SC{validSC(), validSC()}, FederationPrice: 0.5}
+	if err := fed.Validate(); err != nil {
+		t.Fatalf("valid federation rejected: %v", err)
+	}
+	if err := (Federation{}).Validate(); !errors.Is(err, ErrEmptyFed) {
+		t.Errorf("empty federation: %v", err)
+	}
+	fed.FederationPrice = 2 // above public price 1
+	if err := fed.Validate(); !errors.Is(err, ErrPriceInversion) {
+		t.Errorf("price inversion: %v", err)
+	}
+	fed.FederationPrice = -1
+	if err := fed.Validate(); !errors.Is(err, ErrBadPrice) {
+		t.Errorf("negative price: %v", err)
+	}
+	bad := validSC()
+	bad.VMs = 0
+	fed = Federation{SCs: []SC{bad}, FederationPrice: 0}
+	if err := fed.Validate(); !errors.Is(err, ErrNoVMs) {
+		t.Errorf("bad member: %v", err)
+	}
+}
+
+func TestValidateShares(t *testing.T) {
+	fed := Federation{SCs: []SC{validSC(), validSC()}, FederationPrice: 0.5}
+	if err := fed.ValidateShares([]int{0, 10}); err != nil {
+		t.Errorf("valid shares rejected: %v", err)
+	}
+	if err := fed.ValidateShares([]int{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if err := fed.ValidateShares([]int{-1, 0}); !errors.Is(err, ErrBadShare) {
+		t.Errorf("negative share: %v", err)
+	}
+	if err := fed.ValidateShares([]int{0, 11}); !errors.Is(err, ErrBadShare) {
+		t.Errorf("oversized share: %v", err)
+	}
+}
+
+func TestPoolExcluding(t *testing.T) {
+	shares := []int{3, 5, 2}
+	if got := PoolExcluding(shares, 0); got != 7 {
+		t.Errorf("PoolExcluding(0) = %d", got)
+	}
+	if got := PoolExcluding(shares, 1); got != 5 {
+		t.Errorf("PoolExcluding(1) = %d", got)
+	}
+	if got := PoolExcluding(shares, 2); got != 8 {
+		t.Errorf("PoolExcluding(2) = %d", got)
+	}
+}
+
+func TestNetCostEq1(t *testing.T) {
+	m := Metrics{PublicRate: 2, BorrowRate: 1.5, LendRate: 0.5}
+	// C = 2*3 + (1.5-0.5)*1 = 7.
+	if got := m.NetCost(3, 1); got != 7 {
+		t.Errorf("NetCost = %v", got)
+	}
+	// Lending more than borrowing yields revenue (negative contribution).
+	m = Metrics{PublicRate: 0, BorrowRate: 0.2, LendRate: 1.2}
+	if got := m.NetCost(3, 1); got != -1 {
+		t.Errorf("NetCost = %v", got)
+	}
+}
+
+// NetCost must be linear in both prices (the paper's linear cost family,
+// Sect. VII).
+func TestNetCostLinearityProperty(t *testing.T) {
+	f := func(p, b, l, cp, cg, k uint8) bool {
+		m := Metrics{PublicRate: float64(p), BorrowRate: float64(b), LendRate: float64(l)}
+		scale := float64(k%7 + 1)
+		left := m.NetCost(scale*float64(cp), scale*float64(cg))
+		right := scale * m.NetCost(float64(cp), float64(cg))
+		return math.Abs(left-right) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMetricsSub(t *testing.T) {
+	a := Metrics{PublicRate: 2, BorrowRate: 3, LendRate: 4, Utilization: 0.5, ForwardProb: 0.1}
+	b := Metrics{PublicRate: 1, BorrowRate: 1, LendRate: 1, Utilization: 0.25, ForwardProb: 0.05}
+	d := a.Sub(b)
+	if d.PublicRate != 1 || d.BorrowRate != 2 || d.LendRate != 3 || d.Utilization != 0.25 || d.ForwardProb != 0.05 {
+		t.Errorf("Sub = %+v", d)
+	}
+}

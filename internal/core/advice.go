@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"scshare/internal/market"
+)
+
+// Advice is the operator-facing summary of one federation negotiation: for
+// every SC, what joining at the equilibrium is worth compared to standing
+// alone. It is the artifact an SC operator would act on, and what the
+// scmarket CLI emits as JSON.
+type Advice struct {
+	// FederationPrice is C^G and PriceRatio its ratio to the cheapest
+	// public price.
+	FederationPrice float64 `json:"federationPrice"`
+	PriceRatio      float64 `json:"priceRatio"`
+	// Rounds and Evaluations report the negotiation cost.
+	Rounds      int  `json:"rounds"`
+	Evaluations int  `json:"evaluations"`
+	Converged   bool `json:"converged"`
+	// SCs has one entry per SC in federation order.
+	SCs []SCAdvice `json:"scs"`
+}
+
+// SCAdvice is one SC's entry.
+type SCAdvice struct {
+	Name string `json:"name"`
+	// Share is the equilibrium number of VMs to contribute.
+	Share int `json:"share"`
+	// Join reports whether participating beats standing alone.
+	Join bool `json:"join"`
+	// BaselineCostPerSec and CostPerSec compare Eq. (1) outside and inside
+	// the federation; SavingPerSec is their difference.
+	BaselineCostPerSec float64 `json:"baselineCostPerSec"`
+	CostPerSec         float64 `json:"costPerSec"`
+	SavingPerSec       float64 `json:"savingPerSec"`
+	// BorrowVMs and LendVMs are the mean federation flows at equilibrium.
+	BorrowVMs float64 `json:"borrowVMs"`
+	LendVMs   float64 `json:"lendVMs"`
+	// Utilization at equilibrium versus standalone.
+	Utilization         float64 `json:"utilization"`
+	BaselineUtilization float64 `json:"baselineUtilization"`
+	// Utility is the Eq. (2) value backing the equilibrium.
+	Utility float64 `json:"utility"`
+}
+
+// Advise runs the negotiation (multi-start under the given alpha) and
+// summarizes the outcome per SC.
+func (f *Framework) Advise(initials [][]int, alpha float64) (*Advice, error) {
+	out, err := f.Equilibrium(initials, alpha)
+	if err != nil && out == nil {
+		return nil, err
+	}
+	minPublic := math.Inf(1)
+	for _, sc := range f.cfg.Federation.SCs {
+		if sc.PublicPrice < minPublic {
+			minPublic = sc.PublicPrice
+		}
+	}
+	adv := &Advice{
+		FederationPrice: f.cfg.Federation.FederationPrice,
+		PriceRatio:      f.cfg.Federation.FederationPrice / minPublic,
+		Rounds:          out.Rounds,
+		Evaluations:     out.Evals,
+		Converged:       out.Converged,
+	}
+	for i, sc := range f.cfg.Federation.SCs {
+		saving := out.BaselineCosts[i] - out.Costs[i]
+		adv.SCs = append(adv.SCs, SCAdvice{
+			Name:                sc.Name,
+			Share:               out.Shares[i],
+			Join:                out.Shares[i] > 0 && saving > 0,
+			BaselineCostPerSec:  out.BaselineCosts[i],
+			CostPerSec:          out.Costs[i],
+			SavingPerSec:        saving,
+			BorrowVMs:           out.Metrics[i].BorrowRate,
+			LendVMs:             out.Metrics[i].LendRate,
+			Utilization:         out.Metrics[i].Utilization,
+			BaselineUtilization: out.BaselineUtils[i],
+			Utility:             out.Utilities[i],
+		})
+	}
+	return adv, nil
+}
+
+// Sensitivity reports, for each SC at the given outcome, the utility of
+// deviating by one VM in either direction — a quick robustness check an
+// operator can read before committing (a tight margin means the
+// equilibrium hinges on fine-grained estimates).
+func (f *Framework) Sensitivity(out *market.Outcome) ([][2]float64, error) {
+	k := len(f.cfg.Federation.SCs)
+	res := make([][2]float64, k)
+	for i := 0; i < k; i++ {
+		for d := 0; d < 2; d++ {
+			s := out.Shares[i] - 1
+			if d == 1 {
+				s = out.Shares[i] + 1
+			}
+			if s < 0 || s > f.cfg.Federation.SCs[i].VMs {
+				res[i][d] = math.Inf(-1)
+				continue
+			}
+			trial := append([]int(nil), out.Shares...)
+			trial[i] = s
+			m, err := f.eval.Evaluate(trial, i)
+			if err != nil {
+				return nil, fmt.Errorf("core: sensitivity of SC %d: %w", i, err)
+			}
+			cost := m.NetCost(f.cfg.Federation.SCs[i].PublicPrice, f.cfg.Federation.FederationPrice)
+			u, err := market.Utility(out.BaselineCosts[i], cost, out.BaselineUtils[i], m.Utilization, f.cfg.Gamma)
+			if err != nil {
+				return nil, err
+			}
+			res[i][d] = u
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"scshare/internal/market"
+)
+
+func TestAdviseSummarizesEquilibrium(t *testing.T) {
+	f, err := New(Config{Federation: tinyFed(), Model: ModelFluid, Gamma: market.UF0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	adv, err := f.Advise(nil, market.AlphaUtilitarian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !adv.Converged {
+		t.Fatal("no equilibrium")
+	}
+	if adv.PriceRatio != 0.3 {
+		t.Errorf("price ratio %v", adv.PriceRatio)
+	}
+	if len(adv.SCs) != 2 {
+		t.Fatalf("%d SC entries", len(adv.SCs))
+	}
+	for _, sc := range adv.SCs {
+		if sc.SavingPerSec != sc.BaselineCostPerSec-sc.CostPerSec {
+			t.Errorf("%s: saving %v inconsistent", sc.Name, sc.SavingPerSec)
+		}
+		if sc.Join && sc.Share == 0 {
+			t.Errorf("%s: joined without sharing", sc.Name)
+		}
+	}
+	// The advice is the JSON artifact the CLI emits.
+	data, err := json.Marshal(adv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"savingPerSec"`) {
+		t.Errorf("JSON missing fields: %s", data)
+	}
+}
+
+func TestSensitivityMargins(t *testing.T) {
+	f, err := New(Config{Federation: tinyFed(), Model: ModelFluid, Gamma: market.UF0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := f.Equilibrium(nil, market.AlphaUtilitarian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sens, err := f.Sensitivity(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sens) != 2 {
+		t.Fatalf("%d entries", len(sens))
+	}
+	// At an equilibrium, neighboring deviations cannot beat the utility.
+	for i, pair := range sens {
+		for _, u := range pair {
+			if math.IsInf(u, -1) {
+				continue // deviation outside the strategy space
+			}
+			if u > out.Utilities[i]+1e-9 {
+				t.Errorf("SC %d: neighbor utility %v beats equilibrium %v", i, u, out.Utilities[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,239 @@
+// Package core assembles SC-Share, the paper's headline framework (Fig. 2):
+// a performance model that turns sharing decisions into per-SC cost and
+// utilization estimates, coupled in a feedback loop with the market-based
+// game that turns those estimates into new sharing decisions, iterated to a
+// market equilibrium. Pricing guidance comes from sweeping the federation
+// price ratio C^G/C^P and scoring each equilibrium's alpha-fair welfare
+// against the empirical market-efficient allocation (Sect. V-B / Fig. 7).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"scshare/internal/approx"
+	"scshare/internal/cloud"
+	"scshare/internal/fluid"
+	"scshare/internal/market"
+	"scshare/internal/queueing"
+)
+
+// ModelKind selects the performance model backing the framework.
+type ModelKind int
+
+const (
+	// ModelApprox is the hierarchical approximate model (the paper's
+	// choice for market experiments).
+	ModelApprox ModelKind = iota + 1
+	// ModelExact is the detailed CTMC; feasible only for tiny federations.
+	ModelExact
+	// ModelSim estimates metrics by discrete-event simulation.
+	ModelSim
+	// ModelFluid is the fast fixed-point mean-field model; coarse, but
+	// cheap enough for large federations and wide strategy spaces.
+	ModelFluid
+)
+
+// Config parameterizes the framework.
+type Config struct {
+	Federation cloud.Federation
+	// Model picks the performance model (default ModelApprox).
+	Model ModelKind
+	// Gamma is the Eq. (2) utility exponent shared by the SCs.
+	Gamma float64
+	// TabuDistance and MaxRounds tune the repeated game.
+	TabuDistance int
+	MaxRounds    int
+	// MaxShares optionally caps each SC's strategy space (default: all
+	// VMs). Smaller caps speed up sweeps considerably.
+	MaxShares []int
+	// Approx tunes the approximate model (queue caps, pruning, passes).
+	Approx approx.Config
+	// SimHorizon, SimWarmup and SimSeed configure ModelSim.
+	SimHorizon, SimWarmup float64
+	SimSeed               int64
+	// AllowFreeRiding lets SCs with S_i = 0 keep borrowing from the
+	// federation. The default (false) follows the paper: participation
+	// requires contributing VMs, so a zero share means standing alone.
+	AllowFreeRiding bool
+}
+
+// Framework is a configured SC-Share instance.
+type Framework struct {
+	cfg  Config
+	eval market.Evaluator
+}
+
+// Baseline describes one SC outside the federation.
+type Baseline struct {
+	Cost        float64
+	Utilization float64
+	ForwardProb float64
+}
+
+// New validates the configuration and prepares the (memoized) performance
+// evaluator.
+func New(cfg Config) (*Framework, error) {
+	if err := cfg.Federation.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	if cfg.Gamma < 0 || cfg.Gamma > 1 {
+		return nil, market.ErrBadGamma
+	}
+	f := &Framework{cfg: cfg}
+	var mkEval func(fed cloud.Federation) market.Evaluator
+	switch cfg.Model {
+	case ModelApprox, 0:
+		mkEval = func(fed cloud.Federation) market.Evaluator {
+			return market.ApproxEvaluator(fed, cfg.Approx)
+		}
+	case ModelExact:
+		mkEval = func(fed cloud.Federation) market.Evaluator {
+			return market.ExactEvaluator(fed, nil)
+		}
+	case ModelSim:
+		horizon, warmup := cfg.SimHorizon, cfg.SimWarmup
+		if horizon <= 0 {
+			horizon = 20000
+		}
+		if warmup <= 0 {
+			warmup = horizon / 20
+		}
+		mkEval = func(fed cloud.Federation) market.Evaluator {
+			return market.SimEvaluator(fed, horizon, warmup, cfg.SimSeed)
+		}
+	case ModelFluid:
+		mkEval = func(fed cloud.Federation) market.Evaluator {
+			return market.EvaluatorFunc(fluid.Evaluate(fed, fluid.Options{}))
+		}
+	default:
+		return nil, errors.New("core: unknown performance model kind")
+	}
+	if cfg.AllowFreeRiding {
+		f.eval = market.Memoize(mkEval(cfg.Federation))
+	} else {
+		f.eval = market.Memoize(market.WithParticipation(cfg.Federation, mkEval))
+	}
+	return f, nil
+}
+
+// Evaluator exposes the framework's memoized performance evaluator.
+func (f *Framework) Evaluator() market.Evaluator { return f.eval }
+
+// Baselines solves the Sect. III-A no-sharing model for every SC.
+func (f *Framework) Baselines() ([]Baseline, error) {
+	out := make([]Baseline, len(f.cfg.Federation.SCs))
+	for i, sc := range f.cfg.Federation.SCs {
+		m, err := queueing.Solve(sc)
+		if err != nil {
+			return nil, fmt.Errorf("core: baseline for SC %d: %w", i, err)
+		}
+		out[i] = Baseline{
+			Cost:        m.BaselineCost(),
+			Utilization: m.Metrics().Utilization,
+			ForwardProb: m.Metrics().ForwardProb,
+		}
+	}
+	return out, nil
+}
+
+// game instantiates the repeated game on the current federation price.
+func (f *Framework) game(fed cloud.Federation) *market.Game {
+	return &market.Game{
+		Federation:   fed,
+		Evaluator:    f.eval,
+		Gamma:        f.cfg.Gamma,
+		TabuDistance: f.cfg.TabuDistance,
+		MaxRounds:    f.cfg.MaxRounds,
+		MaxShares:    f.cfg.MaxShares,
+	}
+}
+
+// Equilibrium runs the Fig. 2 feedback loop to a market equilibrium,
+// starting from each of the given initial share vectors and keeping the
+// outcome with the best alpha-fair welfare.
+func (f *Framework) Equilibrium(initials [][]int, alpha float64) (*market.Outcome, error) {
+	return f.game(f.cfg.Federation).RunMultiStart(initials, alpha)
+}
+
+// SweepPoint is one federation price setting of a price sweep.
+type SweepPoint struct {
+	// Ratio is C^G / C^P (using the minimum public price across SCs).
+	Ratio float64
+	// Price is the resulting federation price C^G.
+	Price float64
+	// Shares and Utilities describe the selected equilibrium.
+	Shares    []int
+	Utilities []float64
+	// Welfare and Efficiency report, per requested alpha, the equilibrium
+	// welfare and its ratio to the empirical market-efficient welfare.
+	Welfare    []float64
+	Efficiency []float64
+	// Rounds is the number of game rounds to equilibrium.
+	Rounds int
+}
+
+// SweepPrices reproduces the Fig. 7 experiments: for every ratio C^G/C^P it
+// finds a market equilibrium and scores its welfare against the empirical
+// market-efficient value for each alpha. Performance-model evaluations are
+// shared across the whole sweep because metrics do not depend on prices.
+func (f *Framework) SweepPrices(ratios, alphas []float64, initials [][]int) ([]SweepPoint, error) {
+	if len(ratios) == 0 || len(alphas) == 0 {
+		return nil, errors.New("core: sweep needs at least one ratio and one alpha")
+	}
+	minPublic := math.Inf(1)
+	for _, sc := range f.cfg.Federation.SCs {
+		if sc.PublicPrice < minPublic {
+			minPublic = sc.PublicPrice
+		}
+	}
+	out := make([]SweepPoint, 0, len(ratios))
+	for _, r := range ratios {
+		fed := f.cfg.Federation
+		fed.FederationPrice = r * minPublic
+		pt := SweepPoint{Ratio: r, Price: fed.FederationPrice}
+
+		g := f.game(fed)
+		outc, err := g.RunMultiStart(initials, alphas[0])
+		if err != nil {
+			if !errors.Is(err, market.ErrNoEquilibrium) {
+				return nil, fmt.Errorf("core: sweep at ratio %v: %w", r, err)
+			}
+			// A non-converging price point is reported as a dead market.
+			pt.Efficiency = make([]float64, len(alphas))
+			pt.Welfare = make([]float64, len(alphas))
+			for i := range pt.Welfare {
+				pt.Welfare[i] = math.Inf(-1)
+			}
+			out = append(out, pt)
+			continue
+		}
+		pt.Shares = outc.Shares
+		pt.Utilities = outc.Utilities
+		pt.Rounds = outc.Rounds
+		totalShared := 0
+		for _, s := range outc.Shares {
+			totalShared += s
+		}
+
+		we, err := market.NewWelfareEvaluator(fed, f.eval, f.cfg.Gamma)
+		if err != nil {
+			return nil, err
+		}
+		for _, alpha := range alphas {
+			w, err := market.Welfare(alpha, outc.Shares, outc.Utilities)
+			if err != nil {
+				return nil, err
+			}
+			_, best, err := we.MaximizeWelfare(alpha, f.cfg.MaxShares, nil)
+			if err != nil {
+				return nil, err
+			}
+			pt.Welfare = append(pt.Welfare, w)
+			pt.Efficiency = append(pt.Efficiency, market.Efficiency(w, best, float64(totalShared)))
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

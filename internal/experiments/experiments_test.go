@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"scshare/internal/core"
+)
+
+func TestFig5ShapesMatchPaper(t *testing.T) {
+	figs, err := Fig5(Fig5Options{
+		Utilizations: []float64{0.5, 0.7, 0.9},
+		SimHorizon:   5000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 2 {
+		t.Fatalf("got %d figures", len(figs))
+	}
+	small, large := figs[0], figs[1]
+	// Model series: monotone in utilization, lower for larger Q, and the
+	// big cloud forwards less at equal utilization.
+	modelQ02 := small.Series[0]
+	for i := 1; i < len(modelQ02.Y); i++ {
+		if modelQ02.Y[i] < modelQ02.Y[i-1] {
+			t.Errorf("fig5a model not monotone: %v", modelQ02.Y)
+		}
+	}
+	modelQ05 := small.Series[2]
+	for i := range modelQ02.Y {
+		if modelQ05.Y[i] > modelQ02.Y[i]+1e-12 {
+			t.Errorf("larger SLA forwards more at %v", modelQ02.X[i])
+		}
+	}
+	largeQ02 := large.Series[0]
+	for i := range modelQ02.Y {
+		if largeQ02.Y[i] > modelQ02.Y[i]+1e-12 {
+			t.Errorf("100-VM cloud forwards more than 10-VM at %v", modelQ02.X[i])
+		}
+	}
+	// Simulation tracks the model.
+	simQ02 := small.Series[1]
+	if !strings.HasPrefix(simQ02.Name, "sim") {
+		t.Fatalf("unexpected series order: %v", small.Series[1].Name)
+	}
+	for i := range simQ02.Y {
+		if math.Abs(simQ02.Y[i]-modelQ02.Y[i]) > 0.05 {
+			t.Errorf("sim %v vs model %v at util %v", simQ02.Y[i], modelQ02.Y[i], simQ02.X[i])
+		}
+	}
+}
+
+func TestFig6TwoSCBand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	figs, err := Fig6TwoSC(Fig6TwoSCOptions{
+		TargetShares:  []int{1},
+		TargetLambdas: []float64{5, 7},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fig := figs[0]
+	bySeries := map[string]Series{}
+	for _, s := range fig.Series {
+		bySeries[s.Name] = s
+	}
+	exactLend, approxLend := bySeries["exact I-bar"], bySeries["approx I-bar"]
+	for i := range exactLend.Y {
+		if exactLend.Y[i] == 0 {
+			continue
+		}
+		rel := math.Abs(approxLend.Y[i]-exactLend.Y[i]) / exactLend.Y[i]
+		if rel > 0.15 {
+			t.Errorf("I-bar error %.0f%% at util %v (paper band: ~10%%)",
+				100*rel, exactLend.X[i])
+		}
+	}
+}
+
+func TestFig7FluidShapes(t *testing.T) {
+	fig, err := Fig7(Fig7Options{
+		Scenario: PaperFig7Scenarios()[0], // 7a: heterogeneous loads, UF0
+		Model:    core.ModelFluid,
+		Ratios:   []float64{0.2, 0.5, 0.8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Series) != 4 {
+		t.Fatalf("series: %d", len(fig.Series))
+	}
+	util := fig.Series[0]
+	// Paper: utilitarian efficiency rises with the ratio in the low range
+	// and only collapses when the ratio nears 1.
+	if util.Y[1] < util.Y[0] {
+		t.Errorf("utilitarian efficiency falling in the low range: %v", util.Y)
+	}
+	if util.Y[2] < 0.5*util.Y[1] {
+		t.Errorf("utilitarian efficiency collapsed before ratio 1: %v", util.Y)
+	}
+	for _, s := range fig.Series[:3] {
+		for i, e := range s.Y {
+			if e < 0 || e > 1 {
+				t.Errorf("%s efficiency %v at ratio %v", s.Name, e, s.X[i])
+			}
+		}
+	}
+}
+
+func TestFig8aCostGrowth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	fig, err := Fig8a(Fig8aOptions{Ks: []int{2, 3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	states := fig.Series[1]
+	detailed := fig.Series[2]
+	for i := 1; i < len(states.Y); i++ {
+		if states.Y[i] <= states.Y[i-1] {
+			t.Errorf("approx states not growing: %v", states.Y)
+		}
+	}
+	// The detailed model's state space must dwarf the hierarchy's.
+	last := len(states.Y) - 1
+	if detailed.Y[last] < 100*states.Y[last] {
+		t.Errorf("detailed %v vs approx %v states: expected orders of magnitude",
+			detailed.Y[last], states.Y[last])
+	}
+}
+
+func TestFig8bRoundsShape(t *testing.T) {
+	fig, err := Fig8b(Fig8bOptions{Ks: []int{2, 4, 6}, TabuDistances: []int{1, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: iterations do not explode with K (they tend to decrease) and
+	// every game converged within the round budget.
+	for _, s := range fig.Series[:2] {
+		for i, r := range s.Y {
+			if r <= 0 || r >= 100 {
+				t.Errorf("%s: rounds %v at K=%v", s.Name, r, s.X[i])
+			}
+		}
+	}
+}
+
+func TestFigureFormatting(t *testing.T) {
+	fig := Figure{
+		ID: "figX", Title: "demo", XLabel: "x", YLabel: "y",
+		Series: []Series{{Name: "a", X: []float64{1, 2}, Y: []float64{3, 4}}},
+	}
+	txt := fig.String()
+	if !strings.Contains(txt, "figX") || !strings.Contains(txt, "demo") {
+		t.Errorf("table:\n%s", txt)
+	}
+	var b strings.Builder
+	if err := fig.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	csv := b.String()
+	if !strings.Contains(csv, "figX,a,1,3") {
+		t.Errorf("csv:\n%s", csv)
+	}
+}
+
+func TestSeq(t *testing.T) {
+	got := seq(0.1, 0.3, 0.1)
+	if len(got) != 3 || math.Abs(got[2]-0.3) > 1e-9 {
+		t.Errorf("seq = %v", got)
+	}
+}

@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"fmt"
+
+	"scshare/internal/cloud"
+	"scshare/internal/queueing"
+	"scshare/internal/sim"
+)
+
+// Fig5Options parameterizes the forwarding-probability validation.
+type Fig5Options struct {
+	// Sizes are the cloud sizes compared (paper: 10 and 100 VMs).
+	Sizes []int
+	// SLAs are the QoS bounds compared (paper: 0.2 and 0.5).
+	SLAs []float64
+	// Utilizations is the offered-load grid (paper sweeps the arrival
+	// rate; utilization is lambda/(N mu)).
+	Utilizations []float64
+	// SimHorizon > 0 adds simulation series next to the model estimates.
+	SimHorizon float64
+	SimSeed    int64
+}
+
+func (o *Fig5Options) defaults() {
+	if o.Sizes == nil {
+		o.Sizes = []int{10, 100}
+	}
+	if o.SLAs == nil {
+		o.SLAs = []float64{0.2, 0.5}
+	}
+	if o.Utilizations == nil {
+		o.Utilizations = seq(0.3, 0.95, 0.05)
+	}
+}
+
+// Fig5 reproduces Fig. 5: the estimated (and simulated) probability of
+// forwarding a request to the public cloud versus system utilization, for
+// each cloud size and SLA. One figure is returned per cloud size (5a, 5b).
+func Fig5(opts Fig5Options) ([]Figure, error) {
+	opts.defaults()
+	var figs []Figure
+	for fi, n := range opts.Sizes {
+		fig := Figure{
+			ID:     fmt.Sprintf("fig5%c", 'a'+fi),
+			Title:  fmt.Sprintf("Forwarding probability, %d VMs", n),
+			XLabel: "utilization",
+			YLabel: "P(forward)",
+		}
+		for _, sla := range opts.SLAs {
+			model := Series{Name: fmt.Sprintf("model Q=%.1f", sla)}
+			simulated := Series{Name: fmt.Sprintf("sim Q=%.1f", sla)}
+			for _, u := range opts.Utilizations {
+				sc := cloud.SC{
+					Name:        fmt.Sprintf("sc-%d", n),
+					VMs:         n,
+					ArrivalRate: u * float64(n),
+					ServiceRate: 1,
+					SLA:         sla,
+					PublicPrice: 1,
+				}
+				m, err := queueing.Solve(sc)
+				if err != nil {
+					return nil, fmt.Errorf("fig5: %w", err)
+				}
+				model.X = append(model.X, u)
+				model.Y = append(model.Y, m.Metrics().ForwardProb)
+				if opts.SimHorizon > 0 {
+					res, err := sim.Run(sim.Config{
+						Federation: cloud.Federation{SCs: []cloud.SC{sc}},
+						Shares:     []int{0},
+						Horizon:    opts.SimHorizon,
+						Warmup:     opts.SimHorizon / 20,
+						Seed:       opts.SimSeed,
+					})
+					if err != nil {
+						return nil, fmt.Errorf("fig5: %w", err)
+					}
+					simulated.X = append(simulated.X, u)
+					simulated.Y = append(simulated.Y, res.Metrics[0].ForwardProb)
+				}
+			}
+			fig.Series = append(fig.Series, model)
+			if opts.SimHorizon > 0 {
+				fig.Series = append(fig.Series, simulated)
+			}
+		}
+		figs = append(figs, fig)
+	}
+	return figs, nil
+}

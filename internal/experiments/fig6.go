@@ -1,0 +1,307 @@
+package experiments
+
+import (
+	"fmt"
+
+	"scshare/internal/approx"
+	"scshare/internal/cloud"
+	"scshare/internal/exact"
+	"scshare/internal/sim"
+)
+
+// Fig6TwoSCOptions parameterizes the 2-SC accuracy validation (Figs. 6a,
+// 6b): one fixed peer and a target SC whose load is swept.
+type Fig6TwoSCOptions struct {
+	// VMs per SC (paper: 10), peer arrival rate (paper: 7) and peer share
+	// (paper: 5).
+	VMs        int
+	PeerLambda float64
+	PeerShare  int
+	// TargetShares yields one figure per value (paper: 1 and 9).
+	TargetShares []int
+	// TargetLambdas is the swept load of the target SC.
+	TargetLambdas []float64
+	// SLA is the QoS bound (paper: 0.2).
+	SLA float64
+	// Approx tunes the approximate model.
+	Approx approx.Config
+}
+
+func (o *Fig6TwoSCOptions) defaults() {
+	if o.VMs == 0 {
+		o.VMs = 10
+	}
+	if o.PeerLambda == 0 {
+		o.PeerLambda = 7
+	}
+	if o.PeerShare == 0 {
+		o.PeerShare = 5
+	}
+	if o.TargetShares == nil {
+		o.TargetShares = []int{1, 9}
+	}
+	if o.TargetLambdas == nil {
+		o.TargetLambdas = []float64{3, 4, 5, 6, 7, 8, 9}
+	}
+	if o.SLA == 0 {
+		o.SLA = 0.2
+	}
+}
+
+// Fig6TwoSC reproduces Figs. 6a/6b: the target SC's lend rate I-bar and
+// borrow rate O-bar under the approximate model versus the exact detailed
+// CTMC, as the target's utilization grows.
+func Fig6TwoSC(opts Fig6TwoSCOptions) ([]Figure, error) {
+	opts.defaults()
+	var figs []Figure
+	for fi, share := range opts.TargetShares {
+		fig := Figure{
+			ID:     fmt.Sprintf("fig6%c", 'a'+fi),
+			Title:  fmt.Sprintf("2 SCs, target shares %d VMs (peer: lambda=%.3g, S=%d)", share, opts.PeerLambda, opts.PeerShare),
+			XLabel: "target utilization",
+			YLabel: "VMs",
+		}
+		series := map[string]*Series{
+			"exact I-bar":   {Name: "exact I-bar"},
+			"approx I-bar":  {Name: "approx I-bar"},
+			"exact O-bar":   {Name: "exact O-bar"},
+			"approx O-bar":  {Name: "approx O-bar"},
+			"exact P-bar":   {Name: "exact P-bar"},
+			"approx P-bar":  {Name: "approx P-bar"},
+		}
+		for _, lambda := range opts.TargetLambdas {
+			fed := cloud.Federation{
+				SCs: []cloud.SC{
+					{Name: "peer", VMs: opts.VMs, ArrivalRate: opts.PeerLambda, ServiceRate: 1, SLA: opts.SLA, PublicPrice: 1},
+					{Name: "target", VMs: opts.VMs, ArrivalRate: lambda, ServiceRate: 1, SLA: opts.SLA, PublicPrice: 1},
+				},
+			}
+			shares := []int{opts.PeerShare, share}
+			em, err := exact.Solve(exact.Config{Federation: fed, Shares: shares})
+			if err != nil {
+				return nil, fmt.Errorf("fig6 2sc: %w", err)
+			}
+			acfg := opts.Approx
+			acfg.Federation = fed
+			acfg.Shares = shares
+			acfg.Target = 1
+			am, err := approx.Solve(acfg)
+			if err != nil {
+				return nil, fmt.Errorf("fig6 2sc: %w", err)
+			}
+			x := em.Metrics(1).Utilization
+			addPoint(series, "exact I-bar", x, em.Metrics(1).LendRate)
+			addPoint(series, "exact O-bar", x, em.Metrics(1).BorrowRate)
+			addPoint(series, "exact P-bar", x, em.Metrics(1).PublicRate)
+			addPoint(series, "approx I-bar", x, am.Metrics().LendRate)
+			addPoint(series, "approx O-bar", x, am.Metrics().BorrowRate)
+			addPoint(series, "approx P-bar", x, am.Metrics().PublicRate)
+		}
+		for _, name := range []string{"exact I-bar", "approx I-bar", "exact O-bar", "approx O-bar", "exact P-bar", "approx P-bar"} {
+			fig.Series = append(fig.Series, *series[name])
+		}
+		figs = append(figs, fig)
+	}
+	return figs, nil
+}
+
+func addPoint(m map[string]*Series, name string, x, y float64) {
+	s := m[name]
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Fig6TenSCOptions parameterizes the 10-SC validation (Figs. 6c, 6d),
+// where the exact reference is the discrete-event simulator.
+type Fig6TenSCOptions struct {
+	// PeerShares and PeerLambdas fix the nine background SCs
+	// (paper: shares 3,3,3,2,2,2,1,1,1 and lambdas 7,7,7,8,8,8,9,9,9).
+	PeerShares  []int
+	PeerLambdas []float64
+	// TargetShares yields one figure per value (paper: 1 and 5).
+	TargetShares []int
+	// TargetLambdas is the swept target load.
+	TargetLambdas []float64
+	VMs           int
+	SLA           float64
+	SimHorizon    float64
+	SimSeed       int64
+	// Approx tunes the approximate model.
+	Approx approx.Config
+}
+
+func (o *Fig6TenSCOptions) defaults() {
+	if o.PeerShares == nil {
+		o.PeerShares = []int{3, 3, 3, 2, 2, 2, 1, 1, 1}
+	}
+	if o.PeerLambdas == nil {
+		o.PeerLambdas = []float64{7, 7, 7, 8, 8, 8, 9, 9, 9}
+	}
+	if o.TargetShares == nil {
+		o.TargetShares = []int{1, 5}
+	}
+	if o.TargetLambdas == nil {
+		o.TargetLambdas = []float64{5, 7, 9}
+	}
+	if o.VMs == 0 {
+		o.VMs = 10
+	}
+	if o.SLA == 0 {
+		o.SLA = 0.2
+	}
+	if o.SimHorizon == 0 {
+		o.SimHorizon = 50000
+	}
+}
+
+// Fig6TenSC reproduces Figs. 6c/6d on the federation of ten SCs.
+func Fig6TenSC(opts Fig6TenSCOptions) ([]Figure, error) {
+	opts.defaults()
+	var figs []Figure
+	for fi, share := range opts.TargetShares {
+		fig := Figure{
+			ID:     fmt.Sprintf("fig6%c", 'c'+fi),
+			Title:  fmt.Sprintf("10 SCs, target shares %d VMs", share),
+			XLabel: "target utilization",
+			YLabel: "VMs",
+		}
+		series := map[string]*Series{
+			"sim I-bar":    {Name: "sim I-bar"},
+			"approx I-bar": {Name: "approx I-bar"},
+			"sim O-bar":    {Name: "sim O-bar"},
+			"approx O-bar": {Name: "approx O-bar"},
+		}
+		for _, lambda := range opts.TargetLambdas {
+			fed := cloud.Federation{}
+			shares := make([]int, 0, len(opts.PeerShares)+1)
+			for i, ps := range opts.PeerShares {
+				fed.SCs = append(fed.SCs, cloud.SC{
+					Name: fmt.Sprintf("peer%d", i), VMs: opts.VMs,
+					ArrivalRate: opts.PeerLambdas[i], ServiceRate: 1, SLA: opts.SLA, PublicPrice: 1,
+				})
+				shares = append(shares, ps)
+			}
+			fed.SCs = append(fed.SCs, cloud.SC{
+				Name: "target", VMs: opts.VMs, ArrivalRate: lambda, ServiceRate: 1, SLA: opts.SLA, PublicPrice: 1,
+			})
+			shares = append(shares, share)
+			target := len(fed.SCs) - 1
+
+			res, err := sim.Run(sim.Config{
+				Federation: fed, Shares: shares,
+				Horizon: opts.SimHorizon, Warmup: opts.SimHorizon / 20, Seed: opts.SimSeed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig6 10sc: %w", err)
+			}
+			acfg := opts.Approx
+			acfg.Federation = fed
+			acfg.Shares = shares
+			acfg.Target = target
+			am, err := approx.Solve(acfg)
+			if err != nil {
+				return nil, fmt.Errorf("fig6 10sc: %w", err)
+			}
+			x := res.Metrics[target].Utilization
+			addPoint(series, "sim I-bar", x, res.Metrics[target].LendRate)
+			addPoint(series, "sim O-bar", x, res.Metrics[target].BorrowRate)
+			addPoint(series, "approx I-bar", x, am.Metrics().LendRate)
+			addPoint(series, "approx O-bar", x, am.Metrics().BorrowRate)
+		}
+		for _, name := range []string{"sim I-bar", "approx I-bar", "sim O-bar", "approx O-bar"} {
+			fig.Series = append(fig.Series, *series[name])
+		}
+		figs = append(figs, fig)
+	}
+	return figs, nil
+}
+
+// Fig6LargeOptions parameterizes the 100-VM validation (Figs. 6e, 6f).
+type Fig6LargeOptions struct {
+	VMs   int
+	Share int
+	// PeerUtils yields one figure per value (paper: 0.8 and 0.9).
+	PeerUtils []float64
+	// TargetUtils is the swept target utilization.
+	TargetUtils []float64
+	SLA         float64
+	SimHorizon  float64
+	SimSeed     int64
+	// Approx tunes the approximate model.
+	Approx approx.Config
+}
+
+func (o *Fig6LargeOptions) defaults() {
+	if o.VMs == 0 {
+		o.VMs = 100
+	}
+	if o.Share == 0 {
+		o.Share = 10
+	}
+	if o.PeerUtils == nil {
+		o.PeerUtils = []float64{0.8, 0.9}
+	}
+	if o.TargetUtils == nil {
+		o.TargetUtils = []float64{0.5, 0.7, 0.85}
+	}
+	if o.SLA == 0 {
+		o.SLA = 0.2
+	}
+	if o.SimHorizon == 0 {
+		o.SimHorizon = 20000
+	}
+}
+
+// Fig6Large reproduces Figs. 6e/6f: two 100-VM SCs each sharing 10 VMs,
+// with the simulator as the exact reference.
+func Fig6Large(opts Fig6LargeOptions) ([]Figure, error) {
+	opts.defaults()
+	var figs []Figure
+	for fi, peerUtil := range opts.PeerUtils {
+		fig := Figure{
+			ID:     fmt.Sprintf("fig6%c", 'e'+fi),
+			Title:  fmt.Sprintf("2 SCs with %d VMs, peer utilization %.2f", opts.VMs, peerUtil),
+			XLabel: "target utilization",
+			YLabel: "VMs",
+		}
+		series := map[string]*Series{
+			"sim I-bar":    {Name: "sim I-bar"},
+			"approx I-bar": {Name: "approx I-bar"},
+			"sim O-bar":    {Name: "sim O-bar"},
+			"approx O-bar": {Name: "approx O-bar"},
+		}
+		for _, u := range opts.TargetUtils {
+			fed := cloud.Federation{
+				SCs: []cloud.SC{
+					{Name: "peer", VMs: opts.VMs, ArrivalRate: peerUtil * float64(opts.VMs), ServiceRate: 1, SLA: opts.SLA, PublicPrice: 1},
+					{Name: "target", VMs: opts.VMs, ArrivalRate: u * float64(opts.VMs), ServiceRate: 1, SLA: opts.SLA, PublicPrice: 1},
+				},
+			}
+			shares := []int{opts.Share, opts.Share}
+			res, err := sim.Run(sim.Config{
+				Federation: fed, Shares: shares,
+				Horizon: opts.SimHorizon, Warmup: opts.SimHorizon / 20, Seed: opts.SimSeed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig6 large: %w", err)
+			}
+			acfg := opts.Approx
+			acfg.Federation = fed
+			acfg.Shares = shares
+			acfg.Target = 1
+			am, err := approx.Solve(acfg)
+			if err != nil {
+				return nil, fmt.Errorf("fig6 large: %w", err)
+			}
+			addPoint(series, "sim I-bar", u, res.Metrics[1].LendRate)
+			addPoint(series, "sim O-bar", u, res.Metrics[1].BorrowRate)
+			addPoint(series, "approx I-bar", u, am.Metrics().LendRate)
+			addPoint(series, "approx O-bar", u, am.Metrics().BorrowRate)
+		}
+		for _, name := range []string{"sim I-bar", "approx I-bar", "sim O-bar", "approx O-bar"} {
+			fig.Series = append(fig.Series, *series[name])
+		}
+		figs = append(figs, fig)
+	}
+	return figs, nil
+}

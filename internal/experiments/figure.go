@@ -1,0 +1,93 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Sect. V): Fig. 5 (forwarding-probability validation), Fig. 6
+// (approximate vs exact federation metrics for 2-SC, 10-SC, and 100-VM
+// scenarios), Fig. 7 (market efficiency vs the federation price ratio in
+// 3-SC scenarios), and Fig. 8 (computation cost of the performance model
+// and of the game). Each generator returns Figure values that the CLI and
+// the benchmark harness print as the same series the paper plots.
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Series is one curve of a figure.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Figure is one reproducible plot: an identifier matching the paper, axis
+// labels, and its series.
+type Figure struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// WriteCSV emits the figure in long form (series,x,y).
+func (f Figure) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"figure", "series", f.XLabel, f.YLabel}); err != nil {
+		return err
+	}
+	for _, s := range f.Series {
+		for i := range s.X {
+			rec := []string{
+				f.ID,
+				s.Name,
+				strconv.FormatFloat(s.X[i], 'g', 8, 64),
+				strconv.FormatFloat(s.Y[i], 'g', 8, 64),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// String renders the figure as an aligned text table, one row per X value
+// and one column per series (series are assumed to share their X grid,
+// which every generator in this package guarantees).
+func (f Figure) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", f.ID, f.Title)
+	if len(f.Series) == 0 {
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-12s", f.XLabel)
+	for _, s := range f.Series {
+		fmt.Fprintf(&b, " %18s", s.Name)
+	}
+	b.WriteByte('\n')
+	for i := range f.Series[0].X {
+		fmt.Fprintf(&b, "%-12.4g", f.Series[0].X[i])
+		for _, s := range f.Series {
+			if i < len(s.Y) {
+				fmt.Fprintf(&b, " %18.6g", s.Y[i])
+			} else {
+				fmt.Fprintf(&b, " %18s", "-")
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// seq returns an inclusive arithmetic grid.
+func seq(from, to, step float64) []float64 {
+	var out []float64
+	for x := from; x <= to+1e-9; x += step {
+		out = append(out, x)
+	}
+	return out
+}

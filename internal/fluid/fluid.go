@@ -1,0 +1,193 @@
+// Package fluid implements a coarse fixed-point (mean-field) model of the
+// SC federation. It is not part of the paper; it exists as (a) a fast
+// evaluator for large market experiments where the hierarchical model of
+// Sect. III-C is too expensive (e.g. the Fig. 8b game-cost sweeps over
+// 100-VM federations), and (b) an ablation baseline quantifying what the
+// paper's detailed interaction modeling buys (see DESIGN.md).
+//
+// The model iterates a damped fixed point over two coupled vectors: the
+// Erlangs each SC borrows from the pool and the Erlangs each SC lends into
+// it. Overflow demand comes from the Sect. III-A no-sharing model with the
+// lent load folded into the arrival stream (so the zero-sharing federation
+// reproduces the standalone baseline exactly), supply is each SC's idle
+// capacity clipped by its share budget, and the pool is split
+// proportionally to demand.
+package fluid
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"scshare/internal/cloud"
+	"scshare/internal/numeric"
+	"scshare/internal/queueing"
+)
+
+// ErrNoConvergence is returned when the fixed point fails to settle.
+var ErrNoConvergence = errors.New("fluid: fixed point did not converge")
+
+// Options tunes the fixed-point iteration.
+type Options struct {
+	// Damping in (0, 1]: fraction of the new iterate mixed in per step
+	// (default 0.5).
+	Damping float64
+	// Tol is the max-abs convergence threshold (default 1e-9).
+	Tol float64
+	// MaxIter bounds the iteration count (default 500).
+	MaxIter int
+}
+
+func (o *Options) defaults() {
+	if o.Damping <= 0 || o.Damping > 1 {
+		o.Damping = 0.5
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-9
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 500
+	}
+}
+
+// Solve runs the fixed point and returns per-SC metrics.
+func Solve(fed cloud.Federation, shares []int, opts Options) ([]cloud.Metrics, error) {
+	if err := fed.Validate(); err != nil {
+		return nil, fmt.Errorf("fluid: %w", err)
+	}
+	if err := fed.ValidateShares(shares); err != nil {
+		return nil, fmt.Errorf("fluid: %w", err)
+	}
+	opts.defaults()
+	k := len(fed.SCs)
+	borrow := make([]float64, k) // Erlangs SC i serves on foreign VMs
+	lend := make([]float64, k)   // Erlangs SC i's VMs serve for others
+	newBorrow := make([]float64, k)
+	newLend := make([]float64, k)
+	overflow := make([]float64, k)
+
+	// forwardProb caches the Sect. III-A solves per (SC, quantized lent
+	// load); the fixed point revisits nearly identical points constantly.
+	type fpKey struct {
+		sc   int
+		lend int64
+	}
+	fpCache := make(map[fpKey]float64)
+	forwardProb := func(i int, lent float64) (float64, error) {
+		key := fpKey{sc: i, lend: int64(math.Round(lent * 4096))}
+		if v, ok := fpCache[key]; ok {
+			return v, nil
+		}
+		sc := fed.SCs[i]
+		loaded := sc
+		loaded.ArrivalRate = sc.ArrivalRate + float64(key.lend)/4096*sc.ServiceRate
+		nm, err := queueing.Solve(loaded)
+		if err != nil {
+			return 0, err
+		}
+		v := nm.Metrics().ForwardProb
+		fpCache[key] = v
+		return v, nil
+	}
+
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		// Overflow demand and idle supply under the current allocation.
+		// Overflow uses the same SLA-driven no-sharing model as the
+		// baseline costs (Sect. III-A), with the lent load folded into the
+		// arrival stream, so that a federation of non-sharers reproduces
+		// the standalone model exactly.
+		totalDemand := 0.0
+		supply := make([]float64, k)
+		for i, sc := range fed.SCs {
+			own := sc.OfferedLoad()
+			offered := own + lend[i]
+			fp, err := forwardProb(i, lend[i])
+			if err != nil {
+				return nil, fmt.Errorf("fluid: %w", err)
+			}
+			overflow[i] = own * fp
+			totalDemand += overflow[i]
+			idle := float64(sc.VMs) - math.Min(offered, float64(sc.VMs))
+			supply[i] = math.Min(float64(shares[i]), idle)
+		}
+		totalSupply := numeric.Sum(supply)
+
+		// Split the pool: SC i draws on everyone's supply but its own, and
+		// competes with all overflow demand.
+		for i := range fed.SCs {
+			avail := totalSupply - supply[i]
+			if totalDemand <= 0 || avail <= 0 {
+				newBorrow[i] = 0
+				continue
+			}
+			frac := math.Min(1, avail/totalDemand)
+			newBorrow[i] = overflow[i] * frac
+		}
+		// Lending balances borrowing, attributed proportionally to supply.
+		totalBorrow := numeric.Sum(newBorrow)
+		for j := range fed.SCs {
+			if totalSupply-supply[j] <= 0 || totalSupply == 0 {
+				newLend[j] = 0
+				continue
+			}
+			// SC j supplies to everyone else; weight by its supply share
+			// of the pools it participates in (uniform approximation).
+			newLend[j] = totalBorrow * supply[j] / totalSupply
+		}
+		// Rebalance so conservation holds exactly.
+		if tl := numeric.Sum(newLend); tl > 0 && totalBorrow > 0 {
+			scale := totalBorrow / tl
+			for j := range newLend {
+				newLend[j] *= scale
+			}
+		}
+
+		delta := 0.0
+		for i := range fed.SCs {
+			nb := (1-opts.Damping)*borrow[i] + opts.Damping*newBorrow[i]
+			nl := (1-opts.Damping)*lend[i] + opts.Damping*newLend[i]
+			delta = math.Max(delta, math.Abs(nb-borrow[i]))
+			delta = math.Max(delta, math.Abs(nl-lend[i]))
+			borrow[i], lend[i] = nb, nl
+		}
+		if delta < opts.Tol {
+			return metricsOf(fed, overflow, borrow, lend), nil
+		}
+	}
+	return nil, ErrNoConvergence
+}
+
+func metricsOf(fed cloud.Federation, overflow, borrow, lend []float64) []cloud.Metrics {
+	out := make([]cloud.Metrics, len(fed.SCs))
+	for i, sc := range fed.SCs {
+		unserved := overflow[i] - borrow[i]
+		if unserved < 0 {
+			unserved = 0
+		}
+		publicRate := unserved * sc.ServiceRate // Erlangs back to req/s
+		ownServed := sc.OfferedLoad() - overflow[i]
+		if ownServed < 0 {
+			ownServed = 0
+		}
+		util := (ownServed + lend[i]) / float64(sc.VMs)
+		out[i] = cloud.Metrics{
+			PublicRate:  publicRate,
+			BorrowRate:  borrow[i],
+			LendRate:    lend[i],
+			Utilization: math.Min(util, 1),
+			ForwardProb: math.Min(publicRate/sc.ArrivalRate, 1),
+		}
+	}
+	return out
+}
+
+// Evaluate adapts Solve to the market evaluator signature.
+func Evaluate(fed cloud.Federation, opts Options) func(shares []int, target int) (cloud.Metrics, error) {
+	return func(shares []int, target int) (cloud.Metrics, error) {
+		ms, err := Solve(fed, shares, opts)
+		if err != nil {
+			return cloud.Metrics{}, err
+		}
+		return ms[target], nil
+	}
+}

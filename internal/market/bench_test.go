@@ -1,0 +1,26 @@
+package market
+
+import (
+	"testing"
+)
+
+func BenchmarkTabuSearch(b *testing.B) {
+	obj := func(x int) (float64, error) {
+		return -float64((x - 37) * (x - 37)), nil
+	}
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := tabuSearch(0, 100, 2, obj); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkWelfare(b *testing.B) {
+	shares := []int{3, 5, 2, 8, 1}
+	utils := []float64{0.4, 1.2, 0.1, 2.2, 0.8}
+	for i := 0; i < b.N; i++ {
+		if _, err := Welfare(AlphaProportional, shares, utils); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package market
+
+import (
+	"testing"
+)
+
+func TestRunWithFrozenKeepsStaleDecision(t *testing.T) {
+	fed := toyFederation(0.3)
+	g := &Game{Federation: fed, Evaluator: Memoize(newToyEvaluator(t, fed)), Gamma: UF0}
+	out, err := g.RunWithFrozen([]int{7, 1, 1}, map[int]bool{0: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Shares[0] != 7 {
+		t.Errorf("frozen SC moved: %v", out.Shares)
+	}
+	// The responsive players still reach a mutual best response.
+	free, err := g.Run([]int{7, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = free
+	// Sanity: a frozen game with no frozen SCs is the plain game.
+	plain, err := g.RunWithFrozen(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.Converged {
+		t.Error("plain game did not converge")
+	}
+}
+
+// The paper's Sect. VII claim: even a player with a stale decision can be
+// better off than standing alone, as long as its decision reduces cost.
+func TestFrozenPlayerStillBenefits(t *testing.T) {
+	fed := toyFederation(0.2)
+	g := &Game{Federation: fed, Evaluator: Memoize(newToyEvaluator(t, fed)), Gamma: UF0}
+	out, err := g.RunWithFrozen([]int{3, 1, 1}, map[int]bool{0: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Costs[0] > out.BaselineCosts[0]+1e-9 {
+		t.Errorf("frozen SC pays %v above its no-sharing baseline %v",
+			out.Costs[0], out.BaselineCosts[0])
+	}
+}
+
+func TestCoalitionDeviationAtEquilibrium(t *testing.T) {
+	fed := toyFederation(0.4)
+	g := &Game{Federation: fed, Evaluator: Memoize(newToyEvaluator(t, fed)), Gamma: UF0}
+	out, err := g.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Singleton coalitions can never profit at a Nash equilibrium.
+	for i := 0; i < 3; i++ {
+		improved, dev, err := g.CoalitionDeviation(out, []int{i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if improved {
+			t.Errorf("singleton %d profits by deviating to %v — not an equilibrium", i, dev)
+		}
+	}
+	// Pairs may or may not profit; the call must at least be well-formed.
+	if _, _, err := g.CoalitionDeviation(out, []int{0, 2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoalitionDeviationValidation(t *testing.T) {
+	fed := toyFederation(0.4)
+	g := &Game{Federation: fed, Evaluator: Memoize(newToyEvaluator(t, fed)), Gamma: UF0}
+	out, err := g.Run(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := g.CoalitionDeviation(out, []int{9}); err == nil {
+		t.Error("out-of-range member accepted")
+	}
+	if _, _, err := g.CoalitionDeviation(out, []int{1, 1}); err == nil {
+		t.Error("duplicate member accepted")
+	}
+	if improved, _, err := g.CoalitionDeviation(out, nil); improved || err != nil {
+		t.Errorf("empty coalition: %v, %v", improved, err)
+	}
+}

@@ -1,0 +1,101 @@
+package market
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+
+	"scshare/internal/approx"
+	"scshare/internal/cloud"
+	"scshare/internal/exact"
+)
+
+// Evaluator produces the performance metrics of one SC under a sharing
+// vector. Metrics are price-independent, which is what lets the game and
+// the price sweeps share solves through Memoize.
+type Evaluator interface {
+	Evaluate(shares []int, target int) (cloud.Metrics, error)
+}
+
+// EvaluatorFunc adapts a function to the Evaluator interface.
+type EvaluatorFunc func(shares []int, target int) (cloud.Metrics, error)
+
+// Evaluate implements Evaluator.
+func (f EvaluatorFunc) Evaluate(shares []int, target int) (cloud.Metrics, error) {
+	return f(shares, target)
+}
+
+// ApproxEvaluator evaluates sharing decisions with the hierarchical
+// approximate model — the configuration the paper uses for its market
+// experiments.
+func ApproxEvaluator(fed cloud.Federation, cfg approx.Config) Evaluator {
+	return EvaluatorFunc(func(shares []int, target int) (cloud.Metrics, error) {
+		c := cfg
+		c.Federation = fed
+		c.Shares = shares
+		c.Target = target
+		c.Order = nil
+		m, err := approx.Solve(c)
+		if err != nil {
+			return cloud.Metrics{}, err
+		}
+		return m.Metrics(), nil
+	})
+}
+
+// ExactEvaluator evaluates sharing decisions with the detailed CTMC; it is
+// only practical for very small federations.
+func ExactEvaluator(fed cloud.Federation, queueCap []int) Evaluator {
+	return EvaluatorFunc(func(shares []int, target int) (cloud.Metrics, error) {
+		m, err := exact.Solve(exact.Config{Federation: fed, Shares: shares, QueueCap: queueCap})
+		if err != nil {
+			return cloud.Metrics{}, err
+		}
+		return m.Metrics(target), nil
+	})
+}
+
+// Memoize caches evaluations by (shares, target). It is safe for
+// concurrent use.
+func Memoize(ev Evaluator) Evaluator {
+	type entry struct {
+		m   cloud.Metrics
+		err error
+	}
+	var (
+		mu    sync.Mutex
+		cache = make(map[string]entry)
+	)
+	return EvaluatorFunc(func(shares []int, target int) (cloud.Metrics, error) {
+		key := make([]byte, 0, 4*len(shares)+4)
+		for _, s := range shares {
+			key = strconv.AppendInt(key, int64(s), 10)
+			key = append(key, ',')
+		}
+		key = strconv.AppendInt(key, int64(target), 10)
+		k := string(key)
+		mu.Lock()
+		e, ok := cache[k]
+		mu.Unlock()
+		if ok {
+			return e.m, e.err
+		}
+		m, err := ev.Evaluate(shares, target)
+		mu.Lock()
+		cache[k] = entry{m: m, err: err}
+		mu.Unlock()
+		return m, err
+	})
+}
+
+// ValidateShares is a convenience wrapper producing a descriptive error for
+// evaluator misuse.
+func ValidateShares(fed cloud.Federation, shares []int, target int) error {
+	if err := fed.ValidateShares(shares); err != nil {
+		return err
+	}
+	if target < 0 || target >= len(fed.SCs) {
+		return fmt.Errorf("market: target %d out of range [0,%d)", target, len(fed.SCs))
+	}
+	return nil
+}

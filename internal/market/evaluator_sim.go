@@ -1,0 +1,51 @@
+package market
+
+import (
+	"strconv"
+	"sync"
+
+	"scshare/internal/cloud"
+	"scshare/internal/sim"
+)
+
+// SimEvaluator evaluates sharing decisions by discrete-event simulation.
+// One simulation yields every SC's metrics, so results are cached per
+// share vector rather than per (shares, target); wrapping it in Memoize is
+// unnecessary.
+func SimEvaluator(fed cloud.Federation, horizon, warmup float64, seed int64) Evaluator {
+	var (
+		mu    sync.Mutex
+		cache = make(map[string][]cloud.Metrics)
+	)
+	return EvaluatorFunc(func(shares []int, target int) (cloud.Metrics, error) {
+		if err := ValidateShares(fed, shares, target); err != nil {
+			return cloud.Metrics{}, err
+		}
+		key := make([]byte, 0, 4*len(shares))
+		for _, s := range shares {
+			key = strconv.AppendInt(key, int64(s), 10)
+			key = append(key, ',')
+		}
+		k := string(key)
+		mu.Lock()
+		ms, ok := cache[k]
+		mu.Unlock()
+		if ok {
+			return ms[target], nil
+		}
+		res, err := sim.Run(sim.Config{
+			Federation: fed,
+			Shares:     shares,
+			Horizon:    horizon,
+			Warmup:     warmup,
+			Seed:       seed,
+		})
+		if err != nil {
+			return cloud.Metrics{}, err
+		}
+		mu.Lock()
+		cache[k] = res.Metrics
+		mu.Unlock()
+		return res.Metrics[target], nil
+	})
+}

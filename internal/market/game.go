@@ -1,0 +1,284 @@
+package market
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strconv"
+
+	"scshare/internal/cloud"
+	"scshare/internal/queueing"
+)
+
+// ErrNoEquilibrium is returned when the repeated game fails to converge
+// within the round budget.
+var ErrNoEquilibrium = errors.New("market: best-response dynamics did not converge")
+
+// Game is the repeated non-cooperative sharing game of Algorithm 1: each
+// round every SC best-responds (via Tabu search) with the share count
+// maximizing its utility given the others' previous-round decisions, until
+// no SC changes its decision.
+type Game struct {
+	// Federation fixes the SC population and the federation price C^G.
+	Federation cloud.Federation
+	// Evaluator computes performance metrics; wrap it with Memoize when
+	// running sweeps.
+	Evaluator Evaluator
+	// Gamma is the utility exponent of Eq. (2), shared by all SCs.
+	Gamma float64
+	// TabuDistance is the best-response search neighborhood (default 2).
+	TabuDistance int
+	// MaxRounds bounds the repeated game (default 60).
+	MaxRounds int
+	// MaxShares caps each SC's strategy space; defaults to its VM count.
+	MaxShares []int
+
+	// skip marks SCs that never best-respond (see RunWithFrozen).
+	skip map[int]bool
+}
+
+// Outcome reports the state at the end of the game.
+type Outcome struct {
+	// Shares is the (equilibrium) sharing vector.
+	Shares []int
+	// Utilities, Costs and Metrics describe each SC under Shares.
+	Utilities []float64
+	Costs     []float64
+	Metrics   []cloud.Metrics
+	// BaselineCosts and BaselineUtils are the no-federation references
+	// (C^0_i, rho^0_i) entering Eq. (2).
+	BaselineCosts []float64
+	BaselineUtils []float64
+	// Rounds is the number of best-response rounds executed and Evals the
+	// number of performance-model evaluations (Fig. 8b).
+	Rounds int
+	Evals  int
+	// Converged reports whether a fixed point was reached.
+	Converged bool
+}
+
+// Run plays the game from the given initial sharing vector. A nil initial
+// vector starts from everyone sharing one VM.
+func (g *Game) Run(initial []int) (*Outcome, error) {
+	k := len(g.Federation.SCs)
+	if err := g.Federation.Validate(); err != nil {
+		return nil, fmt.Errorf("market: %w", err)
+	}
+	if g.Evaluator == nil {
+		return nil, errors.New("market: game needs an evaluator")
+	}
+	if g.Gamma < 0 || g.Gamma > 1 {
+		return nil, ErrBadGamma
+	}
+	maxShares := g.MaxShares
+	if maxShares == nil {
+		maxShares = make([]int, k)
+		for i, sc := range g.Federation.SCs {
+			maxShares[i] = sc.VMs
+		}
+	}
+	shares := make([]int, k)
+	if initial != nil {
+		if err := g.Federation.ValidateShares(initial); err != nil {
+			return nil, fmt.Errorf("market: %w", err)
+		}
+		copy(shares, initial)
+	} else {
+		for i := range shares {
+			shares[i] = min(1, maxShares[i])
+		}
+	}
+
+	baseCosts, baseUtils, err := g.baselines()
+	if err != nil {
+		return nil, err
+	}
+
+	distance := g.TabuDistance
+	if distance <= 0 {
+		distance = 2
+	}
+	maxRounds := g.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 60
+	}
+
+	out := &Outcome{BaselineCosts: baseCosts, BaselineUtils: baseUtils}
+	// Algorithm 1 is simultaneous (Jacobi-style): every SC best-responds to
+	// the previous round's decisions. Simultaneous play can cycle — the
+	// paper's Tatonnement discussion acknowledges the possibility — so a
+	// revisited decision vector switches the dynamics to sequential updates,
+	// which break symmetric cycles.
+	prev := make([]int, k)
+	visited := map[string]bool{shareKey(shares): true}
+	sequential := false
+	for round := 1; round <= maxRounds; round++ {
+		out.Rounds = round
+		copy(prev, shares)
+		changed := false
+		for i := 0; i < k; i++ {
+			if g.skip[i] {
+				continue
+			}
+			base := prev
+			if sequential {
+				base = shares
+			}
+			objective := func(s int) (float64, error) {
+				trial := make([]int, k)
+				copy(trial, base)
+				trial[i] = s
+				m, err := g.Evaluator.Evaluate(trial, i)
+				if err != nil {
+					return 0, err
+				}
+				cost := m.NetCost(g.Federation.SCs[i].PublicPrice, g.Federation.FederationPrice)
+				return Utility(baseCosts[i], cost, baseUtils[i], m.Utilization, g.Gamma)
+			}
+			bestS, _, evals, err := tabuSearch(base[i], maxShares[i], distance, objective)
+			out.Evals += evals
+			if err != nil {
+				return nil, fmt.Errorf("market: best response of SC %d: %w", i, err)
+			}
+			if bestS != shares[i] {
+				shares[i] = bestS
+				changed = true
+			}
+		}
+		if !changed {
+			out.Converged = true
+			break
+		}
+		if key := shareKey(shares); visited[key] {
+			sequential = true
+		} else {
+			visited[key] = true
+		}
+	}
+	out.Shares = shares
+	if err := g.fillOutcome(out); err != nil {
+		return nil, err
+	}
+	if !out.Converged {
+		return out, ErrNoEquilibrium
+	}
+	return out, nil
+}
+
+// RunMultiStart plays the game from several initial vectors and returns the
+// converged outcome with the highest welfare under the given alpha; the
+// paper uses the same device to select among multiple equilibria
+// (Sect. VII, "the feasibility of the Tatonnement process").
+func (g *Game) RunMultiStart(initials [][]int, alpha float64) (*Outcome, error) {
+	if len(initials) == 0 {
+		initials = [][]int{nil}
+	}
+	var best *Outcome
+	bestW := math.Inf(-1)
+	var firstErr error
+	for _, init := range initials {
+		out, err := g.Run(init)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		w, err := Welfare(alpha, out.Shares, out.Utilities)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || w > bestW {
+			best, bestW = out, w
+		}
+	}
+	if best == nil {
+		return nil, firstErr
+	}
+	return best, nil
+}
+
+// baselines solves the no-sharing model for every SC.
+func (g *Game) baselines() (costs, utils []float64, err error) {
+	k := len(g.Federation.SCs)
+	costs = make([]float64, k)
+	utils = make([]float64, k)
+	for i, sc := range g.Federation.SCs {
+		m, err := queueing.Solve(sc)
+		if err != nil {
+			return nil, nil, fmt.Errorf("market: baseline for SC %d: %w", i, err)
+		}
+		costs[i] = m.BaselineCost()
+		utils[i] = m.Metrics().Utilization
+	}
+	return costs, utils, nil
+}
+
+// fillOutcome evaluates the final shares for every SC.
+func (g *Game) fillOutcome(out *Outcome) error {
+	k := len(g.Federation.SCs)
+	out.Metrics = make([]cloud.Metrics, k)
+	out.Costs = make([]float64, k)
+	out.Utilities = make([]float64, k)
+	for i := 0; i < k; i++ {
+		m, err := g.Evaluator.Evaluate(out.Shares, i)
+		if err != nil {
+			return fmt.Errorf("market: final evaluation of SC %d: %w", i, err)
+		}
+		out.Metrics[i] = m
+		out.Costs[i] = m.NetCost(g.Federation.SCs[i].PublicPrice, g.Federation.FederationPrice)
+		u, err := Utility(out.BaselineCosts[i], out.Costs[i], out.BaselineUtils[i], m.Utilization, g.Gamma)
+		if err != nil {
+			return err
+		}
+		out.Utilities[i] = u
+	}
+	return nil
+}
+
+// IsEquilibrium verifies that no SC can improve its utility by unilaterally
+// deviating to any share in its strategy space — the pure-strategy Nash
+// condition the paper observes empirically. tol absorbs numerical noise.
+func (g *Game) IsEquilibrium(out *Outcome, tol float64) (bool, error) {
+	k := len(g.Federation.SCs)
+	maxShares := g.MaxShares
+	if maxShares == nil {
+		maxShares = make([]int, k)
+		for i, sc := range g.Federation.SCs {
+			maxShares[i] = sc.VMs
+		}
+	}
+	for i := 0; i < k; i++ {
+		for s := 0; s <= maxShares[i]; s++ {
+			if s == out.Shares[i] {
+				continue
+			}
+			trial := make([]int, k)
+			copy(trial, out.Shares)
+			trial[i] = s
+			m, err := g.Evaluator.Evaluate(trial, i)
+			if err != nil {
+				return false, err
+			}
+			cost := m.NetCost(g.Federation.SCs[i].PublicPrice, g.Federation.FederationPrice)
+			u, err := Utility(out.BaselineCosts[i], cost, out.BaselineUtils[i], m.Utilization, g.Gamma)
+			if err != nil {
+				return false, err
+			}
+			if u > out.Utilities[i]+tol {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// shareKey encodes a share vector for cycle detection.
+func shareKey(shares []int) string {
+	b := make([]byte, 0, 4*len(shares))
+	for _, s := range shares {
+		b = strconv.AppendInt(b, int64(s), 10)
+		b = append(b, ',')
+	}
+	return string(b)
+}

@@ -1,0 +1,83 @@
+package market
+
+import (
+	"sync"
+
+	"scshare/internal/cloud"
+	"scshare/internal/queueing"
+)
+
+// WithParticipation enforces the paper's participation semantics: an SC is
+// in the federation only if it contributes VMs (S_i > 0). Non-contributors
+// neither lend nor borrow — evaluating one returns its Sect. III-A
+// no-sharing metrics, and contributors are evaluated on the sub-federation
+// of contributors only, so free-riding demand never reaches the pool. This
+// is what lets a market die at unfavorable prices (the zero-efficiency
+// points of Fig. 7): when borrowing stops paying, borrowers drop to S=0,
+// lenders lose their revenue, and the remaining utilities collapse.
+//
+// mkEval builds an evaluator for a sub-federation; one evaluator is cached
+// per participant set.
+func WithParticipation(fed cloud.Federation, mkEval func(sub cloud.Federation) Evaluator) Evaluator {
+	var (
+		mu    sync.Mutex
+		subs  = make(map[string]Evaluator)
+		bases = make([]*cloud.Metrics, len(fed.SCs))
+	)
+	baseline := func(i int) (cloud.Metrics, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if bases[i] != nil {
+			return *bases[i], nil
+		}
+		m, err := queueing.Solve(fed.SCs[i])
+		if err != nil {
+			return cloud.Metrics{}, err
+		}
+		v := m.Metrics()
+		bases[i] = &v
+		return v, nil
+	}
+	return EvaluatorFunc(func(shares []int, target int) (cloud.Metrics, error) {
+		if err := ValidateShares(fed, shares, target); err != nil {
+			return cloud.Metrics{}, err
+		}
+		if shares[target] == 0 {
+			return baseline(target)
+		}
+		// Build the participant sub-federation; the cache key is the
+		// presence bitmap.
+		var (
+			mask      = make([]byte, len(shares))
+			subFed    cloud.Federation
+			subShares []int
+			subTarget = -1
+		)
+		subFed.FederationPrice = fed.FederationPrice
+		for i, s := range shares {
+			if s == 0 {
+				mask[i] = '0'
+				continue
+			}
+			mask[i] = '1'
+			if i == target {
+				subTarget = len(subFed.SCs)
+			}
+			subFed.SCs = append(subFed.SCs, fed.SCs[i])
+			subShares = append(subShares, s)
+		}
+		if len(subFed.SCs) == 1 {
+			// Alone in the federation: nothing to lend to or borrow from.
+			return baseline(target)
+		}
+		key := string(mask)
+		mu.Lock()
+		ev, ok := subs[key]
+		if !ok {
+			ev = mkEval(subFed)
+			subs[key] = ev
+		}
+		mu.Unlock()
+		return ev.Evaluate(subShares, subTarget)
+	})
+}

@@ -1,0 +1,133 @@
+package market
+
+import (
+	"fmt"
+	"math"
+
+	"scshare/internal/cloud"
+	"scshare/internal/queueing"
+)
+
+// WelfareEvaluator computes social welfare for arbitrary sharing vectors;
+// it is the measuring stick behind the Fig. 7 efficiency ratios.
+type WelfareEvaluator struct {
+	fed       cloud.Federation
+	ev        Evaluator
+	gamma     float64
+	baseCosts []float64
+	baseUtils []float64
+}
+
+// NewWelfareEvaluator solves the no-sharing baselines once and returns an
+// evaluator for the given utility exponent.
+func NewWelfareEvaluator(fed cloud.Federation, ev Evaluator, gamma float64) (*WelfareEvaluator, error) {
+	if err := fed.Validate(); err != nil {
+		return nil, fmt.Errorf("market: %w", err)
+	}
+	if gamma < 0 || gamma > 1 {
+		return nil, ErrBadGamma
+	}
+	we := &WelfareEvaluator{fed: fed, ev: ev, gamma: gamma}
+	for i, sc := range fed.SCs {
+		m, err := queueing.Solve(sc)
+		if err != nil {
+			return nil, fmt.Errorf("market: baseline for SC %d: %w", i, err)
+		}
+		we.baseCosts = append(we.baseCosts, m.BaselineCost())
+		we.baseUtils = append(we.baseUtils, m.Metrics().Utilization)
+	}
+	return we, nil
+}
+
+// Utilities returns every SC's Eq. (2) utility under the sharing vector.
+func (we *WelfareEvaluator) Utilities(shares []int) ([]float64, error) {
+	if err := we.fed.ValidateShares(shares); err != nil {
+		return nil, fmt.Errorf("market: %w", err)
+	}
+	out := make([]float64, len(we.fed.SCs))
+	for i, sc := range we.fed.SCs {
+		m, err := we.ev.Evaluate(shares, i)
+		if err != nil {
+			return nil, fmt.Errorf("market: evaluate SC %d: %w", i, err)
+		}
+		cost := m.NetCost(sc.PublicPrice, we.fed.FederationPrice)
+		u, err := Utility(we.baseCosts[i], cost, we.baseUtils[i], m.Utilization, we.gamma)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = u
+	}
+	return out, nil
+}
+
+// Welfare returns the alpha-fair welfare of the sharing vector.
+func (we *WelfareEvaluator) Welfare(alpha float64, shares []int) (float64, error) {
+	us, err := we.Utilities(shares)
+	if err != nil {
+		return 0, err
+	}
+	return Welfare(alpha, shares, us)
+}
+
+// MaximizeWelfare searches for the empirical market-efficient sharing
+// vector by multi-start greedy coordinate ascent: from each start, SCs'
+// shares are optimized one coordinate at a time (full scans) until a sweep
+// makes no improvement. With memoized evaluators the cost is dominated by
+// previously unseen share vectors.
+func (we *WelfareEvaluator) MaximizeWelfare(alpha float64, maxShares []int, starts [][]int) ([]int, float64, error) {
+	k := len(we.fed.SCs)
+	if maxShares == nil {
+		maxShares = make([]int, k)
+		for i, sc := range we.fed.SCs {
+			maxShares[i] = sc.VMs
+		}
+	}
+	if len(starts) == 0 {
+		mid := make([]int, k)
+		ones := make([]int, k)
+		full := make([]int, k)
+		for i := range mid {
+			mid[i] = maxShares[i] / 2
+			ones[i] = min(1, maxShares[i])
+			full[i] = maxShares[i]
+		}
+		starts = [][]int{ones, mid, full}
+	}
+	var bestShares []int
+	bestW := math.Inf(-1)
+	for _, start := range starts {
+		shares := make([]int, k)
+		copy(shares, start)
+		w, err := we.Welfare(alpha, shares)
+		if err != nil {
+			return nil, 0, err
+		}
+		for improved := true; improved; {
+			improved = false
+			for i := 0; i < k; i++ {
+				basis := shares[i]
+				for s := 0; s <= maxShares[i]; s++ {
+					if s == basis {
+						continue
+					}
+					shares[i] = s
+					cand, err := we.Welfare(alpha, shares)
+					if err != nil {
+						return nil, 0, err
+					}
+					if cand > w {
+						w = cand
+						basis = s
+						improved = true
+					}
+				}
+				shares[i] = basis
+			}
+		}
+		if w > bestW {
+			bestW = w
+			bestShares = append([]int(nil), shares...)
+		}
+	}
+	return bestShares, bestW, nil
+}

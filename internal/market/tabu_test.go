@@ -1,0 +1,92 @@
+package market
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func TestTabuFindsGlobalOptimumUnimodal(t *testing.T) {
+	// Concave objective with peak at 7.
+	obj := func(x int) (float64, error) {
+		return -math.Pow(float64(x-7), 2), nil
+	}
+	for _, start := range []int{0, 5, 10} {
+		best, val, evals, err := tabuSearch(start, 10, 2, obj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best != 7 || val != 0 {
+			t.Errorf("start=%d: best=%d val=%v", start, best, val)
+		}
+		if evals == 0 {
+			t.Error("no evaluations counted")
+		}
+	}
+}
+
+func TestTabuEscapesLocalOptimum(t *testing.T) {
+	// Two peaks: local at 2 (value 5), global at 9 (value 10), valley
+	// between. Tabu's accept-worse moves must cross the valley.
+	values := []float64{0, 4, 5, 1, 0, 0, 2, 6, 9, 10, 3}
+	obj := func(x int) (float64, error) { return values[x], nil }
+	best, val, _, err := tabuSearch(2, 10, 2, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != 9 || val != 10 {
+		t.Errorf("best=%d val=%v, want 9/10", best, val)
+	}
+}
+
+func TestTabuClampsStart(t *testing.T) {
+	obj := func(x int) (float64, error) { return float64(x), nil }
+	best, _, _, err := tabuSearch(99, 5, 1, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != 5 {
+		t.Errorf("best=%d, want 5", best)
+	}
+	best, _, _, err = tabuSearch(-3, 5, 1, obj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != 5 {
+		t.Errorf("best=%d, want 5", best)
+	}
+}
+
+func TestTabuPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	_, _, _, err := tabuSearch(0, 4, 1, func(int) (float64, error) { return 0, boom })
+	if !errors.Is(err, boom) {
+		t.Errorf("got %v", err)
+	}
+}
+
+func TestTabuSingletonDomain(t *testing.T) {
+	best, val, _, err := tabuSearch(0, 0, 3, func(x int) (float64, error) { return 42, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best != 0 || val != 42 {
+		t.Errorf("best=%d val=%v", best, val)
+	}
+}
+
+func TestTabuNeverRevisits(t *testing.T) {
+	seen := make(map[int]int)
+	obj := func(x int) (float64, error) {
+		seen[x]++
+		return float64(x % 3), nil
+	}
+	if _, _, _, err := tabuSearch(5, 10, 3, obj); err != nil {
+		t.Fatal(err)
+	}
+	for x, n := range seen {
+		if n > 1 {
+			t.Errorf("point %d evaluated %d times", x, n)
+		}
+	}
+}

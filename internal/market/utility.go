@@ -1,0 +1,58 @@
+// Package market implements the market-based model of Sect. IV: SC
+// utilities (Eq. 2), the repeated non-cooperative game of Algorithm 1 with
+// Tabu-search best responses, weighted alpha-fairness welfare (Eq. 3), and
+// the empirical market-efficiency normalization used by Fig. 7.
+//
+// Performance metrics are price-independent, so evaluators memoize them by
+// (shares, target); one price sweep then reuses every model solve across
+// all C^G/C^P ratios.
+package market
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrBadGamma is returned for utility exponents outside [0, 1].
+var ErrBadGamma = errors.New("market: gamma must be in [0, 1]")
+
+// utilizationFloor guards the denominator of Eq. (2); the paper asserts
+// 0 < rho^S - rho^0 <= 1 for any SC that actually shares, but numerical
+// noise can produce tiny or negative increments.
+const utilizationFloor = 1e-6
+
+// Utility evaluates Eq. (2) for one SC:
+//
+//	U = max(C0 - C, 0)^2 / (rho - rho0)^gamma,  0 <= gamma <= 1,
+//
+// where C0 and rho0 are the SC's cost and utilization outside the
+// federation and C and rho its values under the current sharing decision.
+// gamma = 0 is the pure cost-reduction utility UF0; gamma = 1 weighs the
+// marginal cost reduction per unit of utilization increase, UF1.
+func Utility(baseCost, cost, baseUtil, util, gamma float64) (float64, error) {
+	if gamma < 0 || gamma > 1 {
+		return 0, ErrBadGamma
+	}
+	gain := baseCost - cost
+	if gain <= 0 {
+		return 0, nil
+	}
+	num := gain * gain
+	if gamma == 0 {
+		return num, nil
+	}
+	den := util - baseUtil
+	if den < utilizationFloor {
+		den = utilizationFloor
+	}
+	if den > 1 {
+		den = 1
+	}
+	return num / math.Pow(den, gamma), nil
+}
+
+// UF0 and UF1 name the two utility configurations evaluated in the paper.
+const (
+	UF0 = 0.0
+	UF1 = 1.0
+)

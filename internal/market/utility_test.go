@@ -1,0 +1,99 @@
+package market
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUtilityEq2(t *testing.T) {
+	tests := []struct {
+		name                               string
+		baseCost, cost, baseUtil, util, gm float64
+		want                               float64
+	}{
+		{"UF0 squares the gain", 5, 3, 0.5, 0.7, UF0, 4},
+		{"no gain no utility", 3, 3, 0.5, 0.7, UF0, 0},
+		{"negative gain clamps to zero", 3, 5, 0.5, 0.7, UF1, 0},
+		{"UF1 divides by utilization increase", 5, 3, 0.5, 0.9, UF1, 10},
+		{"gamma half", 5, 4, 0.5, 0.75, 0.5, 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			got, err := Utility(tt.baseCost, tt.cost, tt.baseUtil, tt.util, tt.gm)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(got-tt.want) > 1e-12 {
+				t.Errorf("got %v, want %v", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestUtilityBadGamma(t *testing.T) {
+	if _, err := Utility(1, 0, 0, 1, -0.1); err != ErrBadGamma {
+		t.Errorf("gamma=-0.1: %v", err)
+	}
+	if _, err := Utility(1, 0, 0, 1, 1.1); err != ErrBadGamma {
+		t.Errorf("gamma=1.1: %v", err)
+	}
+}
+
+func TestUtilityDenominatorGuards(t *testing.T) {
+	// Zero or negative utilization increase hits the floor instead of
+	// dividing by zero.
+	got, err := Utility(2, 1, 0.7, 0.7, UF1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(got, 1) || math.IsNaN(got) {
+		t.Errorf("utility not finite: %v", got)
+	}
+	// Increments above 1 are clamped to 1.
+	u1, err := Utility(2, 1, 0, 1.5, UF1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u2, err := Utility(2, 1, 0, 1.0, UF1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u1 != u2 {
+		t.Errorf("clamp failed: %v vs %v", u1, u2)
+	}
+}
+
+// Utility is monotone: more cost reduction never lowers it, and for fixed
+// gain a larger utilization increase never raises it (gamma > 0).
+func TestUtilityMonotoneProperty(t *testing.T) {
+	f := func(gRaw, dRaw uint8) bool {
+		gain := float64(gRaw) / 16
+		du := float64(dRaw%100)/100 + 0.01
+		u1, err1 := Utility(gain, 0, 0, du, UF1)
+		u2, err2 := Utility(gain+0.5, 0, 0, du, UF1)
+		u3, err3 := Utility(gain, 0, 0, math.Min(du+0.1, 1), UF1)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return u2 >= u1 && u3 <= u1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// With gamma = 0 the denominator is inert: UF0 equals the squared gain for
+// any utilization pair.
+func TestUF0IgnoresUtilizationProperty(t *testing.T) {
+	f := func(a, b uint8) bool {
+		u1, err1 := Utility(3, 1, float64(a)/255, float64(b)/255, UF0)
+		if err1 != nil {
+			return false
+		}
+		return u1 == 4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,99 @@
+package market
+
+import (
+	"errors"
+	"math"
+)
+
+// Alpha values selecting the three fairness regimes evaluated in the paper
+// (Sect. IV-B): utilitarian, proportional, and max-min.
+const (
+	AlphaUtilitarian  = 0.0
+	AlphaProportional = 1.0
+)
+
+// AlphaMaxMin selects the max-min fairness regime (alpha -> infinity).
+var AlphaMaxMin = math.Inf(1)
+
+// ErrBadAlpha rejects negative fairness parameters.
+var ErrBadAlpha = errors.New("market: alpha must be >= 0")
+
+// Welfare evaluates the weighted alpha-fair welfare of Eq. (3):
+//
+//	W = sum_i S_i * U_i^(1-alpha)/(1-alpha)   for alpha >= 0, alpha != 1,
+//	W = sum_i S_i * log U_i                   for alpha = 1,
+//	W = min_i U_i                             for alpha -> infinity (max-min).
+//
+// Shares are the weights. A federation in which nobody shares (all S_i = 0)
+// or proportional/max-min welfare over zero utilities yields -Inf, which
+// callers report as zero federation efficiency.
+func Welfare(alpha float64, shares []int, utilities []float64) (float64, error) {
+	if alpha < 0 || math.IsNaN(alpha) {
+		return 0, ErrBadAlpha
+	}
+	if len(shares) != len(utilities) {
+		return 0, errors.New("market: shares and utilities length mismatch")
+	}
+	if math.IsInf(alpha, 1) {
+		w := math.Inf(1)
+		for _, u := range utilities {
+			if u < w {
+				w = u
+			}
+		}
+		if w <= 0 {
+			return math.Inf(-1), nil
+		}
+		return w, nil
+	}
+	anyShared := false
+	w := 0.0
+	for i, u := range utilities {
+		if shares[i] == 0 {
+			continue
+		}
+		anyShared = true
+		switch {
+		case alpha == 1:
+			if u <= 0 {
+				return math.Inf(-1), nil
+			}
+			w += float64(shares[i]) * math.Log(u)
+		default:
+			if u <= 0 && 1-alpha < 0 {
+				return math.Inf(-1), nil
+			}
+			w += float64(shares[i]) * math.Pow(u, 1-alpha) / (1 - alpha)
+		}
+	}
+	if !anyShared {
+		return math.Inf(-1), nil
+	}
+	return w, nil
+}
+
+// Efficiency is the ratio used throughout Fig. 7: achieved welfare over the
+// empirical market-efficient welfare. Non-finite achieved welfare (a
+// federation that never formed) is zero efficiency. Welfare values can be
+// negative (log-domain proportional fairness), in which case the ratio is
+// computed on the exponential scale exp((W - Wmax)/weight) — with weight
+// the total shared VMs, this is the geometric-mean per-share utility ratio,
+// scale-free and bounded in (0, 1].
+func Efficiency(achieved, best, weight float64) float64 {
+	if math.IsInf(achieved, -1) || math.IsNaN(achieved) {
+		return 0
+	}
+	if math.IsInf(best, -1) || math.IsNaN(best) {
+		return 0
+	}
+	if achieved >= best {
+		return 1
+	}
+	if best <= 0 || achieved <= 0 {
+		if weight < 1 {
+			weight = 1
+		}
+		return math.Exp((achieved - best) / weight)
+	}
+	return achieved / best
+}

@@ -1,0 +1,109 @@
+package market
+
+import (
+	"math"
+	"testing"
+)
+
+func TestWelfareUtilitarian(t *testing.T) {
+	w, err := Welfare(AlphaUtilitarian, []int{2, 3}, []float64{1.5, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w-9) > 1e-12 { // 2*1.5 + 3*2
+		t.Errorf("W = %v", w)
+	}
+}
+
+func TestWelfareProportional(t *testing.T) {
+	w, err := Welfare(AlphaProportional, []int{1, 2}, []float64{math.E, math.E})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w-3) > 1e-12 { // 1*ln(e) + 2*ln(e)
+		t.Errorf("W = %v", w)
+	}
+	// Zero utility with a positive share collapses proportional welfare.
+	w, err = Welfare(AlphaProportional, []int{1, 1}, []float64{0, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(w, -1) {
+		t.Errorf("W = %v, want -Inf", w)
+	}
+}
+
+func TestWelfareMaxMin(t *testing.T) {
+	w, err := Welfare(AlphaMaxMin, []int{1, 1, 1}, []float64{3, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != 1 {
+		t.Errorf("W = %v", w)
+	}
+	w, err = Welfare(AlphaMaxMin, []int{1, 1}, []float64{0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(w, -1) {
+		t.Errorf("W = %v, want -Inf for a zero-utility member", w)
+	}
+}
+
+func TestWelfareNoSharing(t *testing.T) {
+	// The all-zero sharing vector can never win: it is -Inf by definition
+	// (the degenerate "most fair" allocation the paper rules out).
+	w, err := Welfare(AlphaUtilitarian, []int{0, 0}, []float64{5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(w, -1) {
+		t.Errorf("W = %v, want -Inf", w)
+	}
+}
+
+func TestWelfareValidation(t *testing.T) {
+	if _, err := Welfare(-1, []int{1}, []float64{1}); err != ErrBadAlpha {
+		t.Errorf("alpha=-1: %v", err)
+	}
+	if _, err := Welfare(0, []int{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestWelfareZeroShareExcluded(t *testing.T) {
+	// SCs that share nothing contribute no weight.
+	w1, err := Welfare(AlphaUtilitarian, []int{0, 3}, []float64{99, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w1 != 6 {
+		t.Errorf("W = %v, want 6", w1)
+	}
+}
+
+func TestEfficiency(t *testing.T) {
+	if got := Efficiency(5, 10, 3); got != 0.5 {
+		t.Errorf("Efficiency = %v", got)
+	}
+	if got := Efficiency(10, 10, 3); got != 1 {
+		t.Errorf("equal welfare: %v", got)
+	}
+	if got := Efficiency(math.Inf(-1), 10, 3); got != 0 {
+		t.Errorf("no federation: %v", got)
+	}
+	if got := Efficiency(5, math.Inf(-1), 3); got != 0 {
+		t.Errorf("degenerate best: %v", got)
+	}
+	// Log-domain comparison keeps the ratio in (0, 1].
+	if got := Efficiency(-2, -1, 1); got <= 0 || got > 1 {
+		t.Errorf("log-domain ratio out of range: %v", got)
+	}
+	if got := Efficiency(11, 10, 3); got != 1 {
+		t.Errorf("achieved above best clamps to 1: %v", got)
+	}
+	// The weight softens log-domain gaps (geometric-mean semantics).
+	if Efficiency(-4, -1, 6) <= Efficiency(-4, -1, 1) {
+		t.Error("weight did not soften the log-domain ratio")
+	}
+}

@@ -1,0 +1,50 @@
+package markov
+
+import "testing"
+
+func benchChain(b *testing.B, n int) *CTMC {
+	b.Helper()
+	bl := NewBuilder(n)
+	for q := 0; q < n-1; q++ {
+		bl.Add(q, q+1, 7)
+		bl.Add(q+1, q, float64(min(q+1, 10)))
+	}
+	c, err := bl.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}
+
+func BenchmarkSteadyStateGaussSeidel(b *testing.B) {
+	c := benchChain(b, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.SteadyStateGaussSeidel(SteadyStateOptions{Tol: 1e-9}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTransient(b *testing.B) {
+	c := benchChain(b, 2000)
+	p0 := make([]float64, c.NumStates())
+	p0[0] = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Transient(p0, 0.5, TransientOptions{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkUniformized(b *testing.B) {
+	c := benchChain(b, 2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dt, _ := c.Uniformized(1.05)
+		if dt.NumStates() != c.NumStates() {
+			b.Fatal("shape")
+		}
+	}
+}

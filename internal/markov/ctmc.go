@@ -1,0 +1,246 @@
+// Package markov implements the continuous- and discrete-time Markov-chain
+// machinery required by the SC-Share performance models: sparse generator
+// assembly, steady-state solution (power iteration on the uniformized chain
+// and Gauss-Seidel on the balance equations), and transient analysis via
+// uniformization with Fox-Glynn truncation of the Poisson weights
+// (Sect. III-C of the paper, refs. [23][24]).
+package markov
+
+import (
+	"errors"
+	"fmt"
+
+	"scshare/internal/numeric"
+	"scshare/internal/sparse"
+)
+
+var (
+	// ErrNoConvergence is returned when an iterative solver exhausts its
+	// iteration budget before reaching the requested tolerance.
+	ErrNoConvergence = errors.New("markov: solver did not converge")
+	// ErrEmptyChain is returned for chains with no states.
+	ErrEmptyChain = errors.New("markov: chain has no states")
+)
+
+// Builder assembles a CTMC generator from individual transition rates.
+type Builder struct {
+	n int
+	b *sparse.Builder
+}
+
+// NewBuilder returns a builder for a CTMC with n states.
+func NewBuilder(n int) *Builder {
+	return &Builder{n: n, b: sparse.NewBuilder(n, n)}
+}
+
+// Add accumulates a transition at the given rate. Self-loops and
+// non-positive rates are ignored (a CTMC has no self-transitions, and a
+// zero rate is the absence of a transition).
+func (bl *Builder) Add(from, to int, rate float64) {
+	if rate <= 0 || from == to {
+		return
+	}
+	bl.b.Add(from, to, rate)
+}
+
+// Build produces the CTMC. It never fails for n > 0; duplicate (from, to)
+// rates have been summed.
+func (bl *Builder) Build() (*CTMC, error) {
+	if bl.n == 0 {
+		return nil, ErrEmptyChain
+	}
+	rates := bl.b.Build()
+	return &CTMC{n: bl.n, rates: rates, exit: rates.RowSums()}, nil
+}
+
+// CTMC is a continuous-time Markov chain represented by its off-diagonal
+// transition-rate matrix.
+type CTMC struct {
+	n     int
+	rates *sparse.CSR
+	exit  []float64
+
+	// uniformizedOnce caches the inflation-1 uniformized chain used by
+	// Transient, which is called thousands of times per chain by the
+	// approximate model's interaction computation.
+	uniCache *DTMC
+	uniGamma float64
+}
+
+// NumStates returns the number of states.
+func (c *CTMC) NumStates() int { return c.n }
+
+// NumTransitions returns the number of distinct transitions.
+func (c *CTMC) NumTransitions() int { return c.rates.NNZ() }
+
+// Rate returns the transition rate from state a to state b (0 if absent or
+// a == b). Intended for tests and diagnostics.
+func (c *CTMC) Rate(a, b int) float64 {
+	if a == b {
+		return 0
+	}
+	return c.rates.At(a, b)
+}
+
+// ExitRate returns the total outgoing rate of a state.
+func (c *CTMC) ExitRate(s int) float64 { return c.exit[s] }
+
+// MaxExitRate returns the largest total outgoing rate across states.
+func (c *CTMC) MaxExitRate() float64 {
+	m := 0.0
+	for _, e := range c.exit {
+		if e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+// Uniformized returns the DTMC P = I + Q/gamma together with the chosen
+// uniformization rate gamma = inflation * max exit rate. Inflation must be
+// >= 1; values slightly above 1 guarantee aperiodicity via self-loops.
+func (c *CTMC) Uniformized(inflation float64) (*DTMC, float64) {
+	if inflation < 1 {
+		inflation = 1
+	}
+	gamma := c.MaxExitRate() * inflation
+	if gamma == 0 {
+		gamma = 1 // absorbing-everywhere chain: P = I
+	}
+	b := sparse.NewBuilder(c.n, c.n)
+	for r := 0; r < c.n; r++ {
+		stay := 1 - c.exit[r]/gamma
+		if stay > 0 {
+			b.Add(r, r, stay)
+		}
+		for i := c.rates.RowPtr[r]; i < c.rates.RowPtr[r+1]; i++ {
+			b.Add(r, c.rates.ColIdx[i], c.rates.Val[i]/gamma)
+		}
+	}
+	return &DTMC{n: c.n, p: b.Build()}, gamma
+}
+
+// SteadyStateOptions controls the iterative steady-state solvers.
+type SteadyStateOptions struct {
+	// Tol is the L1 convergence tolerance between successive iterates
+	// (default 1e-10).
+	Tol float64
+	// MaxIter bounds the number of iterations (default 200000).
+	MaxIter int
+	// Start is an optional initial distribution; uniform when nil.
+	Start []float64
+}
+
+func (o *SteadyStateOptions) defaults() {
+	if o.Tol <= 0 {
+		o.Tol = 1e-10
+	}
+	if o.MaxIter <= 0 {
+		o.MaxIter = 200000
+	}
+}
+
+// SteadyState computes the stationary distribution of an irreducible CTMC
+// by power iteration on the uniformized DTMC. For reducible chains it
+// returns a stationary distribution that depends on the starting vector.
+func (c *CTMC) SteadyState(opts SteadyStateOptions) ([]float64, error) {
+	opts.defaults()
+	dt, _ := c.Uniformized(1.05)
+	return dt.SteadyState(opts)
+}
+
+// SteadyStateGaussSeidel solves the global balance equations piQ = 0 with a
+// Gauss-Seidel sweep, normalizing every iteration. Exposed as the
+// alternative solver for the ablation benchmarks.
+func (c *CTMC) SteadyStateGaussSeidel(opts SteadyStateOptions) ([]float64, error) {
+	opts.defaults()
+	// pi_j * exit_j = sum_{i != j} pi_i * q_ij: we need column access, i.e.
+	// rows of the transposed rate matrix.
+	qt := c.rates.Transpose()
+	pi := make([]float64, c.n)
+	if opts.Start != nil {
+		if len(opts.Start) != c.n {
+			return nil, fmt.Errorf("markov: start vector has %d entries, chain has %d states", len(opts.Start), c.n)
+		}
+		copy(pi, opts.Start)
+	} else {
+		numeric.Fill(pi, 1/float64(c.n))
+	}
+	prev := make([]float64, c.n)
+	for iter := 0; iter < opts.MaxIter; iter++ {
+		copy(prev, pi)
+		for j := 0; j < c.n; j++ {
+			if c.exit[j] == 0 {
+				continue // absorbing state keeps its mass
+			}
+			in := 0.0
+			for i := qt.RowPtr[j]; i < qt.RowPtr[j+1]; i++ {
+				in += qt.Val[i] * pi[qt.ColIdx[i]]
+			}
+			pi[j] = in / c.exit[j]
+		}
+		if numeric.Normalize(pi) == 0 {
+			return nil, ErrNoConvergence
+		}
+		if numeric.L1Diff(pi, prev) < opts.Tol {
+			return pi, nil
+		}
+	}
+	return nil, ErrNoConvergence
+}
+
+// TransientOptions controls uniformization-based transient analysis.
+type TransientOptions struct {
+	// Epsilon bounds the truncated Poisson mass (default 1e-10).
+	Epsilon float64
+}
+
+// Transient returns the state distribution at time t starting from p0,
+// computed by uniformization: p(t) = sum_k Poisson(gamma t; k) p0 P^k with
+// the summation truncated by Fox-Glynn bounds.
+func (c *CTMC) Transient(p0 []float64, t float64, opts TransientOptions) ([]float64, error) {
+	if len(p0) != c.n {
+		return nil, fmt.Errorf("markov: initial vector has %d entries, chain has %d states", len(p0), c.n)
+	}
+	if opts.Epsilon <= 0 {
+		opts.Epsilon = 1e-10
+	}
+	if t <= 0 {
+		return numeric.Clone(p0), nil
+	}
+	if c.uniCache == nil {
+		c.uniCache, c.uniGamma = c.Uniformized(1.0)
+	}
+	dt, gamma := c.uniCache, c.uniGamma
+	fg := numeric.NewFoxGlynn(gamma*t, opts.Epsilon)
+	out := make([]float64, c.n)
+	cur := numeric.Clone(p0)
+	next := make([]float64, c.n)
+	for k := 0; k <= fg.Right; k++ {
+		if k > 0 {
+			if err := dt.Step(next, cur); err != nil {
+				return nil, err
+			}
+			cur, next = next, cur
+		}
+		if k >= fg.Left {
+			w := fg.Weights[k-fg.Left]
+			for i := range out {
+				out[i] += w * cur[i]
+			}
+		}
+	}
+	numeric.Normalize(out)
+	return out, nil
+}
+
+// ExpectedValue returns sum_s pi[s] * f(s).
+func ExpectedValue(pi []float64, f func(state int) float64) float64 {
+	s := 0.0
+	for i, p := range pi {
+		if p != 0 {
+			s += p * f(i)
+		}
+	}
+	return s
+}

@@ -1,0 +1,142 @@
+package markov
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"scshare/internal/numeric"
+)
+
+// ErrBadPartition rejects malformed state partitions.
+var ErrBadPartition = errors.New("markov: invalid partition")
+
+// Partition maps each state to its block index (0..blocks-1). Blocks must
+// be contiguous from zero: every value in [0, max] must occur.
+type Partition []int
+
+// blocks validates the partition against a chain of n states and returns
+// the block count.
+func (p Partition) blocks(n int) (int, error) {
+	if len(p) != n {
+		return 0, fmt.Errorf("%w: %d labels for %d states", ErrBadPartition, len(p), n)
+	}
+	maxB := -1
+	for s, b := range p {
+		if b < 0 {
+			return 0, fmt.Errorf("%w: state %d has negative block %d", ErrBadPartition, s, b)
+		}
+		if b > maxB {
+			maxB = b
+		}
+	}
+	seen := make([]bool, maxB+1)
+	for _, b := range p {
+		seen[b] = true
+	}
+	for b, ok := range seen {
+		if !ok {
+			return 0, fmt.Errorf("%w: block %d is empty", ErrBadPartition, b)
+		}
+	}
+	return maxB + 1, nil
+}
+
+// IsLumpable reports whether the chain is ordinarily lumpable with respect
+// to the partition: every state of a block must have the same total
+// transition rate into each other block (within tol). Ordinary lumpability
+// is the exactness condition for the aggregation the paper lists among its
+// state-space-reduction directions (Sect. VII).
+func (c *CTMC) IsLumpable(p Partition, tol float64) (bool, error) {
+	nb, err := p.blocks(c.n)
+	if err != nil {
+		return false, err
+	}
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	// reference[b][d] is the rate from the first-seen state of block b to
+	// block d.
+	reference := make([][]float64, nb)
+	rates := make([]float64, nb)
+	for s := 0; s < c.n; s++ {
+		for i := range rates {
+			rates[i] = 0
+		}
+		for k := c.rates.RowPtr[s]; k < c.rates.RowPtr[s+1]; k++ {
+			d := p[c.rates.ColIdx[k]]
+			if d != p[s] {
+				rates[d] += c.rates.Val[k]
+			}
+		}
+		b := p[s]
+		if reference[b] == nil {
+			reference[b] = append([]float64(nil), rates...)
+			continue
+		}
+		for d, r := range rates {
+			if math.Abs(r-reference[b][d]) > tol {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// Lump aggregates the chain over the partition. For ordinarily lumpable
+// partitions the result is exact regardless of weights; otherwise the
+// block-to-block rates are averaged under the given distribution over
+// states (pass the steady state for the usual approximate aggregation).
+// Nil weights select uniform weighting within each block.
+func (c *CTMC) Lump(p Partition, weights []float64) (*CTMC, error) {
+	nb, err := p.blocks(c.n)
+	if err != nil {
+		return nil, err
+	}
+	if weights != nil && len(weights) != c.n {
+		return nil, fmt.Errorf("%w: %d weights for %d states", ErrBadPartition, len(weights), c.n)
+	}
+	blockMass := make([]float64, nb)
+	w := func(s int) float64 {
+		if weights == nil {
+			return 1
+		}
+		return weights[s]
+	}
+	for s := 0; s < c.n; s++ {
+		blockMass[p[s]] += w(s)
+	}
+	b := NewBuilder(nb)
+	for s := 0; s < c.n; s++ {
+		bs := p[s]
+		if blockMass[bs] == 0 {
+			continue
+		}
+		frac := w(s) / blockMass[bs]
+		if frac == 0 {
+			continue
+		}
+		for k := c.rates.RowPtr[s]; k < c.rates.RowPtr[s+1]; k++ {
+			bd := p[c.rates.ColIdx[k]]
+			if bd != bs {
+				b.Add(bs, bd, frac*c.rates.Val[k])
+			}
+		}
+	}
+	return b.Build()
+}
+
+// AggregateDistribution folds a distribution over states into one over
+// partition blocks.
+func AggregateDistribution(p Partition, pi []float64) ([]float64, error) {
+	nb, err := p.blocks(len(pi))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, nb)
+	for s, x := range pi {
+		out[p[s]] += x
+	}
+	numeric.Normalize(out)
+	return out, nil
+}

@@ -1,0 +1,149 @@
+package markov
+
+import (
+	"math"
+	"testing"
+
+	"scshare/internal/numeric"
+)
+
+// pairedChain builds a chain of 2n states where states 2i and 2i+1 behave
+// identically toward other pairs: a lumpable construction.
+func pairedChain(t *testing.T, n int) (*CTMC, Partition) {
+	t.Helper()
+	b := NewBuilder(2 * n)
+	part := make(Partition, 2*n)
+	for i := 0; i < n; i++ {
+		part[2*i], part[2*i+1] = i, i
+		// Fast internal mixing within the pair.
+		b.Add(2*i, 2*i+1, 5)
+		b.Add(2*i+1, 2*i, 5)
+		if i+1 < n {
+			// Identical outward rates from both pair members.
+			b.Add(2*i, 2*(i+1), 1.5)
+			b.Add(2*i+1, 2*(i+1), 1.5)
+			b.Add(2*(i+1), 2*i, 2.0)
+			b.Add(2*(i+1)+1, 2*i, 2.0)
+		}
+	}
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, part
+}
+
+func TestIsLumpable(t *testing.T) {
+	c, part := pairedChain(t, 4)
+	ok, err := c.IsLumpable(part, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("paired chain should be lumpable")
+	}
+	// Break the symmetry: extra rate from one pair member only.
+	b := NewBuilder(4)
+	b.Add(0, 2, 1)
+	b.Add(1, 2, 2) // states 0,1 in one block with different outward rates
+	b.Add(2, 0, 1)
+	b.Add(3, 0, 1)
+	c2, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err = c2.IsLumpable(Partition{0, 0, 1, 1}, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("asymmetric chain reported lumpable")
+	}
+}
+
+// For a lumpable partition, the lumped chain's steady state must equal the
+// aggregated steady state of the full chain — the exactness property the
+// aggregation is for.
+func TestLumpExactness(t *testing.T) {
+	c, part := pairedChain(t, 5)
+	full, err := c.SteadyState(SteadyStateOptions{Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAgg, err := AggregateDistribution(part, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lumped, err := c.Lump(part, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lumped.NumStates() != 5 {
+		t.Fatalf("lumped to %d blocks", lumped.NumStates())
+	}
+	got, err := lumped.SteadyState(SteadyStateOptions{Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := numeric.MaxAbsDiff(got, wantAgg); d > 1e-8 {
+		t.Errorf("lumped steady state off by %v", d)
+	}
+}
+
+// A non-lumpable partition aggregated with steady-state weights still
+// preserves the aggregate distribution approximately.
+func TestLumpApproximateWithWeights(t *testing.T) {
+	lambda, mu := 0.7, 1.0
+	b := NewBuilder(12)
+	for q := 0; q < 11; q++ {
+		b.Add(q, q+1, lambda)
+		b.Add(q+1, q, math.Min(float64(q+1), 3)*mu)
+	}
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Blocks of three consecutive queue lengths (not lumpable).
+	part := make(Partition, 12)
+	for s := range part {
+		part[s] = s / 3
+	}
+	full, err := c.SteadyState(SteadyStateOptions{Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAgg, err := AggregateDistribution(part, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lumped, err := c.Lump(part, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := lumped.SteadyState(SteadyStateOptions{Tol: 1e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := numeric.MaxAbsDiff(got, wantAgg); d > 0.05 {
+		t.Errorf("weighted lumping off by %v (got %v, want %v)", d, got, wantAgg)
+	}
+}
+
+func TestPartitionValidation(t *testing.T) {
+	c, _ := pairedChain(t, 2)
+	if _, err := c.IsLumpable(Partition{0}, 0); err == nil {
+		t.Error("short partition accepted")
+	}
+	if _, err := c.IsLumpable(Partition{0, -1, 0, 0}, 0); err == nil {
+		t.Error("negative block accepted")
+	}
+	if _, err := c.IsLumpable(Partition{0, 0, 2, 2}, 0); err == nil {
+		t.Error("gap in blocks accepted")
+	}
+	if _, err := c.Lump(Partition{0, 0, 1, 1}, []float64{1}); err == nil {
+		t.Error("short weights accepted")
+	}
+	if _, err := AggregateDistribution(Partition{0, 1}, []float64{1}); err == nil {
+		t.Error("mismatched aggregate accepted")
+	}
+}

@@ -1,0 +1,10 @@
+// Package numeric provides the scalar special functions and small vector
+// helpers that the SC-Share models are built on: log-Gamma, Poisson pmf/cdf,
+// the Fox-Glynn truncation bounds used by uniformization, Erlang loss and
+// delay formulas, and hypergeometric probabilities.
+//
+// Everything here is implemented from scratch on top of the standard
+// library; the package exists because the Go ecosystem has no equivalent of
+// a numerical/queueing-theory toolkit and the rest of the repository must be
+// self-contained.
+package numeric

@@ -1,0 +1,60 @@
+package numeric
+
+import "math"
+
+// FoxGlynn holds the truncated Poisson weights used by uniformization. The
+// weights cover the index range [Left, Right] and sum (after normalization)
+// to at least 1-epsilon of the Poisson(mean) mass.
+type FoxGlynn struct {
+	Left, Right int
+	// Weights[i] is the probability of i+Left Poisson events.
+	Weights []float64
+}
+
+// NewFoxGlynn computes a truncated, normalized Poisson distribution with
+// total truncated mass below epsilon. This is the weight computation used by
+// the Fox-Glynn uniformization method; for the moderate means appearing in
+// our chains a direct stable evaluation of the pmf with tail scanning is
+// both simpler and accurate, so we use that rather than the original
+// scaled-recurrence formulation.
+func NewFoxGlynn(mean, epsilon float64) FoxGlynn {
+	if mean <= 0 {
+		return FoxGlynn{Left: 0, Right: 0, Weights: []float64{1}}
+	}
+	if epsilon <= 0 {
+		epsilon = 1e-12
+	}
+	mode := int(mean)
+	// Expand left/right from the mode until each tail is below epsilon/2.
+	sd := math.Sqrt(mean)
+	left := mode - int(6*sd) - 4
+	if left < 0 {
+		left = 0
+	}
+	right := mode + int(6*sd) + 4
+	for PoissonCDF(left-1, mean) > epsilon/2 && left > 0 {
+		left--
+	}
+	for left < mode {
+		if PoissonCDF(left, mean) <= epsilon/2 {
+			left++
+			continue
+		}
+		break
+	}
+	for PoissonSurvival(right, mean) > epsilon/2 {
+		right += int(sd) + 1
+	}
+	w := make([]float64, right-left+1)
+	sum := 0.0
+	for k := left; k <= right; k++ {
+		w[k-left] = PoissonPMF(k, mean)
+		sum += w[k-left]
+	}
+	if sum > 0 {
+		for i := range w {
+			w[i] /= sum
+		}
+	}
+	return FoxGlynn{Left: left, Right: right, Weights: w}
+}

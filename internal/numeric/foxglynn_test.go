@@ -1,0 +1,75 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFoxGlynnWeightsNormalized(t *testing.T) {
+	for _, mean := range []float64{0.01, 0.7, 3, 25, 400} {
+		fg := NewFoxGlynn(mean, 1e-10)
+		if got := Sum(fg.Weights); math.Abs(got-1) > 1e-12 {
+			t.Errorf("mean=%v: weights sum to %v", mean, got)
+		}
+		if fg.Left < 0 || fg.Right < fg.Left {
+			t.Errorf("mean=%v: bad range [%d,%d]", mean, fg.Left, fg.Right)
+		}
+		if len(fg.Weights) != fg.Right-fg.Left+1 {
+			t.Errorf("mean=%v: weight length mismatch", mean)
+		}
+	}
+}
+
+func TestFoxGlynnCoversMass(t *testing.T) {
+	const eps = 1e-9
+	for _, mean := range []float64{0.5, 8, 120} {
+		fg := NewFoxGlynn(mean, eps)
+		covered := 0.0
+		for k := fg.Left; k <= fg.Right; k++ {
+			covered += PoissonPMF(k, mean)
+		}
+		if covered < 1-eps {
+			t.Errorf("mean=%v: truncation covers only %v", mean, covered)
+		}
+	}
+}
+
+func TestFoxGlynnWeightsMatchPMF(t *testing.T) {
+	mean := 12.5
+	fg := NewFoxGlynn(mean, 1e-12)
+	for k := fg.Left; k <= fg.Right; k++ {
+		want := PoissonPMF(k, mean)
+		got := fg.Weights[k-fg.Left]
+		// Normalization shifts weights by at most the truncated mass.
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("weight[%d] = %v, pmf = %v", k, got, want)
+		}
+	}
+}
+
+func TestFoxGlynnZeroMean(t *testing.T) {
+	fg := NewFoxGlynn(0, 1e-9)
+	if fg.Left != 0 || fg.Right != 0 || len(fg.Weights) != 1 || fg.Weights[0] != 1 {
+		t.Errorf("zero-mean truncation = %+v", fg)
+	}
+}
+
+func TestFoxGlynnDefaultEpsilon(t *testing.T) {
+	fg := NewFoxGlynn(4, 0) // epsilon <= 0 falls back to 1e-12
+	if got := Sum(fg.Weights); math.Abs(got-1) > 1e-12 {
+		t.Errorf("weights sum to %v", got)
+	}
+}
+
+func TestFoxGlynnModeInsideRangeProperty(t *testing.T) {
+	f := func(m uint16) bool {
+		mean := float64(m%2000)/10 + 0.1
+		fg := NewFoxGlynn(mean, 1e-10)
+		mode := int(mean)
+		return fg.Left <= mode && mode <= fg.Right
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

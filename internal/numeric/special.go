@@ -1,0 +1,162 @@
+package numeric
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrDomain is returned by functions whose arguments fall outside the
+// mathematical domain they are defined on.
+var ErrDomain = errors.New("numeric: argument outside function domain")
+
+// LogFactorial returns ln(n!) computed exactly for small n and through
+// math.Lgamma for large n.
+func LogFactorial(n int) float64 {
+	if n < 0 {
+		return math.NaN()
+	}
+	if n < len(_logFactTable) {
+		return _logFactTable[n]
+	}
+	lg, _ := math.Lgamma(float64(n) + 1)
+	return lg
+}
+
+// _logFactTable caches ln(n!) for n < 256; the Poisson pmf evaluates it in
+// tight loops during uniformization.
+var _logFactTable = buildLogFactTable()
+
+func buildLogFactTable() []float64 {
+	t := make([]float64, 256)
+	acc := 0.0
+	for n := 1; n < len(t); n++ {
+		acc += math.Log(float64(n))
+		t[n] = acc
+	}
+	return t
+}
+
+// PoissonPMF returns P[X = k] for X ~ Poisson(mean).
+func PoissonPMF(k int, mean float64) float64 {
+	if k < 0 || mean < 0 {
+		return 0
+	}
+	if mean == 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	return math.Exp(float64(k)*math.Log(mean) - mean - LogFactorial(k))
+}
+
+// PoissonCDF returns P[X <= k] for X ~ Poisson(mean). The summation runs in
+// the stable direction (smallest terms last are avoided by accumulating the
+// recurrence from the mode downward for large means).
+func PoissonCDF(k int, mean float64) float64 {
+	if mean < 0 {
+		return math.NaN()
+	}
+	if k < 0 {
+		return 0
+	}
+	if mean == 0 {
+		return 1
+	}
+	// Term recurrence p_{j} = p_{j-1} * mean / j starting from p_0.
+	logP0 := -mean
+	sum := 0.0
+	logTerm := logP0
+	for j := 0; j <= k; j++ {
+		if j > 0 {
+			logTerm += math.Log(mean) - math.Log(float64(j))
+		}
+		sum += math.Exp(logTerm)
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}
+
+// PoissonSurvival returns P[X > k] = 1 - CDF(k), computed by summing the
+// upper tail directly when that is the smaller quantity, which preserves
+// precision for k far above the mean.
+func PoissonSurvival(k int, mean float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	if k < 0 {
+		return 1
+	}
+	fk := float64(k)
+	if fk < mean {
+		return 1 - PoissonCDF(k, mean)
+	}
+	// Sum the tail from k+1 until terms vanish.
+	logTerm := float64(k+1)*math.Log(mean) - mean - LogFactorial(k+1)
+	term := math.Exp(logTerm)
+	sum := 0.0
+	for j := k + 1; term > 0 && (sum == 0 || term > sum*1e-18); j++ {
+		sum += term
+		term *= mean / float64(j+1)
+	}
+	if sum > 1 {
+		sum = 1
+	}
+	return sum
+}
+
+// ErlangC returns the Erlang-C delay probability for an M/M/c queue with c
+// servers and offered load a = lambda/mu (in Erlangs). It returns 1 when the
+// system is unstable (a >= c).
+func ErlangC(c int, a float64) (float64, error) {
+	if c <= 0 || a < 0 {
+		return 0, ErrDomain
+	}
+	if a == 0 {
+		return 0, nil
+	}
+	if a >= float64(c) {
+		return 1, nil
+	}
+	b, err := ErlangB(c, a)
+	if err != nil {
+		return 0, err
+	}
+	rho := a / float64(c)
+	return b / (1 - rho*(1-b)), nil
+}
+
+// ErlangB returns the Erlang-B blocking probability for an M/M/c/c loss
+// system, computed with the standard numerically stable recurrence.
+func ErlangB(c int, a float64) (float64, error) {
+	if c < 0 || a < 0 {
+		return 0, ErrDomain
+	}
+	inv := 1.0
+	for k := 1; k <= c; k++ {
+		inv = 1 + inv*float64(k)/a
+	}
+	return 1 / inv, nil
+}
+
+// HypergeomPMF returns the probability of drawing k marked items when
+// sampling n items without replacement from a population of size total that
+// contains marked marked items.
+func HypergeomPMF(k, marked, total, n int) float64 {
+	if total < 0 || marked < 0 || marked > total || n < 0 || n > total {
+		return 0
+	}
+	if k < 0 || k > marked || k > n || n-k > total-marked {
+		return 0
+	}
+	return math.Exp(logChoose(marked, k) + logChoose(total-marked, n-k) - logChoose(total, n))
+}
+
+func logChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	return LogFactorial(n) - LogFactorial(k) - LogFactorial(n-k)
+}

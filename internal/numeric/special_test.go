@@ -1,0 +1,190 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestLogFactorial(t *testing.T) {
+	tests := []struct {
+		n    int
+		want float64
+	}{
+		{0, 0},
+		{1, 0},
+		{2, math.Log(2)},
+		{5, math.Log(120)},
+		{10, math.Log(3628800)},
+	}
+	for _, tt := range tests {
+		if got := LogFactorial(tt.n); math.Abs(got-tt.want) > 1e-9 {
+			t.Errorf("LogFactorial(%d) = %v, want %v", tt.n, got, tt.want)
+		}
+	}
+	if !math.IsNaN(LogFactorial(-1)) {
+		t.Error("LogFactorial(-1) should be NaN")
+	}
+	// Table boundary: n=255 vs n=256 continuity via the recurrence.
+	d := LogFactorial(256) - LogFactorial(255)
+	if math.Abs(d-math.Log(256)) > 1e-9 {
+		t.Errorf("LogFactorial table/Lgamma seam mismatch: %v", d-math.Log(256))
+	}
+}
+
+func TestPoissonPMFSumsToOne(t *testing.T) {
+	for _, mean := range []float64{0.1, 1, 5, 25, 120} {
+		sum := 0.0
+		for k := 0; k < int(mean)+200; k++ {
+			sum += PoissonPMF(k, mean)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("pmf(mean=%v) sums to %v", mean, sum)
+		}
+	}
+}
+
+func TestPoissonCDFMatchesPMFSum(t *testing.T) {
+	for _, mean := range []float64{0.5, 3, 17} {
+		run := 0.0
+		for k := 0; k <= 60; k++ {
+			run += PoissonPMF(k, mean)
+			if got := PoissonCDF(k, mean); math.Abs(got-run) > 1e-9 {
+				t.Fatalf("CDF(%d, %v) = %v, want %v", k, mean, got, run)
+			}
+		}
+	}
+}
+
+func TestPoissonSurvivalComplement(t *testing.T) {
+	for _, mean := range []float64{0.2, 2, 40} {
+		for k := -1; k < int(mean)+40; k++ {
+			c := PoissonCDF(k, mean)
+			s := PoissonSurvival(k, mean)
+			if math.Abs(c+s-1) > 1e-9 {
+				t.Fatalf("cdf+survival != 1 at k=%d mean=%v: %v", k, mean, c+s)
+			}
+		}
+	}
+}
+
+func TestPoissonEdgeCases(t *testing.T) {
+	if got := PoissonPMF(0, 0); got != 1 {
+		t.Errorf("PMF(0,0) = %v", got)
+	}
+	if got := PoissonPMF(3, 0); got != 0 {
+		t.Errorf("PMF(3,0) = %v", got)
+	}
+	if got := PoissonCDF(5, 0); got != 1 {
+		t.Errorf("CDF(5,0) = %v", got)
+	}
+	if got := PoissonCDF(-1, 2); got != 0 {
+		t.Errorf("CDF(-1,2) = %v", got)
+	}
+	if got := PoissonSurvival(-1, 2); got != 1 {
+		t.Errorf("Survival(-1,2) = %v", got)
+	}
+}
+
+func TestPoissonCDFMonotoneProperty(t *testing.T) {
+	f := func(kRaw uint8, meanRaw uint16) bool {
+		k := int(kRaw % 100)
+		mean := float64(meanRaw%5000)/100 + 0.01
+		return PoissonCDF(k, mean) <= PoissonCDF(k+1, mean)+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestErlangB(t *testing.T) {
+	// Known values: B(1, a) = a/(1+a).
+	for _, a := range []float64{0.1, 1, 4} {
+		got, err := ErlangB(1, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := a / (1 + a)
+		if math.Abs(got-want) > 1e-12 {
+			t.Errorf("ErlangB(1,%v) = %v, want %v", a, got, want)
+		}
+	}
+	// Classical reference value: B(10, 5) ~= 0.018385.
+	got, err := ErlangB(10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.0183845) > 1e-4 {
+		t.Errorf("ErlangB(10,5) = %v", got)
+	}
+}
+
+func TestErlangC(t *testing.T) {
+	// M/M/1: C(1, rho) = rho.
+	for _, rho := range []float64{0.1, 0.5, 0.9} {
+		got, err := ErlangC(1, rho)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-rho) > 1e-12 {
+			t.Errorf("ErlangC(1,%v) = %v", rho, got)
+		}
+	}
+	if p, err := ErlangC(3, 3.5); err != nil || p != 1 {
+		t.Errorf("unstable ErlangC = %v, %v; want 1, nil", p, err)
+	}
+	if _, err := ErlangC(0, 1); err == nil {
+		t.Error("ErlangC(0,1) should fail")
+	}
+	if p, err := ErlangC(4, 0); err != nil || p != 0 {
+		t.Errorf("ErlangC(4,0) = %v, %v", p, err)
+	}
+}
+
+func TestHypergeomPMFSumsToOne(t *testing.T) {
+	cases := []struct{ marked, total, n int }{
+		{3, 10, 4}, {0, 5, 3}, {5, 5, 2}, {7, 20, 20}, {2, 9, 0},
+	}
+	for _, c := range cases {
+		sum := 0.0
+		for k := 0; k <= c.n; k++ {
+			sum += HypergeomPMF(k, c.marked, c.total, c.n)
+		}
+		if math.Abs(sum-1) > 1e-10 {
+			t.Errorf("hypergeom(%+v) sums to %v", c, sum)
+		}
+	}
+}
+
+func TestHypergeomPMFMeanProperty(t *testing.T) {
+	// E[K] = n * marked / total.
+	f := func(m, tExtra, nRaw uint8) bool {
+		marked := int(m % 12)
+		total := marked + int(tExtra%12)
+		if total == 0 {
+			return true
+		}
+		n := int(nRaw) % (total + 1)
+		mean := 0.0
+		for k := 0; k <= n; k++ {
+			mean += float64(k) * HypergeomPMF(k, marked, total, n)
+		}
+		want := float64(n) * float64(marked) / float64(total)
+		return math.Abs(mean-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHypergeomPMFInvalid(t *testing.T) {
+	if HypergeomPMF(1, 2, 1, 1) != 0 { // marked > total
+		t.Error("invalid population accepted")
+	}
+	if HypergeomPMF(-1, 2, 4, 2) != 0 {
+		t.Error("negative k accepted")
+	}
+	if HypergeomPMF(3, 2, 4, 3) != 0 { // k > marked
+		t.Error("k > marked accepted")
+	}
+}

@@ -1,0 +1,81 @@
+package numeric
+
+import "math"
+
+// Sum returns the sum of the elements of v.
+func Sum(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Dot returns the inner product of a and b; the slices must have equal
+// length.
+func Dot(a, b []float64) float64 {
+	s := 0.0
+	for i, x := range a {
+		s += x * b[i]
+	}
+	return s
+}
+
+// Normalize scales v in place so its elements sum to one and returns the
+// original sum. When the sum is zero the vector is left unchanged.
+func Normalize(v []float64) float64 {
+	s := Sum(v)
+	if s == 0 {
+		return 0
+	}
+	inv := 1 / s
+	for i := range v {
+		v[i] *= inv
+	}
+	return s
+}
+
+// MaxAbsDiff returns max_i |a[i]-b[i]|.
+func MaxAbsDiff(a, b []float64) float64 {
+	m := 0.0
+	for i, x := range a {
+		d := math.Abs(x - b[i])
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// L1Diff returns sum_i |a[i]-b[i]|.
+func L1Diff(a, b []float64) float64 {
+	s := 0.0
+	for i, x := range a {
+		s += math.Abs(x - b[i])
+	}
+	return s
+}
+
+// Clone returns a copy of v.
+func Clone(v []float64) []float64 {
+	c := make([]float64, len(v))
+	copy(c, v)
+	return c
+}
+
+// Fill sets every element of v to x.
+func Fill(v []float64, x float64) {
+	for i := range v {
+		v[i] = x
+	}
+}
+
+// RelErr returns |got-want| / max(|want|, floor); floor guards against
+// division by values near zero.
+func RelErr(got, want, floor float64) float64 {
+	den := math.Abs(want)
+	if den < floor {
+		den = floor
+	}
+	return math.Abs(got-want) / den
+}

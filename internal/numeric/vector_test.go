@@ -1,0 +1,100 @@
+package numeric
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSumDot(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{4, 5, 6}
+	if got := Sum(a); got != 6 {
+		t.Errorf("Sum = %v", got)
+	}
+	if got := Dot(a, b); got != 32 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := Sum(nil); got != 0 {
+		t.Errorf("Sum(nil) = %v", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := []float64{2, 6}
+	s := Normalize(v)
+	if s != 8 {
+		t.Errorf("Normalize returned %v", s)
+	}
+	if v[0] != 0.25 || v[1] != 0.75 {
+		t.Errorf("Normalize result %v", v)
+	}
+	z := []float64{0, 0}
+	if got := Normalize(z); got != 0 || z[0] != 0 {
+		t.Errorf("Normalize zero vector changed: %v, %v", got, z)
+	}
+}
+
+func TestDiffHelpers(t *testing.T) {
+	a := []float64{1, 5, -2}
+	b := []float64{2, 3, -2}
+	if got := MaxAbsDiff(a, b); got != 2 {
+		t.Errorf("MaxAbsDiff = %v", got)
+	}
+	if got := L1Diff(a, b); got != 3 {
+		t.Errorf("L1Diff = %v", got)
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := []float64{1, 2}
+	c := Clone(a)
+	c[0] = 9
+	if a[0] != 1 {
+		t.Error("Clone aliases input")
+	}
+}
+
+func TestFill(t *testing.T) {
+	v := make([]float64, 3)
+	Fill(v, 2.5)
+	for _, x := range v {
+		if x != 2.5 {
+			t.Fatalf("Fill result %v", v)
+		}
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if got := RelErr(1.1, 1.0, 1e-9); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RelErr = %v", got)
+	}
+	// Floor applies when want is tiny.
+	if got := RelErr(0.5, 0, 1); got != 0.5 {
+		t.Errorf("RelErr floor = %v", got)
+	}
+}
+
+func TestNormalizePropertySumsToOne(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		v := make([]float64, len(raw))
+		any := false
+		for i, r := range raw {
+			v[i] = float64(r)
+			if r != 0 {
+				any = true
+			}
+		}
+		Normalize(v)
+		if !any {
+			return Sum(v) == 0
+		}
+		return math.Abs(Sum(v)-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

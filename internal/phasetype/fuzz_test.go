@@ -1,0 +1,33 @@
+package phasetype
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzFitTwoMoment: the fitter either errors or returns a distribution
+// reproducing the requested moments.
+func FuzzFitTwoMoment(f *testing.F) {
+	f.Add(1.0, 1.0)
+	f.Add(2.5, 0.2)
+	f.Add(0.3, 9.0)
+	f.Fuzz(func(t *testing.T, mean, scv float64) {
+		if mean <= 0 || scv <= 0 || mean > 1e6 || scv > 1e4 ||
+			math.IsNaN(mean) || math.IsNaN(scv) || math.IsInf(mean, 0) || math.IsInf(scv, 0) {
+			return
+		}
+		if scv < 1e-3 {
+			return // thousands of Erlang phases: out of the practical domain
+		}
+		d, err := FitTwoMoment(mean, scv)
+		if err != nil {
+			return
+		}
+		if math.Abs(d.Mean()-mean) > 1e-6*mean {
+			t.Errorf("fit(%v,%v): mean %v", mean, scv, d.Mean())
+		}
+		if math.Abs(d.SCV()-scv) > 1e-3*scv {
+			t.Errorf("fit(%v,%v): scv %v", mean, scv, d.SCV())
+		}
+	})
+}

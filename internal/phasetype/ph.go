@@ -1,0 +1,121 @@
+package phasetype
+
+import (
+	"fmt"
+	"math"
+)
+
+// PH is the canonical (alpha, rates, next) representation of a phase-type
+// distribution: a job starts in phase i with probability Alpha[i]; phase i
+// completes at rate Rates[i] and then moves to phase j with probability
+// Next[i][j] or absorbs (service ends) with the remaining probability.
+// This is the form the M/PH/N Markov model consumes.
+type PH struct {
+	Alpha []float64
+	Rates []float64
+	Next  [][]float64
+}
+
+// Phases returns the number of phases.
+func (p PH) Phases() int { return len(p.Alpha) }
+
+// Validate checks stochasticity of Alpha and the rows of Next.
+func (p PH) Validate() error {
+	m := len(p.Alpha)
+	if m == 0 || len(p.Rates) != m || len(p.Next) != m {
+		return fmt.Errorf("phasetype: inconsistent PH dimensions (%d phases, %d rates, %d rows)",
+			m, len(p.Rates), len(p.Next))
+	}
+	sum := 0.0
+	for _, a := range p.Alpha {
+		if a < 0 {
+			return fmt.Errorf("phasetype: negative initial probability %v", a)
+		}
+		sum += a
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		return fmt.Errorf("phasetype: initial distribution sums to %v", sum)
+	}
+	for i, r := range p.Rates {
+		if r <= 0 {
+			return fmt.Errorf("phasetype: phase %d has rate %v", i, r)
+		}
+		if len(p.Next[i]) != m {
+			return fmt.Errorf("phasetype: row %d has %d entries", i, len(p.Next[i]))
+		}
+		row := 0.0
+		for _, q := range p.Next[i] {
+			if q < 0 {
+				return fmt.Errorf("phasetype: negative transition probability in row %d", i)
+			}
+			row += q
+		}
+		if row > 1+1e-9 {
+			return fmt.Errorf("phasetype: row %d sums to %v > 1", i, row)
+		}
+	}
+	return nil
+}
+
+// AbsorbProb returns the probability that completing phase i ends service.
+func (p PH) AbsorbProb(i int) float64 {
+	row := 0.0
+	for _, q := range p.Next[i] {
+		row += q
+	}
+	if row > 1 {
+		return 0
+	}
+	return 1 - row
+}
+
+// Representable is implemented by distributions with an exact PH form.
+type Representable interface {
+	PH() PH
+}
+
+// PH implements Representable: one phase absorbing immediately.
+func (e Exponential) PH() PH {
+	return PH{Alpha: []float64{1}, Rates: []float64{e.Rate}, Next: [][]float64{{0}}}
+}
+
+// PH implements Representable: a chain of K phases.
+func (e Erlang) PH() PH {
+	m := e.K
+	ph := PH{Alpha: make([]float64, m), Rates: make([]float64, m), Next: make([][]float64, m)}
+	ph.Alpha[0] = 1
+	for i := 0; i < m; i++ {
+		ph.Rates[i] = e.Rate
+		ph.Next[i] = make([]float64, m)
+		if i+1 < m {
+			ph.Next[i][i+1] = 1
+		}
+	}
+	return ph
+}
+
+// PH implements Representable: the K-phase Erlang chain entered at the
+// second phase with probability P (skipping one stage).
+func (m MixedErlang) PH() PH {
+	ph := Erlang{K: m.K, Rate: m.Rate}.PH()
+	ph.Alpha[0] = 1 - m.P
+	ph.Alpha[1] = m.P
+	return ph
+}
+
+// PH implements Representable: two parallel absorbing phases.
+func (h HyperExp2) PH() PH {
+	return PH{
+		Alpha: []float64{h.P, 1 - h.P},
+		Rates: []float64{h.Rate1, h.Rate2},
+		Next:  [][]float64{{0, 0}, {0, 0}},
+	}
+}
+
+// Compile-time representability of the concrete distributions.
+var (
+	_ Representable = Exponential{}
+	_ Representable = Erlang{}
+	_ Representable = MixedErlang{}
+	_ Representable = HyperExp2{}
+)

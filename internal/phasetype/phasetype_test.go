@@ -1,0 +1,156 @@
+package phasetype
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// sampleMoments estimates mean and SCV empirically.
+func sampleMoments(d Distribution, n int, seed int64) (mean, scv float64) {
+	rng := rand.New(rand.NewSource(seed))
+	sum, sum2 := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		x := d.Sample(rng)
+		sum += x
+		sum2 += x * x
+	}
+	mean = sum / float64(n)
+	m2 := sum2 / float64(n)
+	scv = (m2 - mean*mean) / (mean * mean)
+	return mean, scv
+}
+
+func TestExponentialMoments(t *testing.T) {
+	e := Exponential{Rate: 2}
+	if e.Mean() != 0.5 || e.SCV() != 1 {
+		t.Errorf("mean %v scv %v", e.Mean(), e.SCV())
+	}
+	mean, scv := sampleMoments(e, 200000, 1)
+	if math.Abs(mean-0.5) > 0.01 || math.Abs(scv-1) > 0.05 {
+		t.Errorf("sampled mean %v scv %v", mean, scv)
+	}
+}
+
+func TestErlangMoments(t *testing.T) {
+	e := Erlang{K: 4, Rate: 2}
+	if e.Mean() != 2 || e.SCV() != 0.25 {
+		t.Errorf("mean %v scv %v", e.Mean(), e.SCV())
+	}
+	mean, scv := sampleMoments(e, 200000, 2)
+	if math.Abs(mean-2) > 0.02 || math.Abs(scv-0.25) > 0.02 {
+		t.Errorf("sampled mean %v scv %v", mean, scv)
+	}
+}
+
+func TestHyperExp2Moments(t *testing.T) {
+	h := HyperExp2{P: 0.3, Rate1: 3, Rate2: 0.5}
+	mean, scv := sampleMoments(h, 400000, 3)
+	if math.Abs(mean-h.Mean()) > 0.02*h.Mean() {
+		t.Errorf("sampled mean %v, want %v", mean, h.Mean())
+	}
+	if math.Abs(scv-h.SCV()) > 0.1*h.SCV() {
+		t.Errorf("sampled scv %v, want %v", scv, h.SCV())
+	}
+	if h.SCV() <= 1 {
+		t.Errorf("hyperexponential SCV %v should exceed 1", h.SCV())
+	}
+}
+
+func TestMixedErlangMoments(t *testing.T) {
+	m := MixedErlang{K: 3, P: 0.4, Rate: 2}
+	mean, scv := sampleMoments(m, 400000, 4)
+	if math.Abs(mean-m.Mean()) > 0.01*m.Mean() {
+		t.Errorf("sampled mean %v, want %v", mean, m.Mean())
+	}
+	if math.Abs(scv-m.SCV()) > 0.1*m.SCV() {
+		t.Errorf("sampled scv %v, want %v", scv, m.SCV())
+	}
+}
+
+func TestFitTwoMomentExact(t *testing.T) {
+	tests := []struct{ mean, scv float64 }{
+		{1, 1}, {2, 0.5}, {0.7, 0.31}, {1.5, 0.09}, {1, 2}, {3, 8},
+	}
+	for _, tt := range tests {
+		d, err := FitTwoMoment(tt.mean, tt.scv)
+		if err != nil {
+			t.Fatalf("fit(%v, %v): %v", tt.mean, tt.scv, err)
+		}
+		if math.Abs(d.Mean()-tt.mean) > 1e-9*tt.mean {
+			t.Errorf("fit(%v, %v): mean %v", tt.mean, tt.scv, d.Mean())
+		}
+		if math.Abs(d.SCV()-tt.scv) > 1e-6*tt.scv {
+			t.Errorf("fit(%v, %v): scv %v", tt.mean, tt.scv, d.SCV())
+		}
+	}
+}
+
+func TestFitTwoMomentChoosesFamily(t *testing.T) {
+	d, err := FitTwoMoment(1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.(Exponential); !ok {
+		t.Errorf("scv=1 fit %T", d)
+	}
+	d, err = FitTwoMoment(1, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.(MixedErlang); !ok {
+		t.Errorf("scv<1 fit %T", d)
+	}
+	d, err = FitTwoMoment(1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := d.(HyperExp2); !ok {
+		t.Errorf("scv>1 fit %T", d)
+	}
+}
+
+func TestFitTwoMomentRejectsBadInput(t *testing.T) {
+	for _, tt := range []struct{ mean, scv float64 }{
+		{0, 1}, {-1, 1}, {1, 0}, {1, -2}, {math.NaN(), 1}, {1, math.NaN()},
+	} {
+		if _, err := FitTwoMoment(tt.mean, tt.scv); err == nil {
+			t.Errorf("fit(%v, %v) accepted", tt.mean, tt.scv)
+		}
+	}
+}
+
+// Property: the fitter is exact across the feasible (mean, scv) plane.
+func TestFitTwoMomentProperty(t *testing.T) {
+	f := func(mRaw, sRaw uint16) bool {
+		mean := float64(mRaw%1000)/100 + 0.01
+		scv := float64(sRaw%800)/100 + 0.02
+		d, err := FitTwoMoment(mean, scv)
+		if err != nil {
+			return false
+		}
+		return math.Abs(d.Mean()-mean) < 1e-6*mean && math.Abs(d.SCV()-scv) < 1e-4*scv
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: samples are positive.
+func TestSamplesPositiveProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	dists := []Distribution{
+		Exponential{Rate: 1},
+		Erlang{K: 3, Rate: 2},
+		MixedErlang{K: 2, P: 0.5, Rate: 1},
+		HyperExp2{P: 0.2, Rate1: 4, Rate2: 0.4},
+	}
+	for _, d := range dists {
+		for i := 0; i < 1000; i++ {
+			if x := d.Sample(rng); x <= 0 || math.IsNaN(x) {
+				t.Fatalf("%T sampled %v", d, x)
+			}
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Package profiles applies SC-Share to heterogeneous VM offerings, the
+// way Sect. VII prescribes: real SCs sell several VM profiles
+// (memory-optimized, CPU-optimized, ...), each with its own capacity,
+// workload, and prices, and "the model of homogeneous resources can be
+// applied repeatedly to each VM profile". A profile set couples one
+// federation per profile over the same SCs; sharing decisions and markets
+// run per profile, and per-SC results aggregate across profiles.
+package profiles
+
+import (
+	"errors"
+	"fmt"
+
+	"scshare/internal/cloud"
+	"scshare/internal/market"
+)
+
+// Common errors.
+var (
+	ErrNoProfiles   = errors.New("profiles: at least one profile required")
+	ErrInconsistent = errors.New("profiles: profiles must cover the same SCs")
+)
+
+// Profile is one VM offering shared across the same set of SCs.
+type Profile struct {
+	// Name identifies the offering ("general", "gpu", ...).
+	Name string
+	// Federation holds the per-profile capacities, workloads and prices;
+	// SCs are index-aligned across profiles.
+	Federation cloud.Federation
+}
+
+// Set is a validated collection of profiles over K SCs.
+type Set struct {
+	Profiles []Profile
+	k        int
+}
+
+// NewSet validates that every profile covers the same number of SCs.
+func NewSet(profiles []Profile) (*Set, error) {
+	if len(profiles) == 0 {
+		return nil, ErrNoProfiles
+	}
+	k := len(profiles[0].Federation.SCs)
+	for _, p := range profiles {
+		if err := p.Federation.Validate(); err != nil {
+			return nil, fmt.Errorf("profiles: %s: %w", p.Name, err)
+		}
+		if len(p.Federation.SCs) != k {
+			return nil, fmt.Errorf("%w: %s has %d SCs, want %d",
+				ErrInconsistent, p.Name, len(p.Federation.SCs), k)
+		}
+	}
+	return &Set{Profiles: profiles, k: k}, nil
+}
+
+// SCs returns the number of SCs covered by the set.
+func (s *Set) SCs() int { return s.k }
+
+// Report aggregates per-profile evaluations.
+type Report struct {
+	// PerProfile[p][i] is SC i's metrics under profile p.
+	PerProfile [][]cloud.Metrics
+	// Shares[p] is the sharing decision used for profile p.
+	Shares [][]int
+	// TotalCost[i] is SC i's operating cost summed over profiles (Eq. 1
+	// applied per profile).
+	TotalCost []float64
+}
+
+// Evaluate computes every profile's metrics under the given per-profile
+// sharing decisions and aggregates costs per SC.
+func (s *Set) Evaluate(shares [][]int, eval func(p Profile, shares []int, target int) (cloud.Metrics, error)) (*Report, error) {
+	if len(shares) != len(s.Profiles) {
+		return nil, fmt.Errorf("profiles: %d share vectors for %d profiles", len(shares), len(s.Profiles))
+	}
+	rep := &Report{TotalCost: make([]float64, s.k)}
+	for pi, p := range s.Profiles {
+		if err := p.Federation.ValidateShares(shares[pi]); err != nil {
+			return nil, fmt.Errorf("profiles: %s: %w", p.Name, err)
+		}
+		ms := make([]cloud.Metrics, s.k)
+		for i := 0; i < s.k; i++ {
+			m, err := eval(p, shares[pi], i)
+			if err != nil {
+				return nil, fmt.Errorf("profiles: %s: SC %d: %w", p.Name, i, err)
+			}
+			ms[i] = m
+			rep.TotalCost[i] += m.NetCost(p.Federation.SCs[i].PublicPrice, p.Federation.FederationPrice)
+		}
+		rep.PerProfile = append(rep.PerProfile, ms)
+		rep.Shares = append(rep.Shares, append([]int(nil), shares[pi]...))
+	}
+	return rep, nil
+}
+
+// Negotiate runs one market game per profile (profiles are negotiated
+// separately, as the paper suggests, since they carry different prices and
+// capacities) and returns the aggregated report at the per-profile
+// equilibria.
+func (s *Set) Negotiate(mkGame func(p Profile) *market.Game) (*Report, []*market.Outcome, error) {
+	shares := make([][]int, len(s.Profiles))
+	outcomes := make([]*market.Outcome, len(s.Profiles))
+	games := make([]*market.Game, len(s.Profiles))
+	for pi, p := range s.Profiles {
+		g := mkGame(p)
+		out, err := g.Run(nil)
+		if err != nil {
+			return nil, nil, fmt.Errorf("profiles: %s: %w", p.Name, err)
+		}
+		shares[pi] = out.Shares
+		outcomes[pi] = out
+		games[pi] = g
+	}
+	rep, err := s.Evaluate(shares, func(p Profile, sh []int, target int) (cloud.Metrics, error) {
+		for pi := range s.Profiles {
+			if s.Profiles[pi].Name == p.Name {
+				return games[pi].Evaluator.Evaluate(sh, target)
+			}
+		}
+		return cloud.Metrics{}, fmt.Errorf("profiles: unknown profile %q", p.Name)
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return rep, outcomes, nil
+}

@@ -1,0 +1,31 @@
+package queueing
+
+import (
+	"testing"
+
+	"scshare/internal/cloud"
+)
+
+func BenchmarkSolveSmall(b *testing.B) {
+	sc := cloud.SC{VMs: 10, ArrivalRate: 8, ServiceRate: 1, SLA: 0.2, PublicPrice: 1}
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveLarge(b *testing.B) {
+	sc := cloud.SC{VMs: 1000, ArrivalRate: 900, ServiceRate: 1, SLA: 0.2, PublicPrice: 1}
+	for i := 0; i < b.N; i++ {
+		if _, err := Solve(sc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPNoForward(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		PNoForward(15+i%10, 10, 1, 0.2)
+	}
+}

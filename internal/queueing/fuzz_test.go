@@ -1,0 +1,20 @@
+package queueing
+
+import "testing"
+
+// FuzzPNoForward: the admission probability is a probability for every
+// input combination.
+func FuzzPNoForward(f *testing.F) {
+	f.Add(10, 5, 1.0, 0.2)
+	f.Add(0, 0, 0.0, 0.0)
+	f.Add(1000, 3, 2.5, 7.0)
+	f.Fuzz(func(t *testing.T, q, n int, mu, sla float64) {
+		if q < -1000 || q > 100000 || n < -10 || n > 10000 {
+			return // keep the domain bounded for the tail summation
+		}
+		p := PNoForward(q, n, mu, sla)
+		if p < 0 || p > 1 || p != p {
+			t.Errorf("PNoForward(%d,%d,%v,%v) = %v", q, n, mu, sla, p)
+		}
+	})
+}

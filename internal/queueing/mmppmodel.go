@@ -1,0 +1,96 @@
+package queueing
+
+import (
+	"fmt"
+
+	"scshare/internal/cloud"
+	"scshare/internal/markov"
+	"scshare/internal/workload"
+)
+
+// MMPPModel is the MMPP(2)/M/N no-sharing model: the Sect. VII
+// generalization of the Sect. III-A chain to bursty, Markov-modulated
+// arrivals. The state couples the request count with the modulating
+// environment; forwarding statistics are weighted by the state-dependent
+// arrival rate (PASTA does not hold under MMPP, so arrivals preferentially
+// sample the busy phase).
+type MMPPModel struct {
+	sc    cloud.SC
+	stats cloud.Metrics
+}
+
+// SolveMMPP builds and solves the chain for an SC whose arrivals follow a
+// two-state MMPP (rate1/rate2 with switching rates r12/r21). The SC's
+// ArrivalRate field is ignored; its ServiceRate and SLA drive service and
+// admission as usual.
+func SolveMMPP(sc cloud.SC, rate1, rate2, r12, r21 float64) (*MMPPModel, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, fmt.Errorf("queueing: %w", err)
+	}
+	if rate1 <= 0 || rate2 <= 0 || r12 <= 0 || r21 <= 0 {
+		return nil, fmt.Errorf("queueing: %w", workload.ErrBadParams)
+	}
+	qmax := TruncationLevel(sc.VMs, sc.ServiceRate, sc.SLA)
+	lambda := [2]float64{rate1, rate2}
+	sw := [2]float64{r12, r21}
+	idx := func(q, env int) int { return q*2 + env }
+
+	b := markov.NewBuilder((qmax + 1) * 2)
+	for q := 0; q <= qmax; q++ {
+		for env := 0; env < 2; env++ {
+			// Environment switching.
+			b.Add(idx(q, env), idx(q, 1-env), sw[env])
+			// Arrivals with SLA admission.
+			if q < qmax {
+				p := PNoForward(q, sc.VMs, sc.ServiceRate, sc.SLA)
+				if p > 0 {
+					b.Add(idx(q, env), idx(q+1, env), lambda[env]*p)
+				}
+			}
+			// Service completions.
+			if q > 0 {
+				b.Add(idx(q, env), idx(q-1, env), float64(min(q, sc.VMs))*sc.ServiceRate)
+			}
+		}
+	}
+	chain, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("queueing: %w", err)
+	}
+	pi, err := chain.SteadyStateGaussSeidel(markov.SteadyStateOptions{Tol: 1e-11})
+	if err != nil {
+		return nil, fmt.Errorf("queueing: %w", err)
+	}
+
+	var arrivalMass, forwardMass, busy float64
+	for q := 0; q <= qmax; q++ {
+		pnf := PNoForward(q, sc.VMs, sc.ServiceRate, sc.SLA)
+		if q >= qmax {
+			pnf = 0 // truncated states forward with certainty
+		}
+		for env := 0; env < 2; env++ {
+			p := pi[idx(q, env)]
+			if p == 0 {
+				continue
+			}
+			arrivalMass += p * lambda[env]
+			forwardMass += p * lambda[env] * (1 - pnf)
+			busy += p * float64(min(q, sc.VMs))
+		}
+	}
+	m := &MMPPModel{sc: sc}
+	fwd := 0.0
+	if arrivalMass > 0 {
+		fwd = forwardMass / arrivalMass
+	}
+	m.stats = cloud.Metrics{
+		PublicRate:  forwardMass,
+		ForwardProb: fwd,
+		Utilization: busy / float64(sc.VMs),
+	}
+	return m, nil
+}
+
+// Metrics returns the no-sharing performance parameters under MMPP
+// arrivals.
+func (m *MMPPModel) Metrics() cloud.Metrics { return m.stats }

@@ -1,0 +1,83 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+
+	"scshare/internal/cloud"
+	"scshare/internal/numeric"
+)
+
+func TestSolveMMPPValidation(t *testing.T) {
+	sc := cloud.SC{VMs: 5, ArrivalRate: 1, ServiceRate: 1, SLA: 0.2, PublicPrice: 1}
+	if _, err := SolveMMPP(cloud.SC{}, 1, 1, 1, 1); err == nil {
+		t.Error("invalid SC accepted")
+	}
+	if _, err := SolveMMPP(sc, 0, 1, 1, 1); err == nil {
+		t.Error("zero rate accepted")
+	}
+}
+
+// With equal rates in both environments the MMPP degenerates to Poisson
+// and must match the Sect. III-A model exactly.
+func TestMMPPDegeneratesToPoisson(t *testing.T) {
+	sc := cloud.SC{VMs: 10, ArrivalRate: 8, ServiceRate: 1, SLA: 0.2, PublicPrice: 1}
+	m, err := SolveMMPP(sc, 8, 8, 0.5, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Solve(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := m.Metrics(), ref.Metrics()
+	if numeric.RelErr(got.ForwardProb, want.ForwardProb, 1e-9) > 1e-4 {
+		t.Errorf("forward prob %v, want %v", got.ForwardProb, want.ForwardProb)
+	}
+	if numeric.RelErr(got.Utilization, want.Utilization, 1e-9) > 1e-4 {
+		t.Errorf("utilization %v, want %v", got.Utilization, want.Utilization)
+	}
+}
+
+// Burstiness at the same long-run rate must raise forwarding: the analytic
+// confirmation of the bursty-workloads example.
+func TestBurstinessRaisesForwarding(t *testing.T) {
+	sc := cloud.SC{VMs: 10, ArrivalRate: 7, ServiceRate: 1, SLA: 0.2, PublicPrice: 1}
+	poissonRef, err := Solve(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MMPP with long-run rate 7: pi1 = 0.5, rates 12 and 2.
+	bursty, err := SolveMMPP(sc, 12, 2, 0.05, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bursty.Metrics().ForwardProb <= poissonRef.Metrics().ForwardProb {
+		t.Errorf("bursty forwarding %v <= Poisson %v",
+			bursty.Metrics().ForwardProb, poissonRef.Metrics().ForwardProb)
+	}
+	// Slower switching (longer bursts) is worse than faster switching.
+	fast, err := SolveMMPP(sc, 12, 2, 5, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bursty.Metrics().ForwardProb <= fast.Metrics().ForwardProb {
+		t.Errorf("long bursts %v <= short bursts %v",
+			bursty.Metrics().ForwardProb, fast.Metrics().ForwardProb)
+	}
+}
+
+func TestMMPPMetricsRange(t *testing.T) {
+	sc := cloud.SC{VMs: 8, ArrivalRate: 1, ServiceRate: 1, SLA: 0.3, PublicPrice: 1}
+	m, err := SolveMMPP(sc, 10, 1, 0.2, 0.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := m.Metrics()
+	if g.ForwardProb < 0 || g.ForwardProb > 1 || g.Utilization < 0 || g.Utilization > 1 {
+		t.Errorf("metrics out of range: %+v", g)
+	}
+	if math.Abs(g.PublicRate) < 1e-15 && g.ForwardProb > 1e-12 {
+		t.Errorf("inconsistent public rate: %+v", g)
+	}
+}

@@ -1,0 +1,196 @@
+// Package queueing implements the degenerate no-sharing performance model
+// of Sect. III-A: an SC in isolation is a birth-death Markov chain whose
+// arrival stream is thinned by the SLA-dependent admission probability
+// P^NF(q, N, Q). The chain's product-form steady state yields the
+// public-cloud forwarding rate P-bar^0, the utilization rho^0, and hence
+// the baseline cost C^0 that anchors the market model's utilities.
+package queueing
+
+import (
+	"fmt"
+	"math"
+
+	"scshare/internal/cloud"
+	"scshare/internal/numeric"
+)
+
+// PNoForward returns P^NF(q, n, Q): the probability that a request arriving
+// when q requests occupy a pool of n VMs (each completing at rate mu) will
+// begin service within Q time units, and is therefore queued rather than
+// forwarded to a public cloud. For q < n an idle VM exists and the request
+// is always accepted.
+//
+// With FCFS service and exponential service times, an arrival finding
+// q >= n requests ahead of it needs more than q-n departures within Q;
+// departures occur at rate n*mu, so the count is Poisson(n*mu*Q):
+//
+//	P^NF = 1 - sum_{j=0}^{q-n} e^{-n mu Q} (n mu Q)^j / j!
+func PNoForward(q, n int, mu, sla float64) float64 {
+	if q < n {
+		return 1
+	}
+	if n <= 0 || mu <= 0 || sla <= 0 {
+		return 0
+	}
+	return numeric.PoissonSurvival(q-n, float64(n)*mu*sla)
+}
+
+// TruncationLevel returns the queue length at which the no-sharing chain is
+// truncated: far enough beyond N that P^NF has decayed to numerical zero
+// and the neglected states carry negligible probability mass.
+func TruncationLevel(n int, mu, sla float64) int {
+	mean := float64(n) * mu * sla
+	q := n + int(math.Ceil(mean+10*math.Sqrt(mean))) + 20
+	for PNoForward(q, n, mu, sla) > 1e-12 {
+		q += 10
+	}
+	return q
+}
+
+// Model is the solved no-sharing chain for one SC.
+type Model struct {
+	sc    cloud.SC
+	qmax  int
+	pi    []float64
+	stats cloud.Metrics
+}
+
+// Solve builds and solves the no-sharing model for the SC. The birth-death
+// structure admits a closed-form (product form) stationary distribution,
+// computed in log space for numerical robustness.
+func Solve(sc cloud.SC) (*Model, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, fmt.Errorf("queueing: %w", err)
+	}
+	qmax := TruncationLevel(sc.VMs, sc.ServiceRate, sc.SLA)
+	logw := make([]float64, qmax+1)
+	for q := 1; q <= qmax; q++ {
+		birth := sc.ArrivalRate * PNoForward(q-1, sc.VMs, sc.ServiceRate, sc.SLA)
+		death := math.Min(float64(q), float64(sc.VMs)) * sc.ServiceRate
+		if birth == 0 {
+			// All following states are unreachable.
+			logw = logw[:q]
+			break
+		}
+		logw[q] = logw[q-1] + math.Log(birth) - math.Log(death)
+	}
+	// Normalize via log-sum-exp.
+	maxLog := logw[0]
+	for _, lw := range logw {
+		if lw > maxLog {
+			maxLog = lw
+		}
+	}
+	pi := make([]float64, len(logw))
+	sum := 0.0
+	for q, lw := range logw {
+		pi[q] = math.Exp(lw - maxLog)
+		sum += pi[q]
+	}
+	for q := range pi {
+		pi[q] /= sum
+	}
+
+	m := &Model{sc: sc, qmax: len(pi) - 1, pi: pi}
+	m.stats = m.computeMetrics()
+	return m, nil
+}
+
+func (m *Model) computeMetrics() cloud.Metrics {
+	forward := 0.0
+	busy := 0.0
+	for q, p := range m.pi {
+		forward += p * (1 - PNoForward(q, m.sc.VMs, m.sc.ServiceRate, m.sc.SLA))
+		busy += p * math.Min(float64(q), float64(m.sc.VMs))
+	}
+	return cloud.Metrics{
+		PublicRate:  m.sc.ArrivalRate * forward,
+		ForwardProb: forward,
+		Utilization: busy / float64(m.sc.VMs),
+	}
+}
+
+// Metrics returns the no-sharing performance parameters: O-bar and I-bar
+// are zero by definition (Sect. III-A).
+func (m *Model) Metrics() cloud.Metrics { return m.stats }
+
+// StateDistribution returns a copy of the stationary distribution over the
+// number of requests in the system.
+func (m *Model) StateDistribution() []float64 { return numeric.Clone(m.pi) }
+
+// MeanJobs returns the stationary mean number of requests in the system.
+func (m *Model) MeanJobs() float64 {
+	mean := 0.0
+	for q, p := range m.pi {
+		mean += float64(q) * p
+	}
+	return mean
+}
+
+// MeanQueueLength returns the stationary mean number of waiting requests.
+func (m *Model) MeanQueueLength() float64 {
+	mean := 0.0
+	for q, p := range m.pi {
+		if q > m.sc.VMs {
+			mean += float64(q-m.sc.VMs) * p
+		}
+	}
+	return mean
+}
+
+// BaselineCost returns C_i^0 from Eq. (1) with no sharing: only the
+// public-cloud term survives.
+func (m *Model) BaselineCost() float64 {
+	return m.stats.NetCost(m.sc.PublicPrice, 0)
+}
+
+// MaxState returns the truncation level actually used.
+func (m *Model) MaxState() int { return m.qmax }
+
+// SLAViolationProb returns the probability that an *admitted* request
+// waits longer than the SLA bound Q. An arrival finding q >= N requests in
+// the system is admitted with probability P^NF(q) and then needs q-N+1
+// departures, which take an Erlang(q-N+1, N*mu) time; the violation
+// probability of that wait is the lower Poisson tail
+// P[Poisson(N mu Q) <= q-N]. This is the analytic counterpart of the
+// simulator's waiting-time audit: the admission rule is designed to keep
+// this probability small, not zero (it admits any request with a positive
+// chance of making the bound).
+func (m *Model) SLAViolationProb() float64 {
+	n := m.sc.VMs
+	muN := float64(n) * m.sc.ServiceRate
+	admitted, violated := 0.0, 0.0
+	for q, p := range m.pi {
+		pnf := PNoForward(q, n, m.sc.ServiceRate, m.sc.SLA)
+		admitted += p * pnf
+		if q >= n {
+			// Wait exceeds Q iff fewer than q-n+1 departures occur in Q.
+			pv := numeric.PoissonCDF(q-n, muN*m.sc.SLA)
+			violated += p * pnf * pv
+		}
+	}
+	if admitted == 0 {
+		return 0
+	}
+	return violated / admitted
+}
+
+// MeanWait returns the expected waiting time of admitted requests:
+// conditional on arriving with q >= N in system and being admitted, the
+// wait is Erlang(q-N+1, N*mu) with mean (q-N+1)/(N*mu).
+func (m *Model) MeanWait() float64 {
+	n := m.sc.VMs
+	muN := float64(n) * m.sc.ServiceRate
+	admitted, wait := 0.0, 0.0
+	for q, p := range m.pi {
+		pnf := PNoForward(q, n, m.sc.ServiceRate, m.sc.SLA)
+		admitted += p * pnf
+		if q >= n {
+			wait += p * pnf * float64(q-n+1) / muN
+		}
+	}
+	if admitted == 0 {
+		return 0
+	}
+	return wait / admitted
+}

@@ -1,0 +1,253 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"scshare/internal/cloud"
+	"scshare/internal/markov"
+	"scshare/internal/numeric"
+)
+
+func TestPNoForwardBasics(t *testing.T) {
+	// Idle VM available: always accepted.
+	if got := PNoForward(3, 10, 1, 0.2); got != 1 {
+		t.Errorf("q<n: %v", got)
+	}
+	// q == n: need at least one departure within Q.
+	want := 1 - math.Exp(-10*1*0.2)
+	if got := PNoForward(10, 10, 1, 0.2); math.Abs(got-want) > 1e-12 {
+		t.Errorf("q==n: %v, want %v", got, want)
+	}
+	// Degenerate parameters.
+	if got := PNoForward(10, 0, 1, 0.2); got != 0 {
+		t.Errorf("n=0: %v", got)
+	}
+	if got := PNoForward(10, 10, 1, 0); got != 0 {
+		t.Errorf("sla=0: %v", got)
+	}
+}
+
+func TestPNoForwardMonotonicity(t *testing.T) {
+	// Decreasing in queue length; increasing in SLA and in capacity.
+	f := func(qRaw, nRaw uint8, slaRaw uint16) bool {
+		n := int(nRaw%20) + 1
+		q := n + int(qRaw%30)
+		sla := float64(slaRaw%100)/100 + 0.01
+		pq := PNoForward(q, n, 1, sla)
+		if PNoForward(q+1, n, 1, sla) > pq+1e-12 {
+			return false
+		}
+		if PNoForward(q, n, 1, sla+0.1) < pq-1e-12 {
+			return false
+		}
+		// More servers with the same backlog can only help.
+		if PNoForward(q, n+1, 1, sla) < pq-1e-12 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveRejectsInvalidSC(t *testing.T) {
+	if _, err := Solve(cloud.SC{}); err == nil {
+		t.Error("invalid SC accepted")
+	}
+}
+
+// The product-form solution must agree with a general-purpose CTMC solve of
+// the same truncated chain.
+func TestProductFormMatchesCTMC(t *testing.T) {
+	sc := cloud.SC{VMs: 10, ArrivalRate: 8, ServiceRate: 1, SLA: 0.2, PublicPrice: 1}
+	m, err := Solve(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pi := m.StateDistribution()
+	qmax := m.MaxState()
+	b := markov.NewBuilder(qmax + 1)
+	for q := 0; q < qmax; q++ {
+		b.Add(q, q+1, sc.ArrivalRate*PNoForward(q, sc.VMs, sc.ServiceRate, sc.SLA))
+		b.Add(q+1, q, math.Min(float64(q+1), float64(sc.VMs))*sc.ServiceRate)
+	}
+	chain, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := chain.SteadyState(markov.SteadyStateOptions{Tol: 1e-13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := numeric.MaxAbsDiff(pi, ref); d > 1e-7 {
+		t.Errorf("product form differs from CTMC solve by %v", d)
+	}
+}
+
+// As SLA -> 0 the SC becomes an M/M/N/N loss system: the forwarding
+// probability approaches Erlang-B blocking.
+func TestForwardProbMatchesErlangBAtTinySLA(t *testing.T) {
+	sc := cloud.SC{VMs: 5, ArrivalRate: 4, ServiceRate: 1, SLA: 1e-9, PublicPrice: 1}
+	m, err := Solve(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := numeric.ErlangB(sc.VMs, sc.OfferedLoad())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Metrics().ForwardProb; math.Abs(got-want) > 1e-6 {
+		t.Errorf("forward prob %v, want Erlang-B %v", got, want)
+	}
+}
+
+// As SLA -> infinity nothing is forwarded and the chain is a plain M/M/N
+// whose utilization is lambda/(N mu).
+func TestLargeSLAApproachesMMN(t *testing.T) {
+	sc := cloud.SC{VMs: 4, ArrivalRate: 2, ServiceRate: 1, SLA: 50, PublicPrice: 1}
+	m, err := Solve(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.Metrics()
+	if got.ForwardProb > 1e-9 {
+		t.Errorf("forward prob %v, want ~0", got.ForwardProb)
+	}
+	if math.Abs(got.Utilization-0.5) > 1e-6 {
+		t.Errorf("utilization %v, want 0.5", got.Utilization)
+	}
+}
+
+func TestMetricsConsistency(t *testing.T) {
+	sc := cloud.SC{VMs: 10, ArrivalRate: 9, ServiceRate: 1, SLA: 0.2, PublicPrice: 2}
+	m, err := Solve(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := m.Metrics()
+	if got.PublicRate < 0 || got.ForwardProb < 0 || got.ForwardProb > 1 {
+		t.Fatalf("metrics out of range: %+v", got)
+	}
+	if math.Abs(got.PublicRate-sc.ArrivalRate*got.ForwardProb) > 1e-12 {
+		t.Errorf("PublicRate %v != lambda*forward %v", got.PublicRate, sc.ArrivalRate*got.ForwardProb)
+	}
+	// Flow balance: accepted arrival rate equals service throughput
+	// N*mu*rho at steady state.
+	accepted := sc.ArrivalRate * (1 - got.ForwardProb)
+	throughput := float64(sc.VMs) * sc.ServiceRate * got.Utilization
+	if numeric.RelErr(throughput, accepted, 1e-12) > 1e-8 {
+		t.Errorf("flow imbalance: accepted %v, served %v", accepted, throughput)
+	}
+	if got.BorrowRate != 0 || got.LendRate != 0 {
+		t.Errorf("no-sharing model reported federation flows: %+v", got)
+	}
+	if cost := m.BaselineCost(); cost != got.PublicRate*sc.PublicPrice {
+		t.Errorf("baseline cost %v, want %v", cost, got.PublicRate*sc.PublicPrice)
+	}
+}
+
+func TestMeanHelpers(t *testing.T) {
+	sc := cloud.SC{VMs: 3, ArrivalRate: 2, ServiceRate: 1, SLA: 0.5, PublicPrice: 1}
+	m, err := Solve(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := m.MeanJobs()
+	queue := m.MeanQueueLength()
+	busy := m.Metrics().Utilization * float64(sc.VMs)
+	if jobs <= 0 || queue < 0 {
+		t.Fatalf("jobs=%v queue=%v", jobs, queue)
+	}
+	if math.Abs(jobs-(queue+busy)) > 1e-9 {
+		t.Errorf("jobs %v != queue %v + busy %v", jobs, queue, busy)
+	}
+}
+
+// Forwarding probability is monotone in the arrival rate and decreasing in
+// the SLA bound (paper Fig. 5 shape).
+func TestForwardProbShapeProperty(t *testing.T) {
+	base := cloud.SC{VMs: 10, ServiceRate: 1, SLA: 0.2, PublicPrice: 1}
+	prev := -1.0
+	for _, lambda := range []float64{2, 4, 6, 8, 9, 9.5} {
+		sc := base
+		sc.ArrivalRate = lambda
+		m, err := Solve(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp := m.Metrics().ForwardProb
+		if fp < prev {
+			t.Fatalf("forward prob not monotone in lambda at %v: %v < %v", lambda, fp, prev)
+		}
+		prev = fp
+
+		relaxed := sc
+		relaxed.SLA = 0.5
+		m2, err := Solve(relaxed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m2.Metrics().ForwardProb > fp+1e-12 {
+			t.Errorf("lambda=%v: larger SLA should not forward more", lambda)
+		}
+	}
+}
+
+// Fig. 5's second observation: at equal utilization the smaller cloud
+// forwards more.
+func TestSmallerCloudForwardsMore(t *testing.T) {
+	util := 0.8
+	small := cloud.SC{VMs: 10, ArrivalRate: util * 10, ServiceRate: 1, SLA: 0.2, PublicPrice: 1}
+	large := cloud.SC{VMs: 100, ArrivalRate: util * 100, ServiceRate: 1, SLA: 0.2, PublicPrice: 1}
+	ms, err := Solve(small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ml, err := Solve(large)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms.Metrics().ForwardProb <= ml.Metrics().ForwardProb {
+		t.Errorf("small %v <= large %v", ms.Metrics().ForwardProb, ml.Metrics().ForwardProb)
+	}
+}
+
+func TestTruncationLevelCoversDecay(t *testing.T) {
+	q := TruncationLevel(10, 1, 0.2)
+	if q <= 10 {
+		t.Fatalf("truncation %d too small", q)
+	}
+	if p := PNoForward(q, 10, 1, 0.2); p > 1e-12 {
+		t.Errorf("P^NF at truncation = %v", p)
+	}
+}
+
+// The analytic SLA audit: the violation probability of admitted requests
+// is small but positive under load, zero when the SLA is loose, and the
+// mean wait is consistent with Little-style reasoning.
+func TestSLAViolationProbAnalytic(t *testing.T) {
+	sc := cloud.SC{VMs: 10, ArrivalRate: 9, ServiceRate: 1, SLA: 0.2, PublicPrice: 1}
+	m, err := Solve(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := m.SLAViolationProb()
+	if v <= 0 || v > 0.2 {
+		t.Errorf("violation prob %v outside (0, 0.2]", v)
+	}
+	if w := m.MeanWait(); w <= 0 || w > sc.SLA {
+		t.Errorf("mean wait %v outside (0, Q]", w)
+	}
+	relaxed := sc
+	relaxed.SLA = 100
+	m2, err := Solve(relaxed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 := m2.SLAViolationProb(); v2 > 1e-9 {
+		t.Errorf("loose SLA still violated: %v", v2)
+	}
+}

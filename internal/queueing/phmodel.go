@@ -1,0 +1,225 @@
+package queueing
+
+import (
+	"fmt"
+	"math"
+
+	"scshare/internal/cloud"
+	"scshare/internal/markov"
+	"scshare/internal/phasetype"
+)
+
+// PHModel is the M/PH/N no-sharing model: the Sect. VII generalization of
+// the Sect. III-A chain to phase-type service times. The state tracks how
+// many busy servers sit in each service phase plus the waiting-queue
+// length; the SLA admission probability keeps the paper's exponential
+// form with the rate replaced by the reciprocal mean service time (the
+// rule an SC would apply knowing only the mean), which is exact for
+// exponential service and an approximation otherwise.
+type PHModel struct {
+	sc    cloud.SC
+	ph    phasetype.PH
+	stats cloud.Metrics
+}
+
+// phState is (waiting count, busy servers per phase); waiting > 0 only
+// when every server is busy.
+type phState struct {
+	wait   int
+	phases string // byte-encoded phase counts
+}
+
+// SolvePH builds and solves the M/PH/N chain for one SC. The SC's
+// ServiceRate field is ignored in favor of the distribution's mean.
+func SolvePH(sc cloud.SC, ph phasetype.PH) (*PHModel, error) {
+	if err := sc.Validate(); err != nil {
+		return nil, fmt.Errorf("queueing: %w", err)
+	}
+	if err := ph.Validate(); err != nil {
+		return nil, err
+	}
+	mean := phMean(ph)
+	muEff := 1 / mean
+	wmax := TruncationLevel(sc.VMs, muEff, sc.SLA) - sc.VMs
+	if wmax < 4 {
+		wmax = 4
+	}
+
+	m := ph.Phases()
+	index := make(map[phState]int)
+	var states []phState
+	counts := make([]int, m)
+	var enumerate func(phase, remaining int)
+	enumerate = func(phase, remaining int) {
+		if phase == m {
+			busy := 0
+			for _, c := range counts {
+				busy += c
+			}
+			maxWait := 0
+			if busy == sc.VMs {
+				maxWait = wmax
+			}
+			for w := 0; w <= maxWait; w++ {
+				st := phState{wait: w, phases: encodeCounts(counts)}
+				index[st] = len(states)
+				states = append(states, st)
+			}
+			return
+		}
+		for c := 0; c <= remaining; c++ {
+			counts[phase] = c
+			enumerate(phase+1, remaining-c)
+		}
+		counts[phase] = 0
+	}
+	enumerate(0, sc.VMs)
+
+	b := markov.NewBuilder(len(states))
+	forward := make([]float64, len(states))
+	for si, st := range states {
+		cs := decodeCounts(st.phases)
+		busy := 0
+		for _, c := range cs {
+			busy += c
+		}
+		// Arrival.
+		if busy < sc.VMs {
+			for j, a := range ph.Alpha {
+				if a == 0 {
+					continue
+				}
+				ns := encodeCounts(bump(cs, j, +1))
+				b.Add(si, index[phState{wait: 0, phases: ns}], sc.ArrivalRate*a)
+			}
+		} else {
+			inSystem := sc.VMs + st.wait
+			pq := PNoForward(inSystem, sc.VMs, muEff, sc.SLA)
+			if st.wait >= wmax {
+				pq = 0
+			}
+			if pq > 0 {
+				b.Add(si, index[phState{wait: st.wait + 1, phases: st.phases}], sc.ArrivalRate*pq)
+			}
+			forward[si] = 1 - pq
+		}
+		// Phase completions.
+		for i, c := range cs {
+			if c == 0 {
+				continue
+			}
+			rate := float64(c) * ph.Rates[i]
+			// Internal moves i -> j.
+			for j, q := range ph.Next[i] {
+				if q == 0 {
+					continue
+				}
+				ns := encodeCounts(bump(bump(cs, i, -1), j, +1))
+				b.Add(si, index[phState{wait: st.wait, phases: ns}], rate*q)
+			}
+			// Absorption: service ends; a waiting job (if any) enters.
+			if pa := ph.AbsorbProb(i); pa > 0 {
+				if st.wait > 0 {
+					for j, a := range ph.Alpha {
+						if a == 0 {
+							continue
+						}
+						ns := encodeCounts(bump(bump(cs, i, -1), j, +1))
+						b.Add(si, index[phState{wait: st.wait - 1, phases: ns}], rate*pa*a)
+					}
+				} else {
+					ns := encodeCounts(bump(cs, i, -1))
+					b.Add(si, index[phState{wait: 0, phases: ns}], rate*pa)
+				}
+			}
+		}
+	}
+	chain, err := b.Build()
+	if err != nil {
+		return nil, fmt.Errorf("queueing: %w", err)
+	}
+	pi, err := chain.SteadyStateGaussSeidel(markov.SteadyStateOptions{Tol: 1e-11})
+	if err != nil {
+		return nil, fmt.Errorf("queueing: %w", err)
+	}
+
+	var fwd, busyAvg float64
+	for si, st := range states {
+		p := pi[si]
+		if p == 0 {
+			continue
+		}
+		fwd += p * forward[si]
+		busy := 0
+		for _, c := range decodeCounts(st.phases) {
+			busy += c
+		}
+		busyAvg += p * float64(busy)
+	}
+	model := &PHModel{sc: sc, ph: ph}
+	model.stats = cloud.Metrics{
+		PublicRate:  sc.ArrivalRate * fwd,
+		ForwardProb: fwd,
+		Utilization: busyAvg / float64(sc.VMs),
+	}
+	return model, nil
+}
+
+// Metrics returns the no-sharing performance parameters under phase-type
+// service.
+func (m *PHModel) Metrics() cloud.Metrics { return m.stats }
+
+// BaselineCost returns C^0 under phase-type service.
+func (m *PHModel) BaselineCost() float64 {
+	return m.stats.NetCost(m.sc.PublicPrice, 0)
+}
+
+func phMean(ph phasetype.PH) float64 {
+	// Mean time to absorption: solve t_i = 1/r_i + sum_j Next[i][j] t_j by
+	// simple fixed-point iteration (the chains here are tiny and acyclic
+	// or contraction mappings).
+	m := ph.Phases()
+	t := make([]float64, m)
+	for iter := 0; iter < 10000; iter++ {
+		delta := 0.0
+		for i := 0; i < m; i++ {
+			v := 1 / ph.Rates[i]
+			for j, q := range ph.Next[i] {
+				v += q * t[j]
+			}
+			delta = math.Max(delta, math.Abs(v-t[i]))
+			t[i] = v
+		}
+		if delta < 1e-14 {
+			break
+		}
+	}
+	mean := 0.0
+	for i, a := range ph.Alpha {
+		mean += a * t[i]
+	}
+	return mean
+}
+
+func encodeCounts(cs []int) string {
+	b := make([]byte, len(cs))
+	for i, c := range cs {
+		b[i] = byte(c)
+	}
+	return string(b)
+}
+
+func decodeCounts(s string) []int {
+	cs := make([]int, len(s))
+	for i := range s {
+		cs[i] = int(s[i])
+	}
+	return cs
+}
+
+func bump(cs []int, i, d int) []int {
+	out := make([]int, len(cs))
+	copy(out, cs)
+	out[i] += d
+	return out
+}

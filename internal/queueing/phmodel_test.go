@@ -1,0 +1,90 @@
+package queueing
+
+import (
+	"math"
+	"testing"
+
+	"scshare/internal/cloud"
+	"scshare/internal/numeric"
+	"scshare/internal/phasetype"
+)
+
+func TestSolvePHValidation(t *testing.T) {
+	sc := cloud.SC{VMs: 5, ArrivalRate: 3, ServiceRate: 1, SLA: 0.2, PublicPrice: 1}
+	if _, err := SolvePH(cloud.SC{}, phasetype.Exponential{Rate: 1}.PH()); err == nil {
+		t.Error("invalid SC accepted")
+	}
+	if _, err := SolvePH(sc, phasetype.PH{Alpha: []float64{0.5}}); err == nil {
+		t.Error("invalid PH accepted")
+	}
+}
+
+// With exponential service the PH model must reduce exactly to the
+// Sect. III-A product-form model.
+func TestPHReducesToExponential(t *testing.T) {
+	sc := cloud.SC{VMs: 8, ArrivalRate: 6.5, ServiceRate: 1, SLA: 0.2, PublicPrice: 1}
+	phm, err := SolvePH(sc, phasetype.Exponential{Rate: 1}.PH())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := Solve(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := phm.Metrics(), ref.Metrics()
+	if numeric.RelErr(got.ForwardProb, want.ForwardProb, 1e-9) > 1e-5 {
+		t.Errorf("forward prob %v, want %v", got.ForwardProb, want.ForwardProb)
+	}
+	if numeric.RelErr(got.Utilization, want.Utilization, 1e-9) > 1e-5 {
+		t.Errorf("utilization %v, want %v", got.Utilization, want.Utilization)
+	}
+	if phm.BaselineCost() != got.PublicRate*sc.PublicPrice {
+		t.Errorf("baseline cost %v", phm.BaselineCost())
+	}
+}
+
+// Smoother service (lower SCV) must not forward more than burstier service
+// at the same mean and load.
+func TestServiceVariabilityOrdering(t *testing.T) {
+	sc := cloud.SC{VMs: 10, ArrivalRate: 8.5, ServiceRate: 1, SLA: 0.2, PublicPrice: 1}
+	fit := func(scv float64) phasetype.PH {
+		d, err := phasetype.FitTwoMoment(1, scv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, ok := d.(phasetype.Representable)
+		if !ok {
+			t.Fatalf("%T not representable", d)
+		}
+		return rep.PH()
+	}
+	prev := -1.0
+	for _, scv := range []float64{0.25, 1, 4} {
+		m, err := SolvePH(sc, fit(scv))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp := m.Metrics().ForwardProb
+		if fp < prev-1e-6 {
+			t.Errorf("SCV %v forwards less (%v) than smoother service (%v)", scv, fp, prev)
+		}
+		prev = fp
+	}
+}
+
+func TestPHMeanHelper(t *testing.T) {
+	for _, d := range []phasetype.Representable{
+		phasetype.Exponential{Rate: 2},
+		phasetype.Erlang{K: 4, Rate: 2},
+		phasetype.MixedErlang{K: 3, P: 0.4, Rate: 2},
+		phasetype.HyperExp2{P: 0.3, Rate1: 3, Rate2: 0.5},
+	} {
+		dist, ok := d.(phasetype.Distribution)
+		if !ok {
+			t.Fatalf("%T is not a Distribution", d)
+		}
+		if got := phMean(d.PH()); math.Abs(got-dist.Mean()) > 1e-9*dist.Mean() {
+			t.Errorf("%T: PH mean %v, want %v", d, got, dist.Mean())
+		}
+	}
+}

@@ -1,0 +1,29 @@
+package sim
+
+import (
+	"testing"
+
+	"scshare/internal/cloud"
+)
+
+func twoSCsBench() cloud.Federation {
+	return cloud.Federation{
+		SCs: []cloud.SC{
+			{Name: "a", VMs: 10, ArrivalRate: 7, ServiceRate: 1, SLA: 0.2, PublicPrice: 1},
+			{Name: "b", VMs: 10, ArrivalRate: 5, ServiceRate: 1, SLA: 0.2, PublicPrice: 1},
+		},
+		FederationPrice: 0.5,
+	}
+}
+
+// BenchmarkSimulatorThroughput measures wall time per simulated federation
+// second (roughly 24 events per simulated second at these loads).
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	cfg := Config{Federation: twoSCsBench(), Shares: []int{3, 3}, Horizon: 5000, Warmup: 100, Seed: 1}
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

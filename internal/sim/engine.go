@@ -1,0 +1,104 @@
+// Package sim implements a discrete-event simulator of the SC federation.
+// The paper validates its analytic models against a C++ simulator of the
+// exact system (Sect. V-A); this package is the equivalent substrate built
+// in Go: Poisson arrivals, exponential FCFS service, SLA-probabilistic
+// forwarding to the public cloud, non-preemptive lending of idle VMs with
+// the paper's load-balancing rules (borrow from the least-loaded available
+// lender, hand freed VMs to the most-loaded borrower), and optional outage
+// injection for the federation-resilience scenarios that motivate the
+// paper's introduction.
+package sim
+
+import (
+	"container/heap"
+	"math"
+	"math/rand"
+)
+
+// eventKind enumerates simulator events.
+type eventKind int
+
+const (
+	evArrival eventKind = iota + 1
+	evDeparture
+	evOutageStart
+	evOutageEnd
+	// evCancelled marks a departure voided by preemptive reclaim.
+	evCancelled
+)
+
+type event struct {
+	at    float64
+	kind  eventKind
+	sc    int   // SC the event concerns (arrival target, outage target)
+	job   *job  // departure events carry the finishing job
+	batch int   // arrival events may carry several requests at once
+	seq   int64 // tie-breaker for deterministic ordering
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+func (q *eventQueue) Push(x any) { *q = append(*q, x.(*event)) }
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// engine is the generic event loop: a clock, a heap of pending events, and
+// a seeded RNG. The federation logic lives in federation.go.
+type engine struct {
+	now    float64
+	events eventQueue
+	rng    *rand.Rand
+	seq    int64
+}
+
+func newEngine(seed int64) *engine {
+	return &engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// schedule enqueues an event at absolute time at.
+func (e *engine) schedule(at float64, kind eventKind, sc int, j *job) {
+	e.scheduleBatch(at, kind, sc, j, 1)
+}
+
+// scheduleBatch enqueues an event carrying several requests.
+func (e *engine) scheduleBatch(at float64, kind eventKind, sc int, j *job, batch int) {
+	e.seq++
+	heap.Push(&e.events, &event{at: at, kind: kind, sc: sc, job: j, batch: batch, seq: e.seq})
+}
+
+// next pops the earliest event and advances the clock; it returns nil when
+// no events remain.
+func (e *engine) next() *event {
+	if len(e.events) == 0 {
+		return nil
+	}
+	ev := heap.Pop(&e.events).(*event)
+	e.now = ev.at
+	return ev
+}
+
+// exp draws an exponential variate with the given rate.
+func (e *engine) exp(rate float64) float64 {
+	if rate <= 0 {
+		return math.Inf(1)
+	}
+	return e.rng.ExpFloat64() / rate
+}

@@ -1,0 +1,442 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"scshare/internal/cloud"
+	"scshare/internal/phasetype"
+	"scshare/internal/queueing"
+	"scshare/internal/workload"
+)
+
+// ErrBadHorizon is returned when the simulated horizon does not exceed the
+// warm-up period.
+var ErrBadHorizon = errors.New("sim: horizon must exceed warmup")
+
+// Outage takes one SC out of the federation for a time window: during the
+// outage the SC neither lends nor borrows (jobs already placed keep
+// running; lending is non-preemptive per Sect. II-A).
+type Outage struct {
+	SC       int
+	Start    float64
+	Duration float64
+}
+
+// Config parameterizes one simulation run.
+type Config struct {
+	Federation cloud.Federation
+	// Shares is S_i for every SC.
+	Shares []int
+	// Horizon is the simulated time in seconds (statistics stop here).
+	Horizon float64
+	// Warmup discards the initial transient before statistics start.
+	Warmup float64
+	// Seed makes runs reproducible.
+	Seed int64
+	// Outages optionally injects federation outages.
+	Outages []Outage
+	// Workloads optionally replaces each SC's Poisson arrivals with a
+	// custom process (bursty MMPP, batches, ...); nil entries keep the
+	// paper's Poisson assumption.
+	Workloads []workload.Factory
+	// Services optionally replaces each SC's exponential service times
+	// with a phase-type distribution (the Sect. VII extension); the
+	// distribution applies to the VMs hosted at that SC.
+	Services []phasetype.Distribution
+	// PreemptiveReclaim switches lending from the paper's non-preemptive
+	// contract ("SC i cannot terminate VMs serving requests of other SCs",
+	// Sect. II-A) to the reclaimable-resource policy of the related work
+	// the paper criticizes: when an owner's own request has to queue while
+	// its VMs serve foreigners, one foreign job is evicted back to its
+	// borrower's queue and restarted later. The ablation quantifies the
+	// reliability the borrowers lose.
+	PreemptiveReclaim bool
+}
+
+// job is one VM request.
+type job struct {
+	owner   int     // SC whose customer issued the request
+	served  int     // SC whose VM is running it; -1 while waiting
+	arrived float64 // arrival time, used for waiting-time statistics
+}
+
+// scState is the mutable per-SC simulator state.
+type scState struct {
+	queue    []*job
+	busyOwn  int // own VMs running own jobs (includes borrowed-out? no: own VMs, own jobs)
+	lentOut  int // own VMs running other SCs' jobs (s_{i,i} in the paper)
+	borrowed int // VMs at other SCs running this SC's jobs (o_i)
+	down     bool
+
+	// Statistics (collected after warmup).
+	arrivals  int64
+	forwarded int64
+	intLent   float64 // time integral of lentOut
+	intBorrow float64 // time integral of borrowed
+	intBusy   float64 // time integral of busy own VMs (own + lent out)
+	lastT     float64
+
+	// Waiting-time statistics over admitted requests: the SLA audit that
+	// checks the probabilistic admission rule actually delivers the bound.
+	waitServed     int64
+	waitSum        float64
+	waitViolations int64
+	waitMax        float64
+}
+
+func (s *scState) idleVMs(n int) int { return n - s.busyOwn - s.lentOut }
+
+// accumulate advances the statistics integrals to time now.
+func (s *scState) accumulate(now float64) {
+	dt := now - s.lastT
+	if dt > 0 {
+		s.intLent += dt * float64(s.lentOut)
+		s.intBorrow += dt * float64(s.borrowed)
+		s.intBusy += dt * float64(s.busyOwn+s.lentOut)
+	}
+	s.lastT = now
+}
+
+// WaitStats audits the SLA over one SC's admitted requests.
+type WaitStats struct {
+	// Served counts admitted requests whose service started after warmup.
+	Served int64
+	// Mean is the average waiting time before service.
+	Mean float64
+	// Max is the largest observed wait.
+	Max float64
+	// ViolationProb is the fraction of admitted requests that waited
+	// longer than the SLA bound Q — the quantity the probabilistic
+	// admission rule of Sect. III-A keeps small.
+	ViolationProb float64
+}
+
+// Result carries the measured per-SC metrics of one run.
+type Result struct {
+	// Metrics has one entry per SC, directly comparable with the analytic
+	// models' cloud.Metrics.
+	Metrics []cloud.Metrics
+	// Waits audits each SC's admitted-request waiting times.
+	Waits []WaitStats
+	// Arrivals and Forwarded count post-warmup requests per SC.
+	Arrivals, Forwarded []int64
+	// Horizon is the measured interval (horizon - warmup).
+	Horizon float64
+}
+
+// Run executes the simulation and returns the measured metrics.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.Federation.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if err := cfg.Federation.ValidateShares(cfg.Shares); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	if cfg.Horizon <= cfg.Warmup || cfg.Horizon <= 0 {
+		return nil, ErrBadHorizon
+	}
+	if cfg.Workloads != nil && len(cfg.Workloads) != len(cfg.Federation.SCs) {
+		return nil, fmt.Errorf("sim: %d workloads for %d SCs", len(cfg.Workloads), len(cfg.Federation.SCs))
+	}
+	if cfg.Services != nil && len(cfg.Services) != len(cfg.Federation.SCs) {
+		return nil, fmt.Errorf("sim: %d service distributions for %d SCs", len(cfg.Services), len(cfg.Federation.SCs))
+	}
+	s := &sim{
+		engine:   newEngine(cfg.Seed),
+		cfg:      cfg,
+		scs:      make([]scState, len(cfg.Federation.SCs)),
+		arrivals: make([]workload.Process, len(cfg.Federation.SCs)),
+	}
+	for i := range s.arrivals {
+		if cfg.Workloads != nil && cfg.Workloads[i] != nil {
+			s.arrivals[i] = cfg.Workloads[i]()
+		}
+	}
+	return s.run()
+}
+
+type sim struct {
+	*engine
+	cfg      Config
+	scs      []scState
+	arrivals []workload.Process
+}
+
+func (s *sim) run() (*Result, error) {
+	for i := range s.scs {
+		s.scheduleArrival(i)
+	}
+	for _, o := range s.cfg.Outages {
+		if o.SC < 0 || o.SC >= len(s.scs) {
+			return nil, fmt.Errorf("sim: outage SC %d out of range", o.SC)
+		}
+		s.schedule(o.Start, evOutageStart, o.SC, nil)
+		s.schedule(o.Start+o.Duration, evOutageEnd, o.SC, nil)
+	}
+	warmedUp := false
+	for {
+		ev := s.next()
+		if ev == nil || ev.at > s.cfg.Horizon {
+			break
+		}
+		if !warmedUp && s.now >= s.cfg.Warmup {
+			warmedUp = true
+			for i := range s.scs {
+				st := &s.scs[i]
+				st.lastT = s.now
+				st.intLent, st.intBorrow, st.intBusy = 0, 0, 0
+				st.arrivals, st.forwarded = 0, 0
+				st.waitServed, st.waitSum, st.waitViolations, st.waitMax = 0, 0, 0, 0
+			}
+		}
+		for i := range s.scs {
+			s.scs[i].accumulate(s.now)
+		}
+		switch ev.kind {
+		case evArrival:
+			for n := 0; n < ev.batch; n++ {
+				s.handleArrival(ev.sc)
+			}
+			s.scheduleArrival(ev.sc)
+		case evDeparture:
+			s.handleDeparture(ev.job)
+		case evCancelled:
+			// A preempted departure; the job was already re-queued.
+		case evOutageStart:
+			s.scs[ev.sc].down = true
+		case evOutageEnd:
+			s.scs[ev.sc].down = false
+		}
+	}
+	measured := s.cfg.Horizon - s.cfg.Warmup
+	res := &Result{
+		Metrics:   make([]cloud.Metrics, len(s.scs)),
+		Waits:     make([]WaitStats, len(s.scs)),
+		Arrivals:  make([]int64, len(s.scs)),
+		Forwarded: make([]int64, len(s.scs)),
+		Horizon:   measured,
+	}
+	for i := range s.scs {
+		st := &s.scs[i]
+		st.accumulate(s.cfg.Horizon)
+		sc := s.cfg.Federation.SCs[i]
+		fwd := 0.0
+		if st.arrivals > 0 {
+			fwd = float64(st.forwarded) / float64(st.arrivals)
+		}
+		res.Metrics[i] = cloud.Metrics{
+			PublicRate:  float64(st.forwarded) / measured,
+			BorrowRate:  st.intBorrow / measured,
+			LendRate:    st.intLent / measured,
+			Utilization: st.intBusy / measured / float64(sc.VMs),
+			ForwardProb: fwd,
+		}
+		res.Arrivals[i] = st.arrivals
+		res.Forwarded[i] = st.forwarded
+		ws := WaitStats{Served: st.waitServed, Max: st.waitMax}
+		if st.waitServed > 0 {
+			ws.Mean = st.waitSum / float64(st.waitServed)
+			ws.ViolationProb = float64(st.waitViolations) / float64(st.waitServed)
+		}
+		res.Waits[i] = ws
+	}
+	return res, nil
+}
+
+func (s *sim) scheduleArrival(i int) {
+	if proc := s.arrivals[i]; proc != nil {
+		dt, batch := proc.NextArrival(s.rng)
+		s.scheduleBatch(s.now+dt, evArrival, i, nil, batch)
+		return
+	}
+	sc := s.cfg.Federation.SCs[i]
+	s.schedule(s.now+s.exp(sc.ArrivalRate), evArrival, i, nil)
+}
+
+// handleArrival implements the admission policy of Sect. II-A / III:
+// local VM first, then a borrowed VM from the least-loaded available
+// lender, then queue-or-forward according to P^NF.
+func (s *sim) handleArrival(i int) {
+	st := &s.scs[i]
+	st.arrivals++
+	sc := s.cfg.Federation.SCs[i]
+
+	if st.idleVMs(sc.VMs) > 0 {
+		st.busyOwn++
+		s.recordWait(i, 0)
+		s.startService(&job{owner: i, served: i, arrived: s.now})
+		return
+	}
+	if !st.down {
+		if lender := s.pickLender(i); lender >= 0 {
+			s.scs[lender].lentOut++
+			st.borrowed++
+			s.recordWait(i, 0)
+			s.startService(&job{owner: i, served: lender, arrived: s.now})
+			return
+		}
+	}
+	// Under preemptive reclaim, an owner whose request would otherwise
+	// queue evicts one of its lent VMs: the foreign job returns to its
+	// borrower's queue (restarting from scratch) and the freed VM serves
+	// the new local request immediately.
+	if s.cfg.PreemptiveReclaim && st.lentOut > 0 {
+		if victim := s.evictLentJob(i); victim != nil {
+			vs := &s.scs[victim.owner]
+			victim.served = -1
+			vs.queue = append([]*job{victim}, vs.queue...)
+			st.busyOwn++
+			s.recordWait(i, 0)
+			s.startService(&job{owner: i, served: i, arrived: s.now})
+			return
+		}
+	}
+	// Queue or forward: the SC estimates whether service can start within
+	// the SLA bound using the VMs currently dedicated to it.
+	servers := sc.VMs - st.lentOut + st.borrowed
+	inSystem := st.busyOwn + st.borrowed + len(st.queue)
+	p := queueing.PNoForward(inSystem, servers, sc.ServiceRate, sc.SLA)
+	if s.rng.Float64() < p {
+		st.queue = append(st.queue, &job{owner: i, served: -1, arrived: s.now})
+		return
+	}
+	st.forwarded++
+}
+
+// evictLentJob cancels the scheduled departure of one foreign job running
+// at SC host and returns it; nil if none is found.
+func (s *sim) evictLentJob(host int) *job {
+	for _, ev := range s.events {
+		if ev.kind != evDeparture || ev.job == nil {
+			continue
+		}
+		if ev.job.served == host && ev.job.owner != host {
+			victim := ev.job
+			ev.kind = evCancelled
+			s.scs[host].lentOut--
+			s.scs[victim.owner].borrowed--
+			return victim
+		}
+	}
+	return nil
+}
+
+// startService schedules the job's completion on the VM of SC j.served.
+func (s *sim) startService(j *job) {
+	if s.cfg.Services != nil && s.cfg.Services[j.served] != nil {
+		s.schedule(s.now+s.cfg.Services[j.served].Sample(s.rng), evDeparture, j.served, j)
+		return
+	}
+	mu := s.cfg.Federation.SCs[j.served].ServiceRate
+	s.schedule(s.now+s.exp(mu), evDeparture, j.served, j)
+}
+
+// handleDeparture frees the VM at the serving SC and reassigns it:
+// the host's own queue first (Table I rows 3 and 5), otherwise the
+// most-loaded borrower's queue (rows 4 and 6), otherwise idle.
+func (s *sim) handleDeparture(j *job) {
+	host := j.served
+	hs := &s.scs[host]
+	if j.owner == host {
+		hs.busyOwn--
+	} else {
+		hs.lentOut--
+		s.scs[j.owner].borrowed--
+	}
+
+	// The freed VM serves the host's own backlog first.
+	if len(hs.queue) > 0 {
+		next := hs.queue[0]
+		hs.queue = hs.queue[1:]
+		next.served = host
+		hs.busyOwn++
+		s.recordWait(next.owner, s.now-next.arrived)
+		s.startService(next)
+		return
+	}
+	// Otherwise lend it to the most-loaded borrower, if permitted.
+	if hs.down || hs.lentOut >= s.cfg.Shares[host] {
+		return
+	}
+	if b := s.pickBorrower(host); b >= 0 {
+		bs := &s.scs[b]
+		next := bs.queue[0]
+		bs.queue = bs.queue[1:]
+		next.served = host
+		hs.lentOut++
+		bs.borrowed++
+		s.recordWait(next.owner, s.now-next.arrived)
+		s.startService(next)
+	}
+}
+
+// recordWait folds one admitted request's waiting time into its owner's
+// SLA audit (post-warmup only).
+func (s *sim) recordWait(owner int, wait float64) {
+	if s.now < s.cfg.Warmup {
+		return
+	}
+	st := &s.scs[owner]
+	st.waitServed++
+	st.waitSum += wait
+	if wait > st.waitMax {
+		st.waitMax = wait
+	}
+	if wait > s.cfg.Federation.SCs[owner].SLA {
+		st.waitViolations++
+	}
+}
+
+// pickLender returns the least-loaded SC (by jobs in its local system) that
+// can lend a VM to SC i, choosing uniformly at random among ties; -1 when
+// none can.
+func (s *sim) pickLender(i int) int {
+	best, bestLoad, ties := -1, math.MaxInt, 0
+	for l := range s.scs {
+		if l == i {
+			continue
+		}
+		ls := &s.scs[l]
+		if ls.down || ls.idleVMs(s.cfg.Federation.SCs[l].VMs) <= 0 || ls.lentOut >= s.cfg.Shares[l] {
+			continue
+		}
+		load := ls.busyOwn + ls.lentOut
+		switch {
+		case load < bestLoad:
+			best, bestLoad, ties = l, load, 1
+		case load == bestLoad:
+			ties++
+			if s.rng.Intn(ties) == 0 {
+				best = l
+			}
+		}
+	}
+	return best
+}
+
+// pickBorrower returns the SC with the longest waiting queue that is not
+// down, ties broken uniformly at random; -1 when no SC is waiting.
+func (s *sim) pickBorrower(host int) int {
+	best, bestLen, ties := -1, 0, 0
+	for b := range s.scs {
+		if b == host || s.scs[b].down {
+			continue
+		}
+		n := len(s.scs[b].queue)
+		if n == 0 {
+			continue
+		}
+		switch {
+		case n > bestLen:
+			best, bestLen, ties = b, n, 1
+		case n == bestLen:
+			ties++
+			if s.rng.Intn(ties) == 0 {
+				best = b
+			}
+		}
+	}
+	return best
+}

@@ -1,0 +1,268 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"scshare/internal/cloud"
+	"scshare/internal/queueing"
+)
+
+func twoSCs() cloud.Federation {
+	return cloud.Federation{
+		SCs: []cloud.SC{
+			{Name: "a", VMs: 10, ArrivalRate: 7, ServiceRate: 1, SLA: 0.2, PublicPrice: 1},
+			{Name: "b", VMs: 10, ArrivalRate: 5, ServiceRate: 1, SLA: 0.2, PublicPrice: 1},
+		},
+		FederationPrice: 0.5,
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	fed := twoSCs()
+	if _, err := Run(Config{Federation: fed, Shares: []int{1}, Horizon: 10}); err == nil {
+		t.Error("share length mismatch accepted")
+	}
+	if _, err := Run(Config{Federation: fed, Shares: []int{1, 1}, Horizon: 5, Warmup: 5}); err != ErrBadHorizon {
+		t.Error("horizon <= warmup accepted")
+	}
+	if _, err := Run(Config{Federation: cloud.Federation{}, Shares: nil, Horizon: 10}); err == nil {
+		t.Error("empty federation accepted")
+	}
+	if _, err := Run(Config{Federation: fed, Shares: []int{1, 1}, Horizon: 10,
+		Outages: []Outage{{SC: 5, Start: 1, Duration: 1}}}); err == nil {
+		t.Error("out-of-range outage accepted")
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	cfg := Config{Federation: twoSCs(), Shares: []int{3, 3}, Horizon: 2000, Warmup: 100, Seed: 42}
+	r1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1.Metrics {
+		if r1.Metrics[i] != r2.Metrics[i] {
+			t.Fatalf("same seed produced different metrics: %+v vs %+v", r1.Metrics[i], r2.Metrics[i])
+		}
+	}
+	cfg.Seed = 43
+	r3, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Metrics[0] == r3.Metrics[0] {
+		t.Error("different seeds produced identical metrics (suspicious)")
+	}
+}
+
+// With no sharing the simulator must reproduce the analytic no-sharing
+// model of Sect. III-A.
+func TestNoSharingMatchesAnalyticModel(t *testing.T) {
+	fed := twoSCs()
+	res, err := Run(Config{Federation: fed, Shares: []int{0, 0}, Horizon: 60000, Warmup: 2000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sc := range fed.SCs {
+		m, err := queueing.Solve(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := m.Metrics()
+		got := res.Metrics[i]
+		if math.Abs(got.ForwardProb-want.ForwardProb) > 0.01 {
+			t.Errorf("SC %d forward prob: sim %v, model %v", i, got.ForwardProb, want.ForwardProb)
+		}
+		if math.Abs(got.Utilization-want.Utilization) > 0.01 {
+			t.Errorf("SC %d utilization: sim %v, model %v", i, got.Utilization, want.Utilization)
+		}
+		if got.BorrowRate != 0 || got.LendRate != 0 {
+			t.Errorf("SC %d has federation flows without shares: %+v", i, got)
+		}
+	}
+}
+
+// Every borrowed VM is some other SC's lent VM, so the totals must agree
+// exactly (they integrate the same indicator processes).
+func TestLendBorrowConservation(t *testing.T) {
+	res, err := Run(Config{Federation: twoSCs(), Shares: []int{5, 5}, Horizon: 5000, Warmup: 500, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lend, borrow := 0.0, 0.0
+	for _, m := range res.Metrics {
+		lend += m.LendRate
+		borrow += m.BorrowRate
+	}
+	if math.Abs(lend-borrow) > 1e-9 {
+		t.Errorf("lend total %v != borrow total %v", lend, borrow)
+	}
+}
+
+// Sharing must reduce the forwarding probability of a loaded SC relative to
+// no sharing (the paper's core motivation).
+func TestSharingReducesForwarding(t *testing.T) {
+	fed := cloud.Federation{
+		SCs: []cloud.SC{
+			{Name: "hot", VMs: 10, ArrivalRate: 9, ServiceRate: 1, SLA: 0.2, PublicPrice: 1},
+			{Name: "cold", VMs: 10, ArrivalRate: 3, ServiceRate: 1, SLA: 0.2, PublicPrice: 1},
+		},
+		FederationPrice: 0.5,
+	}
+	alone, err := Run(Config{Federation: fed, Shares: []int{0, 0}, Horizon: 30000, Warmup: 1000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := Run(Config{Federation: fed, Shares: []int{5, 5}, Horizon: 30000, Warmup: 1000, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.Metrics[0].ForwardProb >= alone.Metrics[0].ForwardProb {
+		t.Errorf("sharing did not help the hot SC: %v >= %v",
+			shared.Metrics[0].ForwardProb, alone.Metrics[0].ForwardProb)
+	}
+	if shared.Metrics[0].BorrowRate <= 0 {
+		t.Error("hot SC borrowed nothing")
+	}
+	if shared.Metrics[1].LendRate <= 0 {
+		t.Error("cold SC lent nothing")
+	}
+}
+
+// Lending never exceeds the declared share budget: the time-averaged lent
+// VMs cannot exceed S_i, and with S_i=0 they are exactly zero.
+func TestShareBudgetRespected(t *testing.T) {
+	fed := twoSCs()
+	res, err := Run(Config{Federation: fed, Shares: []int{2, 0}, Horizon: 10000, Warmup: 500, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics[0].LendRate > 2 {
+		t.Errorf("SC 0 lends %v > budget 2", res.Metrics[0].LendRate)
+	}
+	if res.Metrics[1].LendRate != 0 {
+		t.Errorf("SC 1 lends %v with zero budget", res.Metrics[1].LendRate)
+	}
+	if res.Metrics[0].BorrowRate != 0 {
+		t.Errorf("SC 0 borrows %v but SC 1 shares nothing", res.Metrics[0].BorrowRate)
+	}
+}
+
+// A full-horizon outage of one SC removes it from the federation: nothing
+// is lent or borrowed by it.
+func TestOutageDisablesFederationFlows(t *testing.T) {
+	fed := twoSCs()
+	res, err := Run(Config{
+		Federation: fed, Shares: []int{5, 5}, Horizon: 5000, Warmup: 100, Seed: 11,
+		Outages: []Outage{{SC: 0, Start: 0, Duration: 5000}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics[0].LendRate != 0 || res.Metrics[0].BorrowRate != 0 {
+		t.Errorf("down SC has federation flows: %+v", res.Metrics[0])
+	}
+	// A partial outage must hurt less than a total one.
+	partial, err := Run(Config{
+		Federation: fed, Shares: []int{5, 5}, Horizon: 5000, Warmup: 100, Seed: 11,
+		Outages: []Outage{{SC: 0, Start: 2500, Duration: 1000}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if partial.Metrics[0].LendRate <= 0 {
+		t.Error("partial outage removed all lending")
+	}
+}
+
+// Utilization of a lender must rise when it shares (it serves extra load),
+// matching the denominator of Eq. (2).
+func TestSharingRaisesLenderUtilization(t *testing.T) {
+	fed := cloud.Federation{
+		SCs: []cloud.SC{
+			{Name: "hot", VMs: 10, ArrivalRate: 9.5, ServiceRate: 1, SLA: 0.2, PublicPrice: 1},
+			{Name: "cold", VMs: 10, ArrivalRate: 4, ServiceRate: 1, SLA: 0.2, PublicPrice: 1},
+		},
+		FederationPrice: 0.5,
+	}
+	alone, err := Run(Config{Federation: fed, Shares: []int{0, 0}, Horizon: 20000, Warmup: 1000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := Run(Config{Federation: fed, Shares: []int{0, 6}, Horizon: 20000, Warmup: 1000, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shared.Metrics[1].Utilization <= alone.Metrics[1].Utilization {
+		t.Errorf("lender utilization did not rise: %v <= %v",
+			shared.Metrics[1].Utilization, alone.Metrics[1].Utilization)
+	}
+}
+
+func TestResultCountsConsistent(t *testing.T) {
+	res, err := Run(Config{Federation: twoSCs(), Shares: []int{3, 3}, Horizon: 3000, Warmup: 100, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res.Metrics {
+		if res.Forwarded[i] > res.Arrivals[i] {
+			t.Errorf("SC %d forwarded %d of %d arrivals", i, res.Forwarded[i], res.Arrivals[i])
+		}
+		wantRate := float64(res.Forwarded[i]) / res.Horizon
+		if math.Abs(res.Metrics[i].PublicRate-wantRate) > 1e-12 {
+			t.Errorf("SC %d public rate %v, want %v", i, res.Metrics[i].PublicRate, wantRate)
+		}
+		if res.Metrics[i].Utilization < 0 || res.Metrics[i].Utilization > 1 {
+			t.Errorf("SC %d utilization %v out of range", i, res.Metrics[i].Utilization)
+		}
+	}
+}
+
+// The probabilistic admission rule must actually deliver the SLA: the
+// fraction of admitted requests waiting longer than Q stays small, because
+// requests unlikely to start in time are forwarded instead.
+func TestSLAAudit(t *testing.T) {
+	fed := cloud.Federation{
+		SCs: []cloud.SC{
+			{Name: "a", VMs: 10, ArrivalRate: 9, ServiceRate: 1, SLA: 0.2, PublicPrice: 1},
+			{Name: "b", VMs: 10, ArrivalRate: 6, ServiceRate: 1, SLA: 0.2, PublicPrice: 1},
+		},
+		FederationPrice: 0.5,
+	}
+	res, err := Run(Config{Federation: fed, Shares: []int{3, 3}, Horizon: 40000, Warmup: 1000, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ws := range res.Waits {
+		if ws.Served == 0 {
+			t.Fatalf("SC %d served nothing", i)
+		}
+		if ws.Mean < 0 || ws.Max < ws.Mean {
+			t.Errorf("SC %d wait stats inconsistent: %+v", i, ws)
+		}
+		// The admission rule keeps violations rare even at high load; a
+		// conservative bound of 20% catches a broken implementation
+		// (admitting everything yields far higher violation rates).
+		if ws.ViolationProb > 0.2 {
+			t.Errorf("SC %d: %.1f%% of admitted requests missed the SLA", i, 100*ws.ViolationProb)
+		}
+	}
+	// Sanity: with no SLA pressure (huge Q) nothing violates.
+	relaxed := fed
+	relaxed.SCs[0].SLA = 50
+	relaxed.SCs[1].SLA = 50
+	res2, err := Run(Config{Federation: relaxed, Shares: []int{3, 3}, Horizon: 10000, Warmup: 500, Seed: 13})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, ws := range res2.Waits {
+		if ws.ViolationProb != 0 {
+			t.Errorf("SC %d violates a 50s SLA: %+v", i, ws)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"scshare/internal/cloud"
+)
+
+// ErrBadReplications requires at least two runs for an interval estimate.
+var ErrBadReplications = errors.New("sim: need at least 2 replications")
+
+// Interval is a mean with its standard error across replications; the
+// half-width of an approximate 95% confidence interval is 1.96*StdErr for
+// the replication counts used here.
+type Interval struct {
+	Mean   float64
+	StdErr float64
+}
+
+// Half95 returns the ~95% confidence half-width.
+func (iv Interval) Half95() float64 { return 1.96 * iv.StdErr }
+
+// MetricsInterval carries interval estimates for every field of
+// cloud.Metrics.
+type MetricsInterval struct {
+	PublicRate  Interval
+	BorrowRate  Interval
+	LendRate    Interval
+	Utilization Interval
+	ForwardProb Interval
+}
+
+// RunReplications executes n independent runs (seeds cfg.Seed+0..n-1) and
+// returns per-SC interval estimates. This is the statistical footing for
+// every simulator-versus-model tolerance in EXPERIMENTS.md.
+func RunReplications(cfg Config, n int) ([]MetricsInterval, error) {
+	if n < 2 {
+		return nil, ErrBadReplications
+	}
+	k := len(cfg.Federation.SCs)
+	samples := make([][]cloud.Metrics, 0, n)
+	for r := 0; r < n; r++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(r)
+		res, err := Run(c)
+		if err != nil {
+			return nil, fmt.Errorf("sim: replication %d: %w", r, err)
+		}
+		samples = append(samples, res.Metrics)
+	}
+	out := make([]MetricsInterval, k)
+	for i := 0; i < k; i++ {
+		out[i] = MetricsInterval{
+			PublicRate:  interval(samples, i, func(m cloud.Metrics) float64 { return m.PublicRate }),
+			BorrowRate:  interval(samples, i, func(m cloud.Metrics) float64 { return m.BorrowRate }),
+			LendRate:    interval(samples, i, func(m cloud.Metrics) float64 { return m.LendRate }),
+			Utilization: interval(samples, i, func(m cloud.Metrics) float64 { return m.Utilization }),
+			ForwardProb: interval(samples, i, func(m cloud.Metrics) float64 { return m.ForwardProb }),
+		}
+	}
+	return out, nil
+}
+
+func interval(samples [][]cloud.Metrics, sc int, f func(cloud.Metrics) float64) Interval {
+	n := float64(len(samples))
+	sum := 0.0
+	for _, s := range samples {
+		sum += f(s[sc])
+	}
+	mean := sum / n
+	varSum := 0.0
+	for _, s := range samples {
+		d := f(s[sc]) - mean
+		varSum += d * d
+	}
+	return Interval{Mean: mean, StdErr: math.Sqrt(varSum / (n - 1) / n)}
+}

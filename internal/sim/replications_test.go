@@ -1,0 +1,53 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"scshare/internal/queueing"
+)
+
+func TestRunReplicationsValidation(t *testing.T) {
+	if _, err := RunReplications(Config{Federation: twoSCs(), Shares: []int{0, 0}, Horizon: 100}, 1); err != ErrBadReplications {
+		t.Errorf("n=1: %v", err)
+	}
+	if _, err := RunReplications(Config{}, 3); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+// The analytic forwarding probability must fall inside the replication
+// confidence interval (with generous slack for the 95% level).
+func TestReplicationIntervalCoversModel(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	fed := twoSCs()
+	ivs, err := RunReplications(Config{
+		Federation: fed, Shares: []int{0, 0}, Horizon: 20000, Warmup: 500, Seed: 100,
+	}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, sc := range fed.SCs {
+		m, err := queueing.Solve(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := m.Metrics().ForwardProb
+		iv := ivs[i].ForwardProb
+		if iv.StdErr <= 0 {
+			t.Fatalf("SC %d: zero stderr", i)
+		}
+		if math.Abs(iv.Mean-want) > 3*iv.Half95() {
+			t.Errorf("SC %d: model %v outside interval %v +/- %v", i, want, iv.Mean, iv.Half95())
+		}
+	}
+}
+
+func TestIntervalHalfWidth(t *testing.T) {
+	iv := Interval{Mean: 1, StdErr: 0.1}
+	if math.Abs(iv.Half95()-0.196) > 1e-12 {
+		t.Errorf("half width %v", iv.Half95())
+	}
+}

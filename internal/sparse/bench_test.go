@@ -1,0 +1,64 @@
+package sparse
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchMatrix(b *testing.B, n, perRow int) (*CSR, []float64) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	bl := NewBuilder(n, n)
+	for r := 0; r < n; r++ {
+		for k := 0; k < perRow; k++ {
+			bl.Add(r, rng.Intn(n), rng.Float64())
+		}
+	}
+	x := make([]float64, n)
+	for i := range x {
+		x[i] = rng.Float64()
+	}
+	return bl.Build(), x
+}
+
+func BenchmarkMulVecT(b *testing.B) {
+	m, x := benchMatrix(b, 20000, 8)
+	dst := make([]float64, m.Cols)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.MulVecT(dst, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMulVec(b *testing.B) {
+	m, x := benchMatrix(b, 20000, 8)
+	dst := make([]float64, m.Rows)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.MulVec(dst, x); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuild(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	const n, nnz = 20000, 160000
+	rows := make([]int, nnz)
+	cols := make([]int, nnz)
+	for i := range rows {
+		rows[i], cols[i] = rng.Intn(n), rng.Intn(n)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bl := NewBuilder(n, n)
+		for k := range rows {
+			bl.Add(rows[k], cols[k], 1)
+		}
+		if m := bl.Build(); m.NNZ() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}

@@ -1,0 +1,202 @@
+// Package sparse implements the compressed-sparse-row matrices backing the
+// Markov-chain generators in this repository. The state spaces of the
+// SC-Share performance models reach millions of states with a handful of
+// transitions each, so dense storage is not an option and the Go ecosystem
+// offers no stdlib alternative.
+package sparse
+
+import (
+	"errors"
+	"fmt"
+	"slices"
+	"sort"
+)
+
+// ErrShape is returned when matrix and vector dimensions do not agree.
+var ErrShape = errors.New("sparse: dimension mismatch")
+
+// Builder accumulates coordinate-form entries; duplicate coordinates are
+// summed when the CSR matrix is built, which makes transition-rate assembly
+// ("add rate r from state a to state b") natural.
+type Builder struct {
+	rows, cols int
+	entries    []entry
+}
+
+type entry struct {
+	r, c int
+	v    float64
+}
+
+// NewBuilder returns a builder for a rows x cols matrix.
+func NewBuilder(rows, cols int) *Builder {
+	return &Builder{rows: rows, cols: cols}
+}
+
+// Add accumulates v at (r, c). Out-of-range coordinates panic: they are
+// programming errors in state-space enumeration, not runtime conditions.
+func (b *Builder) Add(r, c int, v float64) {
+	if r < 0 || r >= b.rows || c < 0 || c >= b.cols {
+		panic(fmt.Sprintf("sparse: entry (%d,%d) outside %dx%d matrix", r, c, b.rows, b.cols))
+	}
+	if v == 0 {
+		return
+	}
+	b.entries = append(b.entries, entry{r: r, c: c, v: v})
+}
+
+// NNZ returns the number of accumulated (possibly duplicate) entries.
+func (b *Builder) NNZ() int { return len(b.entries) }
+
+// Build produces the CSR matrix, summing duplicates and dropping exact
+// zeros. The builder can be reused afterwards; it is left unchanged.
+// Entries are ordered with a counting sort by row followed by per-row
+// column sorts, which avoids reflection-based sorting on the hot path of
+// chain assembly.
+func (b *Builder) Build() *CSR {
+	counts := make([]int, b.rows+1)
+	for _, e := range b.entries {
+		counts[e.r+1]++
+	}
+	for r := 0; r < b.rows; r++ {
+		counts[r+1] += counts[r]
+	}
+	es := make([]entry, len(b.entries))
+	next := make([]int, b.rows)
+	for _, e := range b.entries {
+		pos := counts[e.r] + next[e.r]
+		es[pos] = e
+		next[e.r]++
+	}
+	for r := 0; r < b.rows; r++ {
+		row := es[counts[r]:counts[r+1]]
+		slices.SortFunc(row, func(a, b entry) int { return a.c - b.c })
+	}
+	m := &CSR{
+		Rows:   b.rows,
+		Cols:   b.cols,
+		RowPtr: make([]int, b.rows+1),
+	}
+	for i := 0; i < len(es); {
+		j := i
+		v := 0.0
+		for ; j < len(es) && es[j].r == es[i].r && es[j].c == es[i].c; j++ {
+			v += es[j].v
+		}
+		if v != 0 {
+			m.ColIdx = append(m.ColIdx, es[i].c)
+			m.Val = append(m.Val, v)
+			m.RowPtr[es[i].r+1]++
+		}
+		i = j
+	}
+	for r := 0; r < b.rows; r++ {
+		m.RowPtr[r+1] += m.RowPtr[r]
+	}
+	return m
+}
+
+// CSR is a compressed-sparse-row matrix.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int
+	ColIdx     []int
+	Val        []float64
+}
+
+// NNZ returns the number of stored non-zeros.
+func (m *CSR) NNZ() int { return len(m.Val) }
+
+// At returns the value at (r, c) with a binary search over the row; it is
+// intended for tests and diagnostics, not hot loops.
+func (m *CSR) At(r, c int) float64 {
+	if r < 0 || r >= m.Rows || c < 0 || c >= m.Cols {
+		return 0
+	}
+	lo, hi := m.RowPtr[r], m.RowPtr[r+1]
+	i := sort.SearchInts(m.ColIdx[lo:hi], c) + lo
+	if i < hi && m.ColIdx[i] == c {
+		return m.Val[i]
+	}
+	return 0
+}
+
+// MulVec computes dst = m * x. dst and x must not alias.
+func (m *CSR) MulVec(dst, x []float64) error {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		return ErrShape
+	}
+	for r := 0; r < m.Rows; r++ {
+		s := 0.0
+		for i := m.RowPtr[r]; i < m.RowPtr[r+1]; i++ {
+			s += m.Val[i] * x[m.ColIdx[i]]
+		}
+		dst[r] = s
+	}
+	return nil
+}
+
+// MulVecT computes dst = x * m (that is, dst = mᵀ x), the operation used to
+// push probability vectors through a transition matrix. dst and x must not
+// alias.
+func (m *CSR) MulVecT(dst, x []float64) error {
+	if len(x) != m.Rows || len(dst) != m.Cols {
+		return ErrShape
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	for r := 0; r < m.Rows; r++ {
+		xr := x[r]
+		if xr == 0 {
+			continue
+		}
+		for i := m.RowPtr[r]; i < m.RowPtr[r+1]; i++ {
+			dst[m.ColIdx[i]] += m.Val[i] * xr
+		}
+	}
+	return nil
+}
+
+// RowSums returns the vector of row sums.
+func (m *CSR) RowSums() []float64 {
+	out := make([]float64, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		s := 0.0
+		for i := m.RowPtr[r]; i < m.RowPtr[r+1]; i++ {
+			s += m.Val[i]
+		}
+		out[r] = s
+	}
+	return out
+}
+
+// Scale multiplies every stored value by f in place.
+func (m *CSR) Scale(f float64) {
+	for i := range m.Val {
+		m.Val[i] *= f
+	}
+}
+
+// Transpose returns mᵀ as a new CSR matrix.
+func (m *CSR) Transpose() *CSR {
+	b := NewBuilder(m.Cols, m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		for i := m.RowPtr[r]; i < m.RowPtr[r+1]; i++ {
+			b.Add(m.ColIdx[i], r, m.Val[i])
+		}
+	}
+	return b.Build()
+}
+
+// Dense expands the matrix to row-major dense form; for tests only.
+func (m *CSR) Dense() [][]float64 {
+	out := make([][]float64, m.Rows)
+	for r := range out {
+		out[r] = make([]float64, m.Cols)
+		for i := m.RowPtr[r]; i < m.RowPtr[r+1]; i++ {
+			out[r][m.ColIdx[i]] = m.Val[i]
+		}
+	}
+	return out
+}

@@ -1,0 +1,210 @@
+package sparse
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func buildSmall(t *testing.T) *CSR {
+	t.Helper()
+	b := NewBuilder(3, 4)
+	b.Add(0, 0, 1)
+	b.Add(0, 3, 2)
+	b.Add(1, 1, 3)
+	b.Add(2, 0, 4)
+	b.Add(2, 2, 5)
+	return b.Build()
+}
+
+func TestBuilderBasics(t *testing.T) {
+	m := buildSmall(t)
+	if m.NNZ() != 5 {
+		t.Fatalf("NNZ = %d", m.NNZ())
+	}
+	want := [][]float64{{1, 0, 0, 2}, {0, 3, 0, 0}, {4, 0, 5, 0}}
+	got := m.Dense()
+	for r := range want {
+		for c := range want[r] {
+			if got[r][c] != want[r][c] {
+				t.Errorf("(%d,%d) = %v, want %v", r, c, got[r][c], want[r][c])
+			}
+			if m.At(r, c) != want[r][c] {
+				t.Errorf("At(%d,%d) = %v, want %v", r, c, m.At(r, c), want[r][c])
+			}
+		}
+	}
+}
+
+func TestBuilderSumsDuplicates(t *testing.T) {
+	b := NewBuilder(2, 2)
+	b.Add(0, 1, 1.5)
+	b.Add(0, 1, 2.5)
+	b.Add(1, 0, 3)
+	b.Add(1, 0, -3) // cancels to zero and must be dropped
+	m := b.Build()
+	if m.At(0, 1) != 4 {
+		t.Errorf("duplicate sum = %v", m.At(0, 1))
+	}
+	if m.NNZ() != 1 {
+		t.Errorf("NNZ = %d, want 1 (zero entry dropped)", m.NNZ())
+	}
+}
+
+func TestBuilderIgnoresZero(t *testing.T) {
+	b := NewBuilder(1, 1)
+	b.Add(0, 0, 0)
+	if b.NNZ() != 0 {
+		t.Error("zero entry stored")
+	}
+}
+
+func TestBuilderPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewBuilder(2, 2).Add(2, 0, 1)
+}
+
+func TestMulVec(t *testing.T) {
+	m := buildSmall(t)
+	x := []float64{1, 2, 3, 4}
+	dst := make([]float64, 3)
+	if err := m.MulVec(dst, x); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{9, 6, 19}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Errorf("dst[%d] = %v, want %v", i, dst[i], want[i])
+		}
+	}
+	if err := m.MulVec(dst, x[:2]); err != ErrShape {
+		t.Errorf("shape error not reported: %v", err)
+	}
+}
+
+func TestMulVecT(t *testing.T) {
+	m := buildSmall(t)
+	x := []float64{1, 2, 3}
+	dst := make([]float64, 4)
+	if err := m.MulVecT(dst, x); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{13, 6, 15, 2}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Errorf("dst[%d] = %v, want %v", i, dst[i], want[i])
+		}
+	}
+	if err := m.MulVecT(dst[:1], x); err != ErrShape {
+		t.Errorf("shape error not reported: %v", err)
+	}
+}
+
+func TestRowSumsScale(t *testing.T) {
+	m := buildSmall(t)
+	rs := m.RowSums()
+	want := []float64{3, 3, 9}
+	for i := range want {
+		if rs[i] != want[i] {
+			t.Errorf("row sum %d = %v", i, rs[i])
+		}
+	}
+	m.Scale(2)
+	if m.At(2, 2) != 10 {
+		t.Errorf("Scale: got %v", m.At(2, 2))
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := buildSmall(t)
+	mt := m.Transpose()
+	if mt.Rows != m.Cols || mt.Cols != m.Rows {
+		t.Fatalf("transpose shape %dx%d", mt.Rows, mt.Cols)
+	}
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			if m.At(r, c) != mt.At(c, r) {
+				t.Errorf("transpose mismatch at (%d,%d)", r, c)
+			}
+		}
+	}
+}
+
+// TestMulVecTMatchesTransposeMulVec checks x*M == Mᵀx on random matrices.
+func TestMulVecTMatchesTransposeMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		rows, cols := 1+rng.Intn(8), 1+rng.Intn(8)
+		b := NewBuilder(rows, cols)
+		for k := 0; k < rng.Intn(20); k++ {
+			b.Add(rng.Intn(rows), rng.Intn(cols), rng.NormFloat64())
+		}
+		m := b.Build()
+		x := make([]float64, rows)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		got := make([]float64, cols)
+		if err := m.MulVecT(got, x); err != nil {
+			t.Fatal(err)
+		}
+		want := make([]float64, cols)
+		if err := m.Transpose().MulVec(want, x); err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-12 {
+				t.Fatalf("trial %d: got %v want %v", trial, got, want)
+			}
+		}
+	}
+}
+
+func TestAtOutOfRange(t *testing.T) {
+	m := buildSmall(t)
+	if m.At(-1, 0) != 0 || m.At(0, 99) != 0 {
+		t.Error("out-of-range At should be 0")
+	}
+}
+
+// Property: Build is independent of insertion order.
+func TestBuildOrderIndependentProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5
+		type e struct {
+			r, c int
+			v    float64
+		}
+		var es []e
+		for k := 0; k < 15; k++ {
+			es = append(es, e{rng.Intn(n), rng.Intn(n), float64(rng.Intn(9) + 1)})
+		}
+		b1 := NewBuilder(n, n)
+		for _, x := range es {
+			b1.Add(x.r, x.c, x.v)
+		}
+		b2 := NewBuilder(n, n)
+		perm := rng.Perm(len(es))
+		for _, i := range perm {
+			b2.Add(es[i].r, es[i].c, es[i].v)
+		}
+		m1, m2 := b1.Build(), b2.Build()
+		for r := 0; r < n; r++ {
+			for c := 0; c < n; c++ {
+				if math.Abs(m1.At(r, c)-m2.At(r, c)) > 1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

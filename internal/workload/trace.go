@@ -1,0 +1,126 @@
+package workload
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"strconv"
+	"strings"
+)
+
+// ErrEmptyTrace rejects traces without usable samples.
+var ErrEmptyTrace = errors.New("workload: empty trace")
+
+// FromTrace replays recorded interarrival times in order, cycling at the
+// end — the trace-driven mode the paper's "stable system parameters"
+// discussion assumes SCs collect before joining a federation. Every run
+// gets a fresh cursor, so simulations stay reproducible.
+func FromTrace(interarrivals []float64) (Factory, error) {
+	if len(interarrivals) == 0 {
+		return nil, ErrEmptyTrace
+	}
+	for i, x := range interarrivals {
+		if x < 0 {
+			return nil, fmt.Errorf("%w: sample %d is %v", ErrBadParams, i, x)
+		}
+	}
+	trace := append([]float64(nil), interarrivals...)
+	return func() Process { return &tracePlayer{trace: trace} }, nil
+}
+
+type tracePlayer struct {
+	trace []float64
+	pos   int
+}
+
+func (t *tracePlayer) NextArrival(_ *rand.Rand) (float64, int) {
+	dt := t.trace[t.pos]
+	t.pos = (t.pos + 1) % len(t.trace)
+	return dt, 1
+}
+
+// Stats returns the sample mean and squared coefficient of variation of a
+// trace; the pair feeds phasetype.FitTwoMoment to derive an analytic
+// service or interarrival model from data.
+func Stats(xs []float64) (mean, scv float64, err error) {
+	if len(xs) == 0 {
+		return 0, 0, ErrEmptyTrace
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	mean = sum / float64(len(xs))
+	if mean == 0 {
+		return 0, 0, fmt.Errorf("%w: zero mean", ErrBadParams)
+	}
+	varSum := 0.0
+	for _, x := range xs {
+		d := x - mean
+		varSum += d * d
+	}
+	scv = varSum / float64(len(xs)) / (mean * mean)
+	return mean, scv, nil
+}
+
+// ReadTrace parses one non-negative float per line (blank lines and
+// #-comments ignored).
+func ReadTrace(r io.Reader) ([]float64, error) {
+	var out []float64
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		x, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: %w", line, err)
+		}
+		out = append(out, x)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, ErrEmptyTrace
+	}
+	return out, nil
+}
+
+// WriteTrace emits one float per line.
+func WriteTrace(w io.Writer, xs []float64) error {
+	bw := bufio.NewWriter(w)
+	for _, x := range xs {
+		if _, err := fmt.Fprintf(bw, "%g\n", x); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// SampleTrace draws n interarrival times from an arbitrary arrival process
+// — a synthetic trace generator for testing trace-driven pipelines.
+func SampleTrace(f Factory, n int, seed int64) ([]float64, error) {
+	if f == nil || n <= 0 {
+		return nil, fmt.Errorf("%w: need a factory and n > 0", ErrBadParams)
+	}
+	proc := f()
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, 0, n)
+	for len(out) < n {
+		dt, batch := proc.NextArrival(rng)
+		for b := 0; b < batch && len(out) < n; b++ {
+			if b == 0 {
+				out = append(out, dt)
+			} else {
+				out = append(out, 0) // batch members arrive together
+			}
+		}
+	}
+	return out, nil
+}

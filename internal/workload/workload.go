@@ -1,0 +1,113 @@
+// Package workload provides the arrival processes that generalize the
+// paper's Poisson assumption in the simulator, following the discussion of
+// Sect. VII: Markov-modulated Poisson processes capture bursty demand and
+// geometric batches approximate the batch Markovian arrivals (BMAPs) the
+// paper mentions. Every process is created through a Factory so each
+// simulation run gets fresh, reproducible state.
+package workload
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// ErrBadParams rejects non-positive rates and probabilities.
+var ErrBadParams = errors.New("workload: invalid process parameters")
+
+// Process generates arrival events: NextArrival returns the time until the
+// next arrival event and the number of requests it carries.
+type Process interface {
+	NextArrival(rng *rand.Rand) (dt float64, batch int)
+}
+
+// Factory builds a fresh Process for one simulation run.
+type Factory func() Process
+
+// Poisson returns the paper's baseline arrival process.
+func Poisson(rate float64) (Factory, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("%w: rate %v", ErrBadParams, rate)
+	}
+	return func() Process { return poissonProcess{rate: rate} }, nil
+}
+
+type poissonProcess struct{ rate float64 }
+
+func (p poissonProcess) NextArrival(rng *rand.Rand) (float64, int) {
+	return rng.ExpFloat64() / p.rate, 1
+}
+
+// MMPP2 returns a two-state Markov-modulated Poisson process: arrivals at
+// rate1 in state 1 and rate2 in state 2, with exponential switching at
+// rates r12 (1 to 2) and r21 (2 to 1). Its long-run arrival rate is
+//
+//	pi1*rate1 + pi2*rate2,  pi1 = r21/(r12+r21).
+func MMPP2(rate1, rate2, r12, r21 float64) (Factory, error) {
+	if rate1 <= 0 || rate2 <= 0 || r12 <= 0 || r21 <= 0 {
+		return nil, fmt.Errorf("%w: mmpp2(%v,%v,%v,%v)", ErrBadParams, rate1, rate2, r12, r21)
+	}
+	return func() Process {
+		return &mmpp2{rates: [2]float64{rate1, rate2}, sw: [2]float64{r12, r21}}
+	}, nil
+}
+
+// MMPP2Rate returns the long-run arrival rate of the corresponding MMPP2.
+func MMPP2Rate(rate1, rate2, r12, r21 float64) float64 {
+	pi1 := r21 / (r12 + r21)
+	return pi1*rate1 + (1-pi1)*rate2
+}
+
+type mmpp2 struct {
+	rates [2]float64
+	sw    [2]float64
+	state int
+}
+
+func (m *mmpp2) NextArrival(rng *rand.Rand) (float64, int) {
+	elapsed := 0.0
+	for {
+		lambda := m.rates[m.state]
+		swRate := m.sw[m.state]
+		tArr := rng.ExpFloat64() / lambda
+		tSw := rng.ExpFloat64() / swRate
+		if tArr <= tSw {
+			return elapsed + tArr, 1
+		}
+		elapsed += tSw
+		m.state = 1 - m.state
+	}
+}
+
+// Batched wraps a factory so every arrival event carries a geometric batch
+// with the given mean size (>= 1): P[B = n] = (1-q) q^(n-1) with
+// q = 1 - 1/meanBatch. The long-run request rate is the base event rate
+// times meanBatch.
+func Batched(base Factory, meanBatch float64) (Factory, error) {
+	if base == nil || meanBatch < 1 {
+		return nil, fmt.Errorf("%w: mean batch %v", ErrBadParams, meanBatch)
+	}
+	q := 1 - 1/meanBatch
+	return func() Process {
+		return &batched{base: base(), q: q}
+	}, nil
+}
+
+type batched struct {
+	base Process
+	q    float64
+}
+
+func (b *batched) NextArrival(rng *rand.Rand) (float64, int) {
+	dt, n := b.base.NextArrival(rng)
+	// Expand each underlying request into a geometric batch.
+	total := 0
+	for i := 0; i < n; i++ {
+		size := 1
+		for rng.Float64() < b.q {
+			size++
+		}
+		total += size
+	}
+	return dt, total
+}

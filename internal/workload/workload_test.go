@@ -1,0 +1,235 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// measureRate runs a process for n events and returns requests per second.
+func measureRate(t *testing.T, f Factory, n int, seed int64) float64 {
+	t.Helper()
+	proc := f()
+	rng := rand.New(rand.NewSource(seed))
+	elapsed, requests := 0.0, 0
+	for i := 0; i < n; i++ {
+		dt, b := proc.NextArrival(rng)
+		if dt < 0 || b < 1 {
+			t.Fatalf("event %d: dt=%v batch=%d", i, dt, b)
+		}
+		elapsed += dt
+		requests += b
+	}
+	return float64(requests) / elapsed
+}
+
+func TestPoissonRate(t *testing.T) {
+	f, err := Poisson(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := measureRate(t, f, 200000, 1)
+	if math.Abs(rate-5) > 0.05 {
+		t.Errorf("rate %v, want 5", rate)
+	}
+	if _, err := Poisson(0); err == nil {
+		t.Error("zero rate accepted")
+	}
+}
+
+func TestMMPP2LongRunRate(t *testing.T) {
+	f, err := MMPP2(10, 1, 0.2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MMPP2Rate(10, 1, 0.2, 0.1) // pi1 = 1/3 -> 10/3 + 2/3 = 4
+	if math.Abs(want-4) > 1e-12 {
+		t.Fatalf("analytic rate %v, want 4", want)
+	}
+	rate := measureRate(t, f, 400000, 2)
+	if math.Abs(rate-want) > 0.1 {
+		t.Errorf("measured rate %v, want %v", rate, want)
+	}
+	if _, err := MMPP2(1, 1, 0, 1); err == nil {
+		t.Error("zero switch rate accepted")
+	}
+}
+
+func TestMMPP2IsBurstier(t *testing.T) {
+	// Interarrival SCV of an MMPP exceeds 1 (Poisson).
+	scv := func(f Factory, seed int64) float64 {
+		proc := f()
+		rng := rand.New(rand.NewSource(seed))
+		sum, sum2, n := 0.0, 0.0, 200000
+		for i := 0; i < n; i++ {
+			dt, _ := proc.NextArrival(rng)
+			sum += dt
+			sum2 += dt * dt
+		}
+		m := sum / float64(n)
+		return (sum2/float64(n) - m*m) / (m * m)
+	}
+	pf, err := Poisson(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mf, err := MMPP2(10, 1, 0.2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	poissonSCV := scv(pf, 3)
+	mmppSCV := scv(mf, 3)
+	if mmppSCV <= poissonSCV+0.2 {
+		t.Errorf("MMPP SCV %v not burstier than Poisson %v", mmppSCV, poissonSCV)
+	}
+}
+
+func TestBatchedMeanSize(t *testing.T) {
+	pf, err := Poisson(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := Batched(pf, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := measureRate(t, bf, 200000, 4)
+	if math.Abs(rate-6) > 0.15 { // 2 events/s * mean batch 3
+		t.Errorf("batched rate %v, want 6", rate)
+	}
+	if _, err := Batched(pf, 0.5); err == nil {
+		t.Error("sub-unit batch mean accepted")
+	}
+	if _, err := Batched(nil, 2); err == nil {
+		t.Error("nil base accepted")
+	}
+}
+
+func TestBatchedMeanOneIsDegenerate(t *testing.T) {
+	pf, err := Poisson(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bf, err := Batched(pf, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc := bf()
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 1000; i++ {
+		_, b := proc.NextArrival(rng)
+		if b != 1 {
+			t.Fatalf("batch %d with mean 1", b)
+		}
+	}
+}
+
+func TestFromTraceReplaysAndCycles(t *testing.T) {
+	f, err := FromTrace([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proc := f()
+	var got []float64
+	for i := 0; i < 5; i++ {
+		dt, b := proc.NextArrival(nil)
+		if b != 1 {
+			t.Fatalf("batch %d", b)
+		}
+		got = append(got, dt)
+	}
+	want := []float64{1, 2, 3, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("replay %v, want %v", got, want)
+		}
+	}
+	// A second process starts fresh.
+	if dt, _ := f().NextArrival(nil); dt != 1 {
+		t.Errorf("second run started at %v", dt)
+	}
+	if _, err := FromTrace(nil); err != ErrEmptyTrace {
+		t.Errorf("empty trace: %v", err)
+	}
+	if _, err := FromTrace([]float64{1, -1}); err == nil {
+		t.Error("negative sample accepted")
+	}
+}
+
+func TestStats(t *testing.T) {
+	mean, scv, err := Stats([]float64{1, 1, 1, 1})
+	if err != nil || mean != 1 || scv != 0 {
+		t.Errorf("constant trace: mean=%v scv=%v err=%v", mean, scv, err)
+	}
+	mean, scv, err = Stats([]float64{0, 2})
+	if err != nil || mean != 1 || scv != 1 {
+		t.Errorf("two-point trace: mean=%v scv=%v err=%v", mean, scv, err)
+	}
+	if _, _, err := Stats(nil); err != ErrEmptyTrace {
+		t.Errorf("empty: %v", err)
+	}
+	if _, _, err := Stats([]float64{0, 0}); err == nil {
+		t.Error("zero-mean trace accepted")
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	xs := []float64{0.5, 1.25, 0, 3e-3}
+	var buf strings.Builder
+	if err := WriteTrace(&buf, xs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadTrace(strings.NewReader("# header\n\n" + buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(xs) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range xs {
+		if got[i] != xs[i] {
+			t.Fatalf("round trip %v != %v", got, xs)
+		}
+	}
+	if _, err := ReadTrace(strings.NewReader("abc\n")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := ReadTrace(strings.NewReader("# only comments\n")); err != ErrEmptyTrace {
+		t.Errorf("comment-only: %v", err)
+	}
+}
+
+// Sampling a Poisson process into a trace and replaying it preserves the
+// rate; fitting the trace recovers SCV ~ 1.
+func TestSampleTraceFitPipeline(t *testing.T) {
+	pf, err := Poisson(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs, err := SampleTrace(pf, 50000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, scv, err := Stats(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mean-0.2) > 0.01 {
+		t.Errorf("trace mean %v, want 0.2", mean)
+	}
+	if math.Abs(scv-1) > 0.1 {
+		t.Errorf("trace scv %v, want ~1", scv)
+	}
+	tf, err := FromTrace(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rate := measureRate(t, tf, len(xs), 9)
+	if math.Abs(rate-5) > 0.2 {
+		t.Errorf("replayed rate %v, want 5", rate)
+	}
+	if _, err := SampleTrace(nil, 5, 1); err == nil {
+		t.Error("nil factory accepted")
+	}
+}

@@ -1,0 +1,133 @@
+package scshare_test
+
+import (
+	"math"
+	"testing"
+
+	"scshare"
+)
+
+func demoFederation() scshare.Federation {
+	return scshare.Federation{
+		SCs: []scshare.SC{
+			{Name: "hot", VMs: 10, ArrivalRate: 9, ServiceRate: 1, SLA: 0.2, PublicPrice: 1},
+			{Name: "cold", VMs: 10, ArrivalRate: 4, ServiceRate: 1, SLA: 0.2, PublicPrice: 1},
+		},
+		FederationPrice: 0.4,
+	}
+}
+
+func TestNoSharingBaseline(t *testing.T) {
+	b, err := scshare.NoSharing(demoFederation().SCs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Cost <= 0 || b.ForwardProb <= 0 || b.Utilization <= 0 {
+		t.Errorf("baseline %+v", b)
+	}
+}
+
+// The four performance models must agree on the qualitative picture for
+// the same federation: the hot SC borrows, the cold SC lends, and sharing
+// beats the baseline cost for both.
+func TestModelsAgreeQualitatively(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-model comparison is slow")
+	}
+	fed := demoFederation()
+	shares := []int{2, 5}
+
+	hotApprox, err := scshare.ApproxMetrics(fed, shares, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactMs, err := scshare.ExactMetrics(fed, shares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fluidMs, err := scshare.FluidMetrics(fed, shares)
+	if err != nil {
+		t.Fatal(err)
+	}
+	simRes, err := scshare.Simulate(scshare.SimConfig{
+		Federation: fed, Shares: shares, Horizon: 40000, Warmup: 1000, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, hot := range map[string]scshare.Metrics{
+		"approx": hotApprox,
+		"exact":  exactMs[0],
+		"fluid":  fluidMs[0],
+		"sim":    simRes.Metrics[0],
+	} {
+		if hot.BorrowRate <= 0 {
+			t.Errorf("%s: hot SC borrows nothing", name)
+		}
+		if hot.BorrowRate <= hot.LendRate {
+			t.Errorf("%s: hot SC lends more than it borrows: %+v", name, hot)
+		}
+	}
+	// Approx vs exact on the headline quantity.
+	if math.Abs(hotApprox.BorrowRate-exactMs[0].BorrowRate) > 0.25*exactMs[0].BorrowRate {
+		t.Errorf("approx borrow %v far from exact %v", hotApprox.BorrowRate, exactMs[0].BorrowRate)
+	}
+}
+
+// End-to-end: the public facade runs the full SC-Share loop to a verified
+// equilibrium and the resulting costs beat the baselines.
+func TestFrameworkEndToEnd(t *testing.T) {
+	fw, err := scshare.New(scshare.Config{
+		Federation: demoFederation(),
+		Model:      scshare.ModelFluid,
+		Gamma:      scshare.UF0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := fw.Equilibrium(nil, scshare.AlphaUtilitarian)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Converged {
+		t.Fatal("no equilibrium")
+	}
+	for i, c := range out.Costs {
+		if out.Shares[i] > 0 && c > out.BaselineCosts[i]+1e-9 {
+			t.Errorf("SC %d: sharing but cost %v above baseline %v", i, c, out.BaselineCosts[i])
+		}
+	}
+	w, err := scshare.Welfare(scshare.AlphaUtilitarian, out.Shares, out.Utilities)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(w, -1) {
+		t.Error("federation did not form at a cheap price")
+	}
+}
+
+func TestUtilityAndWelfareFacade(t *testing.T) {
+	u, err := scshare.Utility(2, 1, 0.5, 0.6, scshare.UF0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u != 1 {
+		t.Errorf("utility %v", u)
+	}
+	if _, err := scshare.Welfare(-1, []int{1}, []float64{1}); err == nil {
+		t.Error("bad alpha accepted")
+	}
+}
+
+func TestFigureGeneratorsExposed(t *testing.T) {
+	figs, err := scshare.Fig5(scshare.Fig5Options{Utilizations: []float64{0.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 2 || figs[0].ID != "fig5a" {
+		t.Errorf("figures %v", figs)
+	}
+	if got := len(scshare.PaperFig7Scenarios()); got != 4 {
+		t.Errorf("scenarios %d", got)
+	}
+}
