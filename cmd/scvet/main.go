@@ -1,0 +1,106 @@
+// Command scvet is the repository's custom static-analysis driver. It
+// loads every package of the enclosing module, runs the repo-specific
+// analyzers from internal/analysis (floatcmp, nanguard, lockfield,
+// panicfree, detrand) and exits non-zero when any finding survives the
+// per-file //scvet:ignore suppressions.
+//
+// Usage:
+//
+//	scvet [-json] [-rules floatcmp,detrand] [-list] [packages]
+//
+// Package arguments use go-tool patterns relative to the module root
+// ("./...", "./internal/market", "internal/market/..."); with none, the
+// whole module is analyzed. scvet is part of the tier-1 gate: run it via
+// scripts/verify.sh before every PR.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"scshare/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("scvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	rules := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	list := fs.Bool("list", false, "list available rules and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers, err := analysis.Select(*rules)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "scvet:", err)
+		return 2
+	}
+	root, err := analysis.FindModuleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	pkgs, err := analysis.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 2
+	}
+	if patterns := fs.Args(); len(patterns) > 0 {
+		modPath, err := analysis.ModulePath(root)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 2
+		}
+		var kept []*analysis.Package
+		for _, p := range pkgs {
+			if analysis.MatchesPatterns(p.Path, modPath, patterns) {
+				kept = append(kept, p)
+			}
+		}
+		pkgs = kept
+	}
+
+	findings := analysis.Run(pkgs, analyzers)
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []analysis.Finding{}
+		}
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(stderr, "scvet:", err)
+			return 2
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(stdout, f)
+		}
+	}
+	if len(findings) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "scvet: %d finding(s)\n", len(findings))
+		}
+		return 1
+	}
+	return 0
+}

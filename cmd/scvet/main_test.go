@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"scshare/internal/analysis"
+)
+
+func TestListRules(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("scvet -list exited %d: %s", code, errOut.String())
+	}
+	for _, a := range analysis.All() {
+		if !strings.Contains(out.String(), a.Name) {
+			t.Errorf("-list output is missing rule %q:\n%s", a.Name, out.String())
+		}
+	}
+}
+
+func TestUnknownRuleRejected(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-rules", "nosuchrule"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown rule exited %d, want 2 (stderr: %s)", code, errOut.String())
+	}
+}
+
+func TestBadFlagRejected(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-definitely-not-a-flag"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad flag exited %d, want 2", code)
+	}
+}
+
+// TestSelfAnalysisJSON runs the real driver over one package of this
+// module and checks the -json contract: exit 0 and a valid (empty) array.
+func TestSelfAnalysisJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the module")
+	}
+	var out, errOut bytes.Buffer
+	code := run([]string{"-json", "./internal/analysis"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("scvet -json ./internal/analysis exited %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	var findings []analysis.Finding
+	if err := json.Unmarshal(out.Bytes(), &findings); err != nil {
+		t.Fatalf("-json output is not a findings array: %v\n%s", err, out.String())
+	}
+	if len(findings) != 0 {
+		t.Fatalf("internal/analysis is not scvet-clean: %+v", findings)
+	}
+}

@@ -1,0 +1,190 @@
+// Package analysis implements scvet, the repository's custom static
+// analysis driver. It is built purely on the standard library's go/ast,
+// go/parser, go/token and go/types packages (no golang.org/x/tools
+// dependency, honoring the repo's stdlib-only constraint) and runs a set of
+// repo-specific analyzers that encode invariants `go vet` cannot see:
+// floating-point comparison discipline, NaN/Inf domain guards on the
+// numeric hot paths, mutex-field locking conventions, panic-free exported
+// solver APIs, and deterministic seeding of simulation randomness.
+//
+// The driver loads every package of the enclosing module (LoadModule),
+// type-checks them with a module-aware importer, and hands each package to
+// every analyzer as a Pass. Findings can be suppressed per file with a
+//
+//	//scvet:ignore rule[,rule...] [-- reason]
+//
+// comment anywhere in the file; see DESIGN.md §8 for the full contract and
+// for how to add a new rule.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic produced by an analyzer.
+type Finding struct {
+	// Rule names the analyzer that produced the finding.
+	Rule string `json:"rule"`
+	// File, Line and Col locate the offending expression (1-based).
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	// Message explains the violation and the expected fix.
+	Message string `json:"message"`
+}
+
+// String renders the finding in the conventional file:line:col style.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Rule, f.Message)
+}
+
+// Analyzer is one checkable rule.
+type Analyzer struct {
+	// Name is the rule identifier used on the command line and in
+	// //scvet:ignore pragmas.
+	Name string
+	// Doc is a one-line description shown by `scvet -list`.
+	Doc string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+// Pass carries one (analyzer, package) unit of work.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Pkg      *Package
+
+	findings *[]Finding
+	ignored  map[string]map[string]bool // filename -> suppressed rules
+}
+
+// Files returns the package's syntax trees.
+func (p *Pass) Files() []*ast.File { return p.Pkg.Files }
+
+// TypesInfo returns the package's type-checking results.
+func (p *Pass) TypesInfo() *types.Info { return p.Pkg.Info }
+
+// TypesPkg returns the package's type object.
+func (p *Pass) TypesPkg() *types.Package { return p.Pkg.Types }
+
+// Reportf records a finding at pos unless the enclosing file suppresses the
+// rule with a //scvet:ignore pragma.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if rules, ok := p.ignored[position.Filename]; ok {
+		if rules[p.Analyzer.Name] || rules["all"] {
+			return
+		}
+	}
+	*p.findings = append(*p.findings, Finding{
+		Rule:    p.Analyzer.Name,
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// All returns every analyzer scvet ships, in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		FloatCmp,
+		NaNGuard,
+		LockField,
+		PanicFree,
+		DetRand,
+	}
+}
+
+// Select resolves a comma-separated rule list against All; an empty list
+// selects everything.
+func Select(rules string) ([]*Analyzer, error) {
+	if strings.TrimSpace(rules) == "" {
+		return All(), nil
+	}
+	byName := make(map[string]*Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, r := range strings.Split(rules, ",") {
+		r = strings.TrimSpace(r)
+		if r == "" {
+			continue
+		}
+		a, ok := byName[r]
+		if !ok {
+			return nil, fmt.Errorf("scvet: unknown rule %q", r)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// Run applies every analyzer to every package and returns the findings
+// sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		ignored := make(map[string]map[string]bool)
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			if rules := ignoredRules(f); len(rules) > 0 {
+				ignored[name] = rules
+			}
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Pkg:      pkg,
+				findings: &findings,
+				ignored:  ignored,
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+	// Drop exact duplicates: nested AST walks (e.g. detrand's seed scan
+	// under both rand.New and rand.NewSource) may report one site twice.
+	dedup := findings[:0]
+	for i, f := range findings {
+		if i > 0 && f == findings[i-1] {
+			continue
+		}
+		dedup = append(dedup, f)
+	}
+	return dedup
+}
+
+// inScope reports whether the package's import path ends in one of the
+// given suffixes (e.g. "internal/numeric"). Scoped analyzers use it so the
+// same rule binary works on the real module and on testdata fixtures, whose
+// synthetic import paths end in the same suffixes.
+func inScope(p *Pass, suffixes ...string) bool {
+	path := p.Pkg.Path
+	for _, s := range suffixes {
+		if path == s || strings.HasSuffix(path, "/"+s) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,217 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// want is one expected finding, at line granularity.
+type want struct {
+	file string // base name
+	line int
+	rule string
+}
+
+func (w want) String() string { return fmt.Sprintf("%s:%d %s", w.file, w.line, w.rule) }
+
+// wantsFromFixture scans every fixture file in dir for trailing
+// "// WANT rule[ rule...]" comments.
+func wantsFromFixture(t *testing.T, dir string) []want {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wants []want
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := bufio.NewScanner(f)
+		line := 0
+		for sc.Scan() {
+			line++
+			_, marker, ok := strings.Cut(sc.Text(), "// WANT ")
+			if !ok {
+				continue
+			}
+			for _, rule := range strings.Fields(marker) {
+				wants = append(wants, want{file: e.Name(), line: line, rule: rule})
+			}
+		}
+		if err := sc.Err(); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	return wants
+}
+
+// checkFixture loads the fixture dir under importPath, runs the analyzer,
+// and compares the findings against the WANT markers position by position.
+func checkFixture(t *testing.T, a *Analyzer, fixture, importPath string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", fixture)
+	pkg, err := LoadDir(dir, importPath)
+	if err != nil {
+		t.Fatalf("loading %s: %v", dir, err)
+	}
+	findings := Run([]*Package{pkg}, []*Analyzer{a})
+
+	var got []want
+	for _, f := range findings {
+		if f.Col <= 0 {
+			t.Errorf("finding without a column: %s", f)
+		}
+		got = append(got, want{file: filepath.Base(f.File), line: f.Line, rule: f.Rule})
+	}
+	wants := wantsFromFixture(t, dir)
+
+	sortWants := func(ws []want) {
+		sort.Slice(ws, func(i, j int) bool { return ws[i].String() < ws[j].String() })
+	}
+	sortWants(got)
+	sortWants(wants)
+
+	for len(got) > 0 || len(wants) > 0 {
+		switch {
+		case len(got) == 0:
+			t.Errorf("missing finding: %s", wants[0])
+			wants = wants[1:]
+		case len(wants) == 0:
+			t.Errorf("unexpected finding: %s", got[0])
+			got = got[1:]
+		case got[0] == wants[0]:
+			got, wants = got[1:], wants[1:]
+		case got[0].String() < wants[0].String():
+			t.Errorf("unexpected finding: %s", got[0])
+			got = got[1:]
+		default:
+			t.Errorf("missing finding: %s", wants[0])
+			wants = wants[1:]
+		}
+	}
+}
+
+func TestFloatCmpFixture(t *testing.T) {
+	checkFixture(t, FloatCmp, "floatcmp", "fixture/floatcmp")
+}
+
+func TestNaNGuardFixture(t *testing.T) {
+	checkFixture(t, NaNGuard, "nanguard", "fixture/internal/numeric")
+}
+
+func TestLockFieldFixture(t *testing.T) {
+	checkFixture(t, LockField, "lockfield", "fixture/lockfield")
+}
+
+func TestPanicFreeFixture(t *testing.T) {
+	checkFixture(t, PanicFree, "panicfree", "fixture/internal/queueing")
+}
+
+func TestDetRandFixture(t *testing.T) {
+	checkFixture(t, DetRand, "detrand", "fixture/internal/sim")
+}
+
+// TestScopedAnalyzersIgnoreForeignPackages loads the known-bad fixtures
+// under import paths outside each analyzer's scope and expects silence.
+func TestScopedAnalyzersIgnoreForeignPackages(t *testing.T) {
+	cases := []struct {
+		a       *Analyzer
+		fixture string
+	}{
+		{NaNGuard, "nanguard"},
+		{PanicFree, "panicfree"},
+		{DetRand, "detrand"},
+	}
+	for _, tc := range cases {
+		pkg, err := LoadDir(filepath.Join("testdata", "src", tc.fixture), "fixture/internal/unrelated")
+		if err != nil {
+			t.Fatalf("loading %s: %v", tc.fixture, err)
+		}
+		if findings := Run([]*Package{pkg}, []*Analyzer{tc.a}); len(findings) > 0 {
+			t.Errorf("%s reported %d findings outside its scope, e.g. %s", tc.a.Name, len(findings), findings[0])
+		}
+	}
+}
+
+// TestModuleIsCleanUnderAllAnalyzers is the self-gate: the repository's
+// own packages must produce zero findings. It also exercises LoadModule's
+// importer and topological checking end to end.
+func TestModuleIsCleanUnderAllAnalyzers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the whole module")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("expected the module to contain at least 20 packages, loaded %d", len(pkgs))
+	}
+	byPath := make(map[string]bool)
+	for _, p := range pkgs {
+		byPath[p.Path] = true
+	}
+	for _, path := range []string{"scshare/internal/market", "scshare/internal/numeric", "scshare/cmd/scvet"} {
+		if !byPath[path] {
+			t.Errorf("LoadModule missed %s", path)
+		}
+	}
+	for _, f := range Run(pkgs, All()) {
+		t.Errorf("repository is not scvet-clean: %s", f)
+	}
+}
+
+func TestMatchesPatterns(t *testing.T) {
+	const mod = "scshare"
+	cases := []struct {
+		path     string
+		patterns []string
+		want     bool
+	}{
+		{"scshare/internal/market", nil, true},
+		{"scshare/internal/market", []string{"./..."}, true},
+		{"scshare/internal/market", []string{"./internal/market"}, true},
+		{"scshare/internal/market", []string{"internal/market"}, true},
+		{"scshare/internal/market", []string{"./internal/..."}, true},
+		{"scshare/internal/market", []string{"./internal/markov"}, false},
+		{"scshare/internal/markov", []string{"./internal/market/..."}, false},
+		{"scshare", []string{"./..."}, true},
+		{"scshare/cmd/scvet", []string{"./internal/..."}, false},
+		{"scshare/cmd/scvet", []string{"./internal/...", "./cmd/..."}, true},
+	}
+	for _, tc := range cases {
+		if got := MatchesPatterns(tc.path, mod, tc.patterns); got != tc.want {
+			t.Errorf("MatchesPatterns(%q, %q, %v) = %v, want %v", tc.path, mod, tc.patterns, got, tc.want)
+		}
+	}
+}
+
+// TestSelect checks rule-subset resolution.
+func TestSelect(t *testing.T) {
+	all, err := Select("")
+	if err != nil || len(all) != 5 {
+		t.Fatalf("Select(\"\") = %d analyzers, err %v; want 5, nil", len(all), err)
+	}
+	two, err := Select("floatcmp, detrand")
+	if err != nil || len(two) != 2 {
+		t.Fatalf("Select(subset) = %d analyzers, err %v; want 2, nil", len(two), err)
+	}
+	if _, err := Select("nosuchrule"); err == nil {
+		t.Fatal("Select accepted an unknown rule")
+	}
+}

@@ -1,0 +1,81 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// forEachFunc invokes fn for every function declaration with a body in the
+// package.
+func forEachFunc(p *Pass, fn func(*ast.FuncDecl)) {
+	for _, f := range p.Files() {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd)
+			}
+		}
+	}
+}
+
+// varsOf collects the variable objects (locals, parameters, package vars,
+// struct fields) referenced anywhere inside expr. Functions, constants,
+// types and package names are excluded.
+func varsOf(p *Pass, expr ast.Expr) map[*types.Var]bool {
+	out := make(map[*types.Var]bool)
+	ast.Inspect(expr, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v, ok := p.TypesInfo().Uses[id].(*types.Var); ok {
+			out[v] = true
+		}
+		return true
+	})
+	return out
+}
+
+// pkgFunc reports whether call invokes the function pkgPath.name (e.g.
+// math.Log) through a package selector, resolving the identifier through
+// the type checker so local shadowing cannot fool it.
+func pkgFunc(p *Pass, call *ast.CallExpr, pkgPath, name string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	return isPkgName(p, sel.X, pkgPath)
+}
+
+// isPkgName reports whether expr is an identifier naming the import of
+// pkgPath.
+func isPkgName(p *Pass, expr ast.Expr, pkgPath string) bool {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := p.TypesInfo().Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == pkgPath
+}
+
+// namedFrom unwraps pointers and returns the named type of t, if any.
+func namedFrom(t types.Type) *types.Named {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// isSyncLock reports whether t (possibly behind a pointer) is sync.Mutex
+// or sync.RWMutex.
+func isSyncLock(t types.Type) bool {
+	named := namedFrom(t)
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	if named.Obj().Pkg().Path() != "sync" {
+		return false
+	}
+	name := named.Obj().Name()
+	return name == "Mutex" || name == "RWMutex"
+}

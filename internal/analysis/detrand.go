@@ -1,0 +1,67 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// DetRand enforces reproducible randomness in the simulation packages
+// internal/sim and internal/workload: every sample must be drawn from an
+// explicitly seeded *rand.Rand threaded through the call stack, never from
+// math/rand's process-global generator (whose state is shared across
+// goroutines and seeded nondeterministically since Go 1.20). Two shapes
+// are flagged:
+//
+//   - package-level math/rand calls (rand.Float64, rand.Intn, rand.Seed,
+//     ...): only the constructors rand.New / rand.NewSource / rand.NewZipf
+//     and the type names are allowed at package scope;
+//   - time-based seeding, i.e. a time.Now() call anywhere inside the
+//     arguments of rand.New or rand.NewSource — a simulation seeded from
+//     the clock can never be replayed.
+var DetRand = &Analyzer{
+	Name: "detrand",
+	Doc:  "flags global or clock-seeded math/rand use in simulation paths",
+	Run:  runDetRand,
+}
+
+// detRandAllowed are the math/rand members that do not touch the global
+// generator.
+var detRandAllowed = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"Rand": true, "Source": true, "Source64": true, "Zipf": true,
+}
+
+func runDetRand(p *Pass) {
+	if !inScope(p, "internal/sim", "internal/workload") {
+		return
+	}
+	for _, f := range p.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if !isPkgName(p, n.X, "math/rand") && !isPkgName(p, n.X, "math/rand/v2") {
+					return true
+				}
+				if !detRandAllowed[n.Sel.Name] {
+					p.Reportf(n.Pos(), "rand.%s uses the process-global generator; thread an explicitly seeded *rand.Rand instead", n.Sel.Name)
+				}
+			case *ast.CallExpr:
+				if !pkgFunc(p, n, "math/rand", "New") && !pkgFunc(p, n, "math/rand", "NewSource") {
+					return true
+				}
+				for _, arg := range n.Args {
+					ast.Inspect(arg, func(x ast.Node) bool {
+						call, ok := x.(*ast.CallExpr)
+						if !ok {
+							return true
+						}
+						if pkgFunc(p, call, "time", "Now") {
+							p.Reportf(call.Pos(), "clock-seeded RNG is not reproducible; accept a seed or a *rand.Source from the caller")
+						}
+						return true
+					})
+				}
+			}
+			return true
+		})
+	}
+}

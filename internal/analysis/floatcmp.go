@@ -1,0 +1,75 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// FloatCmp flags == and != between two non-constant floating-point
+// expressions. Exact equality between computed floats is almost always a
+// latent bug in this codebase: steady-state probabilities, utilities and
+// rates accumulate rounding error, so identity tests must go through a
+// tolerance helper instead.
+//
+// Allowed forms:
+//   - comparisons where either side is a compile-time constant (sentinel
+//     checks such as `mean == 0` or `p != 1` are deliberate exact tests);
+//   - the NaN self-test idiom `x != x`;
+//   - comparisons against math.Inf(...) calls (infinity is exact);
+//   - any comparison inside an approved tolerance helper, i.e. a function
+//     whose name matches (?i)(almost|approx|close|tol|eps|within).
+var FloatCmp = &Analyzer{
+	Name: "floatcmp",
+	Doc:  "flags ==/!= between non-constant floating-point expressions outside tolerance helpers",
+	Run:  runFloatCmp,
+}
+
+var toleranceHelper = regexp.MustCompile(`(?i)(almost|approx|close|tol|eps|within)`)
+
+func runFloatCmp(p *Pass) {
+	forEachFunc(p, func(fd *ast.FuncDecl) {
+		if toleranceHelper.MatchString(fd.Name.Name) {
+			return
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloatExpr(p, be.X) || !isFloatExpr(p, be.Y) {
+				return true
+			}
+			if isConstExpr(p, be.X) || isConstExpr(p, be.Y) {
+				return true
+			}
+			if isMathInfCall(p, be.X) || isMathInfCall(p, be.Y) {
+				return true
+			}
+			if be.Op == token.NEQ && types.ExprString(be.X) == types.ExprString(be.Y) {
+				return true // x != x: the NaN test idiom
+			}
+			p.Reportf(be.OpPos, "%s between floating-point expressions; use a tolerance helper or restructure with ordered comparisons", be.Op)
+			return true
+		})
+	})
+}
+
+func isFloatExpr(p *Pass, e ast.Expr) bool {
+	t := p.TypesInfo().TypeOf(e)
+	if t == nil {
+		return false
+	}
+	basic, ok := t.Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+func isConstExpr(p *Pass, e ast.Expr) bool {
+	return p.TypesInfo().Types[e].Value != nil
+}
+
+func isMathInfCall(p *Pass, e ast.Expr) bool {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	return ok && pkgFunc(p, call, "math", "Inf")
+}

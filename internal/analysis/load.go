@@ -1,0 +1,292 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package of the module under
+// analysis.
+type Package struct {
+	// Path is the package's import path.
+	Path string
+	// Dir is the directory the sources were read from.
+	Dir string
+	// Fset is the file set shared by every package of one load.
+	Fset *token.FileSet
+	// Files holds the parsed non-test sources.
+	Files []*ast.File
+	// Types and Info are the go/types results.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// FindModuleRoot walks up from dir until it finds a go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("scvet: no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// ModulePath returns the module path declared by the go.mod in root.
+func ModulePath(root string) (string, error) {
+	return modulePath(filepath.Join(root, "go.mod"))
+}
+
+// modulePath extracts the module path from a go.mod file.
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			rest = strings.TrimSpace(rest)
+			rest = strings.Trim(rest, `"`)
+			if rest != "" {
+				return rest, nil
+			}
+		}
+	}
+	return "", fmt.Errorf("scvet: no module directive in %s", gomod)
+}
+
+// moduleImporter resolves module-local import paths to already-checked
+// packages and everything else (the standard library) through the stdlib
+// source importer.
+type moduleImporter struct {
+	local map[string]*Package
+	std   types.Importer
+}
+
+func (m *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.local[path]; ok {
+		if p.Types == nil {
+			return nil, fmt.Errorf("scvet: import cycle or unchecked dependency %q", path)
+		}
+		return p.Types, nil
+	}
+	return m.std.Import(path)
+}
+
+// LoadModule parses and type-checks every non-test package under root,
+// which must contain a go.mod. Directories named testdata, vendor, or
+// starting with "." or "_" are skipped, mirroring the go tool.
+func LoadModule(root string) ([]*Package, error) {
+	root, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+
+	// Pass 1: parse every package directory.
+	pkgs := make(map[string]*Package)
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || name == "vendor" ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		files, perr := parseDir(fset, path)
+		if perr != nil {
+			return perr
+		}
+		if len(files) == 0 {
+			return nil
+		}
+		rel, rerr := filepath.Rel(root, path)
+		if rerr != nil {
+			return rerr
+		}
+		importPath := modPath
+		if rel != "." {
+			importPath = modPath + "/" + filepath.ToSlash(rel)
+		}
+		pkgs[importPath] = &Package{Path: importPath, Dir: path, Fset: fset, Files: files}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Pass 2: type-check in dependency order.
+	imp := &moduleImporter{local: pkgs, std: importer.ForCompiler(fset, "source", nil)}
+	order, err := topoOrder(pkgs)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range order {
+		if err := check(p, imp); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i].Path < order[j].Path })
+	return order, nil
+}
+
+// LoadDir parses and type-checks the single package in dir under the given
+// synthetic import path; imports may only reference the standard library.
+// It exists for golden-file tests over testdata fixtures.
+func LoadDir(dir, importPath string) (*Package, error) {
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("scvet: no Go files in %s", dir)
+	}
+	p := &Package{Path: importPath, Dir: dir, Fset: fset, Files: files}
+	imp := &moduleImporter{local: map[string]*Package{}, std: importer.ForCompiler(fset, "source", nil)}
+	if err := check(p, imp); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// parseDir parses every non-test .go file of one directory.
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// check type-checks one parsed package in place.
+func check(p *Package, imp types.Importer) error {
+	conf := types.Config{Importer: imp}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tpkg, err := conf.Check(p.Path, p.Fset, p.Files, info)
+	if err != nil {
+		return fmt.Errorf("scvet: type-checking %s: %w", p.Path, err)
+	}
+	p.Types = tpkg
+	p.Info = info
+	return nil
+}
+
+// topoOrder sorts packages so that every module-local import precedes its
+// importer.
+func topoOrder(pkgs map[string]*Package) ([]*Package, error) {
+	const (
+		unvisited = iota
+		visiting
+		done
+	)
+	state := make(map[string]int)
+	var order []*Package
+	var visit func(path string) error
+	visit = func(path string) error {
+		p, ok := pkgs[path]
+		if !ok {
+			return nil // stdlib import, handled by the source importer
+		}
+		switch state[path] {
+		case visiting:
+			return fmt.Errorf("scvet: import cycle through %s", path)
+		case done:
+			return nil
+		}
+		state[path] = visiting
+		for _, f := range p.Files {
+			for _, spec := range f.Imports {
+				dep := strings.Trim(spec.Path.Value, `"`)
+				if err := visit(dep); err != nil {
+					return err
+				}
+			}
+		}
+		state[path] = done
+		order = append(order, p)
+		return nil
+	}
+	paths := make([]string, 0, len(pkgs))
+	for path := range pkgs {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		if err := visit(path); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
+}
+
+// MatchesPatterns reports whether a package path matches any of the go
+// tool style patterns ("./...", "./internal/market", "internal/market/...")
+// interpreted relative to the module path. An empty pattern list matches
+// everything.
+func MatchesPatterns(pkgPath, modPath string, patterns []string) bool {
+	if len(patterns) == 0 {
+		return true
+	}
+	rel := strings.TrimPrefix(strings.TrimPrefix(pkgPath, modPath), "/")
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(pat, "./")
+		if pat == "..." || pat == "" {
+			return true
+		}
+		if sub, ok := strings.CutSuffix(pat, "/..."); ok {
+			if rel == sub || strings.HasPrefix(rel, sub+"/") {
+				return true
+			}
+			continue
+		}
+		if rel == pat {
+			return true
+		}
+	}
+	return false
+}

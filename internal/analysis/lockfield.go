@@ -1,0 +1,193 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// LockField enforces the repo's mutex-field convention: in a struct with a
+// sync.Mutex (or sync.RWMutex) field, every field declared AFTER the mutex
+// is guarded by it. A method on such a struct that reads or writes a
+// guarded field must acquire the mutex somewhere in its body (directly or
+// via defer). Fields declared before the mutex are configuration set once
+// before the value is shared, and are not checked.
+//
+// Helper methods whose names end in "Locked" are exempt — by convention
+// they document that the caller holds the mutex.
+//
+// The check is whole-method (it does not prove the access happens inside
+// the critical section), but it reliably catches the common bug of adding
+// a fast path that touches cache state without taking the lock at all.
+var LockField = &Analyzer{
+	Name: "lockfield",
+	Doc:  "flags unlocked access to struct fields declared after a sync.Mutex sibling",
+	Run:  runLockField,
+}
+
+// lockedStruct records a struct type with a mutex field.
+type lockedStruct struct {
+	mutex   *types.Var // the sync.Mutex/RWMutex field
+	guarded map[*types.Var]bool
+}
+
+func runLockField(p *Pass) {
+	structs := lockedStructs(p)
+	if len(structs) == 0 {
+		return
+	}
+	forEachFunc(p, func(fd *ast.FuncDecl) {
+		if fd.Recv == nil || len(fd.Recv.List) == 0 {
+			return
+		}
+		if strings.HasSuffix(fd.Name.Name, "Locked") {
+			return
+		}
+		recvType := p.TypesInfo().TypeOf(fd.Recv.List[0].Type)
+		named := namedFrom(recvType)
+		if named == nil {
+			return
+		}
+		ls, ok := structs[named.Obj()]
+		if !ok {
+			return
+		}
+		if methodLocks(p, fd, ls.mutex) {
+			return
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if v, ok := p.TypesInfo().Uses[sel.Sel].(*types.Var); ok && ls.guarded[v] {
+				p.Reportf(sel.Sel.Pos(), "access to %q, guarded by %q, in method %s which never locks it", v.Name(), ls.mutex.Name(), fd.Name.Name)
+			}
+			return true
+		})
+	})
+}
+
+// lockedStructs finds every struct declared in the package that has a
+// sync mutex field, mapping the type name object to its guarded fields
+// (the siblings declared after the mutex).
+func lockedStructs(p *Pass) map[types.Object]lockedStruct {
+	out := make(map[types.Object]lockedStruct)
+	for _, f := range p.Files() {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				ls := structMutexFields(p, st)
+				if ls.mutex != nil {
+					out[p.TypesInfo().Defs[ts.Name]] = ls
+				}
+			}
+		}
+	}
+	return out
+}
+
+// structMutexFields locates the first mutex field and collects the fields
+// declared after it.
+func structMutexFields(p *Pass, st *ast.StructType) lockedStruct {
+	var ls lockedStruct
+	for _, field := range st.Fields.List {
+		t := p.TypesInfo().TypeOf(field.Type)
+		if ls.mutex == nil {
+			if t != nil && isSyncLock(t) {
+				// Embedded or named: take the first declared name, or the
+				// implicit one for embedding.
+				if len(field.Names) > 0 {
+					ls.mutex, _ = p.TypesInfo().Defs[field.Names[0]].(*types.Var)
+				} else if named := namedFrom(t); named != nil {
+					// Embedded sync.Mutex: the field var is recorded in
+					// Defs under the type name via Implicits; fall back to
+					// scanning the struct type.
+					ls.mutex = fieldByName(p, st, named.Obj().Name())
+				}
+				ls.guarded = make(map[*types.Var]bool)
+			}
+			continue
+		}
+		for _, name := range field.Names {
+			if v, ok := p.TypesInfo().Defs[name].(*types.Var); ok {
+				ls.guarded[v] = true
+			}
+		}
+	}
+	if ls.mutex == nil || len(ls.guarded) == 0 {
+		return lockedStruct{}
+	}
+	return ls
+}
+
+// fieldByName resolves an embedded field's variable from the checked
+// struct type.
+func fieldByName(p *Pass, st *ast.StructType, name string) *types.Var {
+	t, ok := p.TypesInfo().Types[st]
+	if !ok {
+		return nil
+	}
+	s, ok := t.Type.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < s.NumFields(); i++ {
+		if s.Field(i).Name() == name {
+			return s.Field(i)
+		}
+	}
+	return nil
+}
+
+// methodLocks reports whether the method body contains a Lock/RLock call
+// on the given mutex field (of any receiver expression).
+func methodLocks(p *Pass, fd *ast.FuncDecl, mutex *types.Var) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock" {
+			return true
+		}
+		// Named field: recv.mu.Lock().
+		if inner, ok := sel.X.(*ast.SelectorExpr); ok {
+			if v, ok := p.TypesInfo().Uses[inner.Sel].(*types.Var); ok && v == mutex {
+				found = true
+			}
+			return true
+		}
+		// Embedded mutex: recv.Lock() resolves through the embedded field.
+		if s, ok := p.TypesInfo().Selections[sel]; ok && len(s.Index()) >= 2 {
+			if named := namedFrom(s.Recv()); named != nil {
+				if recvStruct, ok := named.Underlying().(*types.Struct); ok {
+					if recvStruct.Field(s.Index()[0]) == mutex {
+						found = true
+					}
+				}
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,204 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// NaNGuard flags calls to the domain-restricted math functions (Log*,
+// Exp*, Sqrt) in the numeric hot paths — internal/numeric,
+// internal/markov and internal/phasetype — whose operands are not
+// validated anywhere in the enclosing function. An operand is considered
+// validated when at least one variable it mentions is "guarded":
+//
+//   - it appears in an if / for / switch condition earlier in the function
+//     (domain checks such as `if mean <= 0 { ... }`),
+//   - it is passed to math.IsNaN, math.IsInf or math.Abs earlier,
+//   - it was assigned from an expression whose variables were all guarded
+//     at the time (taint-style propagation, in source order),
+//   - it is a *rand.Rand (samplers produce bounded values by construction).
+//
+// The check is an intraprocedural heuristic: it cannot see guards enforced
+// by callers. Functions that rely on a documented precondition instead of
+// a local guard should carry a //scvet:ignore nanguard pragma naming the
+// precondition.
+var NaNGuard = &Analyzer{
+	Name: "nanguard",
+	Doc:  "flags math.Log/Exp/Sqrt on operands with no reachable domain check in numeric hot paths",
+	Run:  runNaNGuard,
+}
+
+// nanGuardFuncs are the unary math functions whose domain (or overflow
+// behavior) silently yields NaN/Inf.
+var nanGuardFuncs = map[string]bool{
+	"Log": true, "Log1p": true, "Log2": true, "Log10": true,
+	"Exp": true, "Expm1": true,
+	"Sqrt": true,
+}
+
+// guardEvent is one position-ordered fact about a function body.
+type guardEvent struct {
+	pos  token.Pos
+	kind int // gGuard, gAssign or gCheck
+	// gGuard: vars become guarded. gAssign: lhs becomes guarded iff every
+	// rhs var already is. gCheck: report unless some var is guarded.
+	vars, lhs map[*types.Var]bool
+	call      *ast.CallExpr // gCheck only
+	fn        string        // gCheck only
+}
+
+const (
+	gGuard = iota
+	gAssign
+	gCheck
+)
+
+func runNaNGuard(p *Pass) {
+	if !inScope(p, "internal/numeric", "internal/markov", "internal/phasetype") {
+		return
+	}
+	forEachFunc(p, func(fd *ast.FuncDecl) {
+		events := collectGuardEvents(p, fd.Body)
+		if len(events) == 0 {
+			return
+		}
+		sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+		guarded := make(map[*types.Var]bool)
+		anyGuarded := func(vars map[*types.Var]bool) bool {
+			for v := range vars {
+				if guarded[v] || isRandRand(v.Type()) {
+					return true
+				}
+			}
+			return false
+		}
+		for _, ev := range events {
+			switch ev.kind {
+			case gGuard:
+				for v := range ev.vars {
+					guarded[v] = true
+				}
+			case gAssign:
+				ok := len(ev.vars) == 0 || anyGuarded(ev.vars)
+				for v := range ev.lhs {
+					guarded[v] = ok
+				}
+			case gCheck:
+				if len(ev.vars) == 0 || anyGuarded(ev.vars) {
+					continue
+				}
+				p.Reportf(ev.call.Pos(), "math.%s on unvalidated operand %s; add a domain check (or IsNaN/IsInf guard) before the call", ev.fn, types.ExprString(ev.call.Args[0]))
+			}
+		}
+	})
+}
+
+// collectGuardEvents walks one function body and records guards,
+// assignments and checked math calls.
+func collectGuardEvents(p *Pass, body *ast.BlockStmt) []guardEvent {
+	var events []guardEvent
+	addGuard := func(pos token.Pos, exprs ...ast.Expr) {
+		vars := make(map[*types.Var]bool)
+		for _, e := range exprs {
+			if e == nil {
+				continue
+			}
+			for v := range varsOf(p, e) {
+				vars[v] = true
+			}
+		}
+		if len(vars) > 0 {
+			events = append(events, guardEvent{pos: pos, kind: gGuard, vars: vars})
+		}
+	}
+	lhsVars := func(exprs []ast.Expr) map[*types.Var]bool {
+		out := make(map[*types.Var]bool)
+		for _, e := range exprs {
+			id, ok := e.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			if v, ok := p.TypesInfo().Defs[id].(*types.Var); ok {
+				out[v] = true
+			} else if v, ok := p.TypesInfo().Uses[id].(*types.Var); ok {
+				out[v] = true
+			}
+		}
+		return out
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			addGuard(n.Cond.Pos(), n.Cond)
+		case *ast.ForStmt:
+			if n.Cond != nil {
+				addGuard(n.Cond.Pos(), n.Cond)
+			}
+		case *ast.SwitchStmt:
+			for _, stmt := range n.Body.List {
+				if cc, ok := stmt.(*ast.CaseClause); ok && len(cc.List) > 0 {
+					addGuard(cc.Pos(), append([]ast.Expr{n.Tag}, cc.List...)...)
+				}
+			}
+		case *ast.AssignStmt:
+			rhs := make(map[*types.Var]bool)
+			for _, e := range n.Rhs {
+				for v := range varsOf(p, e) {
+					rhs[v] = true
+				}
+			}
+			events = append(events, guardEvent{pos: n.Pos(), kind: gAssign, vars: rhs, lhs: lhsVars(n.Lhs)})
+		case *ast.RangeStmt:
+			rhs := varsOf(p, n.X)
+			var lhs []ast.Expr
+			if n.Key != nil {
+				lhs = append(lhs, n.Key)
+			}
+			if n.Value != nil {
+				lhs = append(lhs, n.Value)
+			}
+			events = append(events, guardEvent{pos: n.Pos(), kind: gAssign, vars: rhs, lhs: lhsVars(lhs)})
+		case *ast.ValueSpec:
+			if len(n.Values) > 0 {
+				rhs := make(map[*types.Var]bool)
+				for _, e := range n.Values {
+					for v := range varsOf(p, e) {
+						rhs[v] = true
+					}
+				}
+				lhs := make([]ast.Expr, len(n.Names))
+				for i, id := range n.Names {
+					lhs[i] = id
+				}
+				events = append(events, guardEvent{pos: n.Pos(), kind: gAssign, vars: rhs, lhs: lhsVars(lhs)})
+			}
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok || !isPkgName(p, sel.X, "math") || len(n.Args) == 0 {
+				return true
+			}
+			switch {
+			case nanGuardFuncs[sel.Sel.Name]:
+				events = append(events, guardEvent{
+					pos: n.Pos(), kind: gCheck, call: n, fn: sel.Sel.Name,
+					vars: varsOf(p, n.Args[0]),
+				})
+			case sel.Sel.Name == "IsNaN" || sel.Sel.Name == "IsInf" || sel.Sel.Name == "Abs":
+				addGuard(n.Pos(), n.Args[0])
+			}
+		}
+		return true
+	})
+	return events
+}
+
+// isRandRand reports whether t is *math/rand.Rand (or the value type).
+func isRandRand(t types.Type) bool {
+	named := namedFrom(t)
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "math/rand" && named.Obj().Name() == "Rand"
+}

@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PanicFree forbids panic() on any path reachable from the exported API of
+// the solver packages internal/queueing, internal/approx and
+// internal/exact. These are library entry points driven by user-supplied
+// configurations (CLI flags, experiment sweeps); invalid input must come
+// back as an error the caller can attach context to, not as a crash that
+// takes down a whole sweep.
+//
+// Reachability is computed over the package-local call graph: a panic in
+// an unexported helper is flagged if any exported function or method can
+// reach that helper (including through function literals defined inside
+// it). Panics in genuinely unreachable or test-only helpers are not
+// flagged.
+var PanicFree = &Analyzer{
+	Name: "panicfree",
+	Doc:  "forbids panic reachable from exported API in the solver packages",
+	Run:  runPanicFree,
+}
+
+func runPanicFree(p *Pass) {
+	if !inScope(p, "internal/queueing", "internal/approx", "internal/exact") {
+		return
+	}
+	// Package-local call graph over declared functions and methods.
+	// Function literals are attributed to their enclosing declaration.
+	type node struct {
+		fd    *ast.FuncDecl
+		calls map[*types.Func]bool
+	}
+	nodes := make(map[*types.Func]*node)
+	forEachFunc(p, func(fd *ast.FuncDecl) {
+		obj, ok := p.TypesInfo().Defs[fd.Name].(*types.Func)
+		if !ok {
+			return
+		}
+		n := &node{fd: fd, calls: make(map[*types.Func]bool)}
+		ast.Inspect(fd.Body, func(x ast.Node) bool {
+			id, ok := x.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if callee, ok := p.TypesInfo().Uses[id].(*types.Func); ok && callee.Pkg() == p.TypesPkg() {
+				n.calls[callee] = true
+			}
+			return true
+		})
+		nodes[obj] = n
+	})
+
+	// BFS from the exported surface.
+	reachable := make(map[*types.Func]bool)
+	var queue []*types.Func
+	for obj, n := range nodes {
+		if n.fd.Name.IsExported() {
+			reachable[obj] = true
+			queue = append(queue, obj)
+		}
+	}
+	for len(queue) > 0 {
+		obj := queue[0]
+		queue = queue[1:]
+		for callee := range nodes[obj].calls {
+			if !reachable[callee] {
+				reachable[callee] = true
+				queue = append(queue, callee)
+			}
+		}
+	}
+
+	for obj, n := range nodes {
+		if !reachable[obj] {
+			continue
+		}
+		ast.Inspect(n.fd.Body, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			id, ok := call.Fun.(*ast.Ident)
+			if !ok || id.Name != "panic" {
+				return true
+			}
+			if _, isBuiltin := p.TypesInfo().Uses[id].(*types.Builtin); !isBuiltin {
+				return true
+			}
+			p.Reportf(call.Pos(), "panic reachable from exported API (via %s); return an error instead", n.fd.Name.Name)
+			return true
+		})
+	}
+}

@@ -1,0 +1,42 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// ignoredRules scans a file's comments for scvet suppression pragmas.
+//
+// Syntax:
+//
+//	//scvet:ignore rule[,rule...] [-- reason]
+//	//scvet:ignore all [-- reason]
+//
+// A pragma anywhere in a file suppresses the listed rules for that entire
+// file. The optional "-- reason" trailer is for human readers and is not
+// interpreted.
+func ignoredRules(f *ast.File) map[string]bool {
+	var rules map[string]bool
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimPrefix(c.Text, "//")
+			text = strings.TrimSpace(text)
+			rest, ok := strings.CutPrefix(text, "scvet:ignore")
+			if !ok {
+				continue
+			}
+			if reason := strings.Index(rest, "--"); reason >= 0 {
+				rest = rest[:reason]
+			}
+			for _, r := range strings.FieldsFunc(rest, func(r rune) bool {
+				return r == ',' || r == ' ' || r == '\t'
+			}) {
+				if rules == nil {
+					rules = make(map[string]bool)
+				}
+				rules[r] = true
+			}
+		}
+	}
+	return rules
+}

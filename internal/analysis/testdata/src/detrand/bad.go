@@ -1,0 +1,18 @@
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func jitter() float64 {
+	return rand.Float64() // WANT detrand
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // WANT detrand
+}
+
+func clockSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // WANT detrand
+}

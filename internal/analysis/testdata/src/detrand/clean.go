@@ -1,0 +1,11 @@
+package sim
+
+import "math/rand"
+
+func sampler(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // explicit seed from the caller
+}
+
+func draw(rng *rand.Rand) float64 {
+	return rng.Float64() // method on a threaded *rand.Rand
+}

@@ -1,0 +1,22 @@
+package floatcmp
+
+func sum(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func equalSums(a, b []float64) bool {
+	return sum(a) == sum(b) // WANT floatcmp
+}
+
+func drift(x, y float64) bool {
+	if x != y { // WANT floatcmp
+		return true
+	}
+	var fa, fb float32
+	fa, fb = float32(x), float32(y)
+	return fa == fb // WANT floatcmp
+}

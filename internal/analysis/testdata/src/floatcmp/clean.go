@@ -1,0 +1,34 @@
+package floatcmp
+
+import "math"
+
+// AlmostEqual is an approved tolerance helper; exact comparisons inside it
+// are the point.
+func AlmostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= tol
+}
+
+func sentinels(x float64) int {
+	if x == 0 { // constant comparison: deliberate exact sentinel
+		return 0
+	}
+	if x != 1 { // constant comparison
+		return 1
+	}
+	return 2
+}
+
+func isNaN(x float64) bool {
+	return x != x // the NaN self-test idiom
+}
+
+func isPosInf(x float64) bool {
+	return x == math.Inf(1) // infinity is exact
+}
+
+func ints(a, b int) bool {
+	return a == b // not floating point
+}

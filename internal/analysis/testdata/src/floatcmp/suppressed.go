@@ -1,0 +1,6 @@
+//scvet:ignore floatcmp -- fixture: bit-exact equality is intended here
+package floatcmp
+
+func bitEqual(a, b float64) bool {
+	return a == b // suppressed by the file pragma above
+}

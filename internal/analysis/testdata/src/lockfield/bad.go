@@ -1,0 +1,37 @@
+package lockfield
+
+import "sync"
+
+type counter struct {
+	name string // config: declared before mu, not guarded
+
+	mu   sync.Mutex
+	n    int
+	hits map[string]int
+}
+
+func (c *counter) Add(k string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	c.hits[k]++
+}
+
+func (c *counter) Peek() int {
+	return c.n // WANT lockfield
+}
+
+func (c *counter) Reset() {
+	c.n = 0                        // WANT lockfield
+	c.hits = map[string]int{}      // WANT lockfield
+	_ = c.name                     // config field: allowed
+}
+
+type embeddedBad struct {
+	sync.Mutex
+	total int
+}
+
+func (e *embeddedBad) Total() int {
+	return e.total // WANT lockfield
+}

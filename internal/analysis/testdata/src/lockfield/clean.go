@@ -1,0 +1,42 @@
+package lockfield
+
+import "sync"
+
+type gauge struct {
+	unit string // config, set before the value is shared
+
+	mu  sync.Mutex
+	val float64
+}
+
+func (g *gauge) Set(v float64) {
+	g.mu.Lock()
+	g.val = v
+	g.mu.Unlock()
+}
+
+func (g *gauge) Get() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.val
+}
+
+func (g *gauge) Unit() string {
+	return g.unit // declared before mu: not guarded
+}
+
+// valLocked documents that the caller holds mu.
+func (g *gauge) valLocked() float64 {
+	return g.val
+}
+
+type embeddedClean struct {
+	sync.Mutex
+	count int
+}
+
+func (e *embeddedClean) Bump() {
+	e.Lock()
+	defer e.Unlock()
+	e.count++
+}

@@ -1,0 +1,16 @@
+package numeric
+
+import "math"
+
+func entropyTerm(p float64) float64 {
+	return -p * math.Log(p) // WANT nanguard
+}
+
+func deviation(x float64) float64 {
+	shifted := x - 1
+	return math.Sqrt(shifted) // WANT nanguard
+}
+
+func boost(weight float64) float64 {
+	return math.Exp(weight) // WANT nanguard
+}

@@ -1,0 +1,37 @@
+package numeric
+
+import (
+	"math"
+	"math/rand"
+)
+
+func safeLog(x float64) float64 {
+	if x <= 0 {
+		return math.Inf(-1)
+	}
+	return math.Log(x) // guarded by the domain check above
+}
+
+func guardedDerived(x float64) float64 {
+	if math.IsNaN(x) || x < 0 {
+		return 0
+	}
+	shifted := x + 1
+	return math.Sqrt(shifted) // shifted inherits x's guard
+}
+
+func series(n int) float64 {
+	s := 0.0
+	for j := 1; j < n; j++ {
+		s += math.Log(float64(j)) // j guarded by the loop condition
+	}
+	return s
+}
+
+func constant() float64 {
+	return math.Sqrt(2) // constant operand
+}
+
+func sample(rng *rand.Rand) float64 {
+	return math.Sqrt(rng.Float64()) // sampler output is bounded by construction
+}

@@ -1,0 +1,21 @@
+package queueing
+
+import "fmt"
+
+func Solve(n int) (int, error) {
+	return helper(n), nil
+}
+
+func helper(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("negative: %d", n)) // WANT panicfree
+	}
+	return n * 2
+}
+
+func Direct(n int) int {
+	if n > 100 {
+		panic("too big") // WANT panicfree
+	}
+	return n
+}

@@ -1,0 +1,21 @@
+package queueing
+
+import "fmt"
+
+// devOnly is never called from the exported surface, so its panic is
+// tolerated (test scaffolding, debug helpers).
+func devOnly(n int) int {
+	if n < 0 {
+		panic("unreachable from exported API")
+	}
+	return n
+}
+
+func Checked(n int) (int, error) {
+	if n < 0 {
+		return 0, errNegative
+	}
+	return n * 2, nil
+}
+
+var errNegative = fmt.Errorf("negative input")

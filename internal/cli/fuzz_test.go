@@ -1,6 +1,10 @@
 package cli
 
-import "testing"
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
 
 // FuzzParseFederation guards the CLI entry point against malformed specs:
 // it must return an error or a valid federation, never panic.
@@ -9,6 +13,13 @@ func FuzzParseFederation(f *testing.F) {
 	f.Add("", 0.0)
 	f.Add("10", 1.0)
 	f.Add("1:0.0001:9999:0", -1.0)
+	f.Add("10:7:0.5:1.0,10:7:0.5:1.0", 0.25)
+	f.Add("0:0", 0.0)
+	f.Add(":::,:::", 0.1)
+	f.Add("1e309:1", 0.5)
+	f.Add("3:2:nan:inf", 0.4)
+	f.Add("10:7,", -0.0)
+	f.Add(" 10 : 7 ", 0.4)
 	f.Fuzz(func(t *testing.T, spec string, price float64) {
 		fed, err := ParseFederation(spec, price)
 		if err != nil {
@@ -16,6 +27,70 @@ func FuzzParseFederation(f *testing.F) {
 		}
 		if verr := fed.Validate(); verr != nil {
 			t.Errorf("accepted spec %q yields invalid federation: %v", spec, verr)
+		}
+	})
+}
+
+// FuzzParseInts checks the share-vector flag parser: accepted input must
+// round-trip through the canonical comma-joined form.
+func FuzzParseInts(f *testing.F) {
+	f.Add("3,3,1")
+	f.Add("")
+	f.Add(" 1 , 2 ")
+	f.Add("-5,0,5")
+	f.Add("1,,2")
+	f.Add("9999999999999999999")
+	f.Fuzz(func(t *testing.T, spec string) {
+		vs, err := ParseInts(spec)
+		if err != nil {
+			return
+		}
+		if len(vs) == 0 {
+			return // blank spec means "use defaults"
+		}
+		parts := make([]string, len(vs))
+		for i, v := range vs {
+			parts[i] = strconv.Itoa(v)
+		}
+		again, err := ParseInts(strings.Join(parts, ","))
+		if err != nil {
+			t.Fatalf("canonical form of %q rejected: %v", spec, err)
+		}
+		for i := range vs {
+			if again[i] != vs[i] {
+				t.Fatalf("round trip changed element %d: %d -> %d", i, vs[i], again[i])
+			}
+		}
+	})
+}
+
+// FuzzParseFloats checks the price-sweep flag parser the same way.
+func FuzzParseFloats(f *testing.F) {
+	f.Add("0.1,0.5,0.9")
+	f.Add("")
+	f.Add("1e-300,1e300")
+	f.Add("nan")
+	f.Add("-0")
+	f.Add("0x1p-2")
+	f.Fuzz(func(t *testing.T, spec string) {
+		vs, err := ParseFloats(spec)
+		if err != nil {
+			return
+		}
+		parts := make([]string, len(vs))
+		for i, v := range vs {
+			parts[i] = strconv.FormatFloat(v, 'g', -1, 64)
+		}
+		again, err := ParseFloats(strings.Join(parts, ","))
+		if err != nil {
+			t.Fatalf("canonical form of %q rejected: %v", spec, err)
+		}
+		for i := range vs {
+			// NaN elements compare unequal to themselves; format both
+			// sides instead of comparing floats.
+			if strconv.FormatFloat(again[i], 'g', -1, 64) != parts[i] {
+				t.Fatalf("round trip changed element %d: %v -> %v", i, vs[i], again[i])
+			}
 		}
 	})
 }

@@ -208,10 +208,18 @@ func (m *Model) pNoForward(st state, i int) float64 {
 func (m *Model) solve(index map[string]int) error {
 	k := m.k
 	b := markov.NewBuilder(len(m.states))
+	// A transition out of the enumerated state space means the generator
+	// construction and the enumeration disagree — an internal invariant
+	// violation. Surface it as an error (the closure records the first one)
+	// instead of panicking out of a sweep.
+	var toErr error
 	to := func(st state) int {
 		id, ok := index[st.key(k)]
 		if !ok {
-			panic(fmt.Sprintf("exact: transition to unenumerated state %v/%v", st.q, st.s))
+			if toErr == nil {
+				toErr = fmt.Errorf("exact: transition to unenumerated state %v/%v", st.q, st.s)
+			}
+			return 0
 		}
 		return id
 	}
@@ -221,6 +229,9 @@ func (m *Model) solve(index map[string]int) error {
 			m.addLocalDeparture(b, si, st, i, sc, to)
 			m.addRemoteDepartures(b, si, st, i, to)
 		}
+	}
+	if toErr != nil {
+		return toErr
 	}
 	chain, err := b.Build()
 	if err != nil {

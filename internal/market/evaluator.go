@@ -55,37 +55,74 @@ func ExactEvaluator(fed cloud.Federation, queueCap []int) Evaluator {
 	})
 }
 
+// memoEntry is one cached evaluation result.
+type memoEntry struct {
+	m   cloud.Metrics
+	err error
+}
+
+// memoCall tracks one in-flight evaluation so concurrent callers of the
+// same key wait for it instead of solving the model twice.
+type memoCall struct {
+	done chan struct{}
+	memoEntry
+}
+
+// memoEvaluator caches evaluations by (shares, target) and deduplicates
+// concurrent solves of the same key. The solve itself runs outside the
+// critical section, so distinct keys evaluate in parallel.
+type memoEvaluator struct {
+	inner Evaluator
+
+	mu sync.Mutex
+	// cache and inflight are guarded by mu.
+	cache    map[string]memoEntry
+	inflight map[string]*memoCall
+}
+
 // Memoize caches evaluations by (shares, target). It is safe for
-// concurrent use.
+// concurrent use: parallel callers asking for the same key share a single
+// solve.
 func Memoize(ev Evaluator) Evaluator {
-	type entry struct {
-		m   cloud.Metrics
-		err error
+	return &memoEvaluator{
+		inner:    ev,
+		cache:    make(map[string]memoEntry),
+		inflight: make(map[string]*memoCall),
 	}
-	var (
-		mu    sync.Mutex
-		cache = make(map[string]entry)
-	)
-	return EvaluatorFunc(func(shares []int, target int) (cloud.Metrics, error) {
-		key := make([]byte, 0, 4*len(shares)+4)
-		for _, s := range shares {
-			key = strconv.AppendInt(key, int64(s), 10)
-			key = append(key, ',')
-		}
-		key = strconv.AppendInt(key, int64(target), 10)
-		k := string(key)
-		mu.Lock()
-		e, ok := cache[k]
-		mu.Unlock()
-		if ok {
-			return e.m, e.err
-		}
-		m, err := ev.Evaluate(shares, target)
-		mu.Lock()
-		cache[k] = entry{m: m, err: err}
-		mu.Unlock()
-		return m, err
-	})
+}
+
+// Evaluate implements Evaluator.
+func (me *memoEvaluator) Evaluate(shares []int, target int) (cloud.Metrics, error) {
+	key := make([]byte, 0, 4*len(shares)+4)
+	for _, s := range shares {
+		key = strconv.AppendInt(key, int64(s), 10)
+		key = append(key, ',')
+	}
+	key = strconv.AppendInt(key, int64(target), 10)
+	k := string(key)
+
+	me.mu.Lock()
+	if e, ok := me.cache[k]; ok {
+		me.mu.Unlock()
+		return e.m, e.err
+	}
+	if c, ok := me.inflight[k]; ok {
+		me.mu.Unlock()
+		<-c.done
+		return c.m, c.err
+	}
+	c := &memoCall{done: make(chan struct{})}
+	me.inflight[k] = c
+	me.mu.Unlock()
+
+	c.m, c.err = me.inner.Evaluate(shares, target)
+	close(c.done)
+
+	me.mu.Lock()
+	me.cache[k] = c.memoEntry
+	delete(me.inflight, k)
+	me.mu.Unlock()
+	return c.m, c.err
 }
 
 // ValidateShares is a convenience wrapper producing a descriptive error for

@@ -8,44 +8,95 @@ import (
 	"scshare/internal/sim"
 )
 
-// SimEvaluator evaluates sharing decisions by discrete-event simulation.
+// simCall tracks one in-flight simulation run.
+type simCall struct {
+	done    chan struct{}
+	metrics []cloud.Metrics
+	err     error
+}
+
+// simEvaluator evaluates sharing decisions by discrete-event simulation.
 // One simulation yields every SC's metrics, so results are cached per
 // share vector rather than per (shares, target); wrapping it in Memoize is
-// unnecessary.
+// unnecessary. Concurrent callers asking for the same share vector wait on
+// a single simulation run instead of repeating it — the runs are by far
+// the most expensive evaluations the market fans out.
+type simEvaluator struct {
+	fed     cloud.Federation
+	horizon float64
+	warmup  float64
+	seed    int64
+
+	mu sync.Mutex
+	// cache and inflight are guarded by mu.
+	cache    map[string][]cloud.Metrics
+	inflight map[string]*simCall
+}
+
+// SimEvaluator evaluates sharing decisions by discrete-event simulation.
+// It is safe for concurrent use.
 func SimEvaluator(fed cloud.Federation, horizon, warmup float64, seed int64) Evaluator {
-	var (
-		mu    sync.Mutex
-		cache = make(map[string][]cloud.Metrics)
-	)
-	return EvaluatorFunc(func(shares []int, target int) (cloud.Metrics, error) {
-		if err := ValidateShares(fed, shares, target); err != nil {
-			return cloud.Metrics{}, err
+	return &simEvaluator{
+		fed:      fed,
+		horizon:  horizon,
+		warmup:   warmup,
+		seed:     seed,
+		cache:    make(map[string][]cloud.Metrics),
+		inflight: make(map[string]*simCall),
+	}
+}
+
+// Evaluate implements Evaluator.
+func (se *simEvaluator) Evaluate(shares []int, target int) (cloud.Metrics, error) {
+	if err := ValidateShares(se.fed, shares, target); err != nil {
+		return cloud.Metrics{}, err
+	}
+	key := make([]byte, 0, 4*len(shares))
+	for _, s := range shares {
+		key = strconv.AppendInt(key, int64(s), 10)
+		key = append(key, ',')
+	}
+	k := string(key)
+
+	se.mu.Lock()
+	if ms, ok := se.cache[k]; ok {
+		se.mu.Unlock()
+		return ms[target], nil
+	}
+	if c, ok := se.inflight[k]; ok {
+		se.mu.Unlock()
+		<-c.done
+		if c.err != nil {
+			return cloud.Metrics{}, c.err
 		}
-		key := make([]byte, 0, 4*len(shares))
-		for _, s := range shares {
-			key = strconv.AppendInt(key, int64(s), 10)
-			key = append(key, ',')
-		}
-		k := string(key)
-		mu.Lock()
-		ms, ok := cache[k]
-		mu.Unlock()
-		if ok {
-			return ms[target], nil
-		}
-		res, err := sim.Run(sim.Config{
-			Federation: fed,
-			Shares:     shares,
-			Horizon:    horizon,
-			Warmup:     warmup,
-			Seed:       seed,
-		})
-		if err != nil {
-			return cloud.Metrics{}, err
-		}
-		mu.Lock()
-		cache[k] = res.Metrics
-		mu.Unlock()
-		return res.Metrics[target], nil
+		return c.metrics[target], nil
+	}
+	c := &simCall{done: make(chan struct{})}
+	se.inflight[k] = c
+	se.mu.Unlock()
+
+	res, err := sim.Run(sim.Config{
+		Federation: se.fed,
+		Shares:     shares,
+		Horizon:    se.horizon,
+		Warmup:     se.warmup,
+		Seed:       se.seed,
 	})
+	if err != nil {
+		c.err = err
+	} else {
+		c.metrics = res.Metrics
+	}
+	close(c.done)
+
+	se.mu.Lock()
+	if c.err == nil {
+		se.cache[k] = c.metrics
+	}
+	delete(se.inflight, k)
+	se.mu.Unlock()
+	if c.err != nil {
+		return cloud.Metrics{}, c.err
+	}
+	return c.metrics[target], nil
 }

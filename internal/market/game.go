@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
 	"strconv"
+	"sync"
 
 	"scshare/internal/cloud"
 	"scshare/internal/queueing"
@@ -169,18 +171,38 @@ func (g *Game) Run(initial []int) (*Outcome, error) {
 // converged outcome with the highest welfare under the given alpha; the
 // paper uses the same device to select among multiple equilibria
 // (Sect. VII, "the feasibility of the Tatonnement process").
+//
+// The starts are independent, so they run concurrently across
+// GOMAXPROCS-bounded workers; the evaluators (Memoize, SimEvaluator,
+// WithParticipation) deduplicate shared solves across the runs. Selection
+// stays deterministic: results are compared in the order the initials were
+// given, regardless of which goroutine finishes first.
 func (g *Game) RunMultiStart(initials [][]int, alpha float64) (*Outcome, error) {
 	if len(initials) == 0 {
 		initials = [][]int{nil}
 	}
+	outs := make([]*Outcome, len(initials))
+	errs := make([]error, len(initials))
+	var wg sync.WaitGroup
+	workers := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, init := range initials {
+		wg.Add(1)
+		workers <- struct{}{}
+		go func(i int, init []int) {
+			defer wg.Done()
+			defer func() { <-workers }()
+			outs[i], errs[i] = g.Run(init)
+		}(i, init)
+	}
+	wg.Wait()
+
 	var best *Outcome
 	bestW := math.Inf(-1)
 	var firstErr error
-	for _, init := range initials {
-		out, err := g.Run(init)
-		if err != nil {
+	for i, out := range outs {
+		if errs[i] != nil {
 			if firstErr == nil {
-				firstErr = err
+				firstErr = errs[i]
 			}
 			continue
 		}

@@ -7,6 +7,20 @@ import (
 	"scshare/internal/queueing"
 )
 
+// participationEvaluator implements WithParticipation; see there for the
+// semantics. It is safe for concurrent use.
+type participationEvaluator struct {
+	fed    cloud.Federation
+	mkEval func(sub cloud.Federation) Evaluator
+
+	mu sync.Mutex
+	// subs and bases are guarded by mu: subs caches one evaluator per
+	// participant set (keyed by the presence bitmap), bases the Sect. III-A
+	// no-sharing metrics per SC.
+	subs  map[string]Evaluator
+	bases []*cloud.Metrics
+}
+
 // WithParticipation enforces the paper's participation semantics: an SC is
 // in the federation only if it contributes VMs (S_i > 0). Non-contributors
 // neither lend nor borrow — evaluating one returns its Sect. III-A
@@ -19,65 +33,71 @@ import (
 // mkEval builds an evaluator for a sub-federation; one evaluator is cached
 // per participant set.
 func WithParticipation(fed cloud.Federation, mkEval func(sub cloud.Federation) Evaluator) Evaluator {
-	var (
-		mu    sync.Mutex
-		subs  = make(map[string]Evaluator)
-		bases = make([]*cloud.Metrics, len(fed.SCs))
-	)
-	baseline := func(i int) (cloud.Metrics, error) {
-		mu.Lock()
-		defer mu.Unlock()
-		if bases[i] != nil {
-			return *bases[i], nil
-		}
-		m, err := queueing.Solve(fed.SCs[i])
-		if err != nil {
-			return cloud.Metrics{}, err
-		}
-		v := m.Metrics()
-		bases[i] = &v
-		return v, nil
+	return &participationEvaluator{
+		fed:    fed,
+		mkEval: mkEval,
+		subs:   make(map[string]Evaluator),
+		bases:  make([]*cloud.Metrics, len(fed.SCs)),
 	}
-	return EvaluatorFunc(func(shares []int, target int) (cloud.Metrics, error) {
-		if err := ValidateShares(fed, shares, target); err != nil {
-			return cloud.Metrics{}, err
+}
+
+// baseline returns SC i's no-sharing metrics, solving the birth-death
+// chain once per SC.
+func (pe *participationEvaluator) baseline(i int) (cloud.Metrics, error) {
+	pe.mu.Lock()
+	defer pe.mu.Unlock()
+	if pe.bases[i] != nil {
+		return *pe.bases[i], nil
+	}
+	m, err := queueing.Solve(pe.fed.SCs[i])
+	if err != nil {
+		return cloud.Metrics{}, err
+	}
+	v := m.Metrics()
+	pe.bases[i] = &v
+	return v, nil
+}
+
+// Evaluate implements Evaluator.
+func (pe *participationEvaluator) Evaluate(shares []int, target int) (cloud.Metrics, error) {
+	if err := ValidateShares(pe.fed, shares, target); err != nil {
+		return cloud.Metrics{}, err
+	}
+	if shares[target] == 0 {
+		return pe.baseline(target)
+	}
+	// Build the participant sub-federation; the cache key is the presence
+	// bitmap.
+	var (
+		mask      = make([]byte, len(shares))
+		subFed    cloud.Federation
+		subShares []int
+		subTarget = -1
+	)
+	subFed.FederationPrice = pe.fed.FederationPrice
+	for i, s := range shares {
+		if s == 0 {
+			mask[i] = '0'
+			continue
 		}
-		if shares[target] == 0 {
-			return baseline(target)
+		mask[i] = '1'
+		if i == target {
+			subTarget = len(subFed.SCs)
 		}
-		// Build the participant sub-federation; the cache key is the
-		// presence bitmap.
-		var (
-			mask      = make([]byte, len(shares))
-			subFed    cloud.Federation
-			subShares []int
-			subTarget = -1
-		)
-		subFed.FederationPrice = fed.FederationPrice
-		for i, s := range shares {
-			if s == 0 {
-				mask[i] = '0'
-				continue
-			}
-			mask[i] = '1'
-			if i == target {
-				subTarget = len(subFed.SCs)
-			}
-			subFed.SCs = append(subFed.SCs, fed.SCs[i])
-			subShares = append(subShares, s)
-		}
-		if len(subFed.SCs) == 1 {
-			// Alone in the federation: nothing to lend to or borrow from.
-			return baseline(target)
-		}
-		key := string(mask)
-		mu.Lock()
-		ev, ok := subs[key]
-		if !ok {
-			ev = mkEval(subFed)
-			subs[key] = ev
-		}
-		mu.Unlock()
-		return ev.Evaluate(subShares, subTarget)
-	})
+		subFed.SCs = append(subFed.SCs, pe.fed.SCs[i])
+		subShares = append(subShares, s)
+	}
+	if len(subFed.SCs) == 1 {
+		// Alone in the federation: nothing to lend to or borrow from.
+		return pe.baseline(target)
+	}
+	key := string(mask)
+	pe.mu.Lock()
+	ev, ok := pe.subs[key]
+	if !ok {
+		ev = pe.mkEval(subFed)
+		pe.subs[key] = ev
+	}
+	pe.mu.Unlock()
+	return ev.Evaluate(subShares, subTarget)
 }

@@ -41,8 +41,11 @@ type eventQueue []*event
 func (q eventQueue) Len() int { return len(q) }
 
 func (q eventQueue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+	if q[i].at < q[j].at {
+		return true
+	}
+	if q[i].at > q[j].at {
+		return false
 	}
 	return q[i].seq < q[j].seq
 }

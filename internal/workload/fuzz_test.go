@@ -1,0 +1,99 @@
+package workload
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// FuzzReadTrace guards the trace-parsing entry point the sctrace CLI feeds
+// user files into: ReadTrace must either reject the input or return finite
+// non-negative samples that survive a Write/Read round trip and drive the
+// trace player without panicking.
+func FuzzReadTrace(f *testing.F) {
+	f.Add([]byte("1\n2\n3\n"))
+	f.Add([]byte("# comment\n\n0.5\n1e-9\n"))
+	f.Add([]byte("0\n0\n0\n"))
+	f.Add([]byte("nan\n"))
+	f.Add([]byte("+Inf\n"))
+	f.Add([]byte("-1\n"))
+	f.Add([]byte("1e308\n1e308\n"))
+	f.Add([]byte("0.1,0.2\n"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		xs, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if len(xs) == 0 {
+			t.Fatal("ReadTrace returned no samples and no error")
+		}
+		for i, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || x < 0 {
+				t.Fatalf("ReadTrace accepted non-finite or negative sample %d: %v", i, x)
+			}
+		}
+
+		// Round trip: %g prints the shortest representation that parses
+		// back to the same float, so Write->Read must be the identity.
+		var buf bytes.Buffer
+		if err := WriteTrace(&buf, xs); err != nil {
+			t.Fatalf("WriteTrace: %v", err)
+		}
+		back, err := ReadTrace(strings.NewReader(buf.String()))
+		if err != nil {
+			t.Fatalf("re-reading written trace: %v", err)
+		}
+		if len(back) != len(xs) {
+			t.Fatalf("round trip changed length: %d -> %d", len(xs), len(back))
+		}
+		for i := range xs {
+			if back[i] != xs[i] {
+				t.Fatalf("round trip changed sample %d: %v -> %v", i, xs[i], back[i])
+			}
+		}
+
+		// The accepted trace must drive the player deterministically.
+		fac, err := FromTrace(xs)
+		if err != nil {
+			t.Fatalf("FromTrace rejected samples ReadTrace accepted: %v", err)
+		}
+		proc := fac()
+		rng := rand.New(rand.NewSource(1))
+		steps := len(xs)*2 + 1
+		if steps > 64 {
+			steps = 64
+		}
+		for i := 0; i < steps; i++ {
+			dt, batch := proc.NextArrival(rng)
+			if dt != xs[i%len(xs)] {
+				t.Fatalf("step %d: trace player returned %v, want %v", i, dt, xs[i%len(xs)])
+			}
+			if batch != 1 {
+				t.Fatalf("step %d: trace player returned batch %d, want 1", i, batch)
+			}
+		}
+	})
+}
+
+// FuzzStats checks the moment estimator never panics and produces a
+// non-negative SCV for any accepted trace.
+func FuzzStats(f *testing.F) {
+	f.Add([]byte("1\n1\n1\n"))
+	f.Add([]byte("0.5\n2.5\n0.125\n9\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		xs, err := ReadTrace(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		mean, scv, err := Stats(xs)
+		if err != nil {
+			return // zero-mean traces are rejected
+		}
+		if !(mean > 0) || math.IsNaN(scv) || scv < 0 {
+			t.Fatalf("Stats(%v) = mean %v, scv %v", xs, mean, scv)
+		}
+	})
+}

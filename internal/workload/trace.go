@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"strconv"
 	"strings"
@@ -22,7 +23,7 @@ func FromTrace(interarrivals []float64) (Factory, error) {
 		return nil, ErrEmptyTrace
 	}
 	for i, x := range interarrivals {
-		if x < 0 {
+		if math.IsNaN(x) || math.IsInf(x, 0) || x < 0 {
 			return nil, fmt.Errorf("%w: sample %d is %v", ErrBadParams, i, x)
 		}
 	}
@@ -56,6 +57,9 @@ func Stats(xs []float64) (mean, scv float64, err error) {
 	if mean == 0 {
 		return 0, 0, fmt.Errorf("%w: zero mean", ErrBadParams)
 	}
+	if math.IsInf(mean, 0) {
+		return 0, 0, fmt.Errorf("%w: trace mean overflows float64", ErrBadParams)
+	}
 	varSum := 0.0
 	for _, x := range xs {
 		d := x - mean
@@ -80,6 +84,9 @@ func ReadTrace(r io.Reader) ([]float64, error) {
 		x, err := strconv.ParseFloat(text, 64)
 		if err != nil {
 			return nil, fmt.Errorf("workload: line %d: %w", line, err)
+		}
+		if math.IsNaN(x) || math.IsInf(x, 0) || x < 0 {
+			return nil, fmt.Errorf("%w: line %d is %v, want a finite non-negative sample", ErrBadParams, line, x)
 		}
 		out = append(out, x)
 	}

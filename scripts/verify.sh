@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# verify.sh — the full pre-PR gate, one command away:
+#
+#   ./scripts/verify.sh          # build + vet + race tests + scvet
+#   ./scripts/verify.sh -short   # same, with -short tests (skips the
+#                                # whole-module self-analysis test)
+#
+# Every check must pass before a PR merges. scvet (cmd/scvet) is the
+# repo-specific static analyzer; see DESIGN.md §8 for its rules and the
+# //scvet:ignore suppression syntax.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+short=""
+if [[ "${1:-}" == "-short" ]]; then
+    short="-short"
+fi
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go test -race ${short} ./..."
+go test -race ${short} ./...
+
+echo "==> go run ./cmd/scvet ./..."
+go run ./cmd/scvet ./...
+
+echo "verify: all checks passed"
