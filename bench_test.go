@@ -7,12 +7,15 @@
 package scshare_test
 
 import (
+	"fmt"
 	"testing"
 
 	"scshare"
 	"scshare/internal/approx"
 	"scshare/internal/cloud"
 	"scshare/internal/core"
+	"scshare/internal/fluid"
+	"scshare/internal/market"
 	"scshare/internal/markov"
 )
 
@@ -173,6 +176,7 @@ func ablationFederation() (cloud.Federation, []int) {
 // hierarchy (first level never lends).
 func BenchmarkAblationApproxOnePass(b *testing.B) {
 	fed, shares := ablationFederation()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := approx.Solve(approx.Config{
 			Federation: fed, Shares: shares, Target: 1, Passes: 1,
@@ -185,6 +189,7 @@ func BenchmarkAblationApproxOnePass(b *testing.B) {
 // BenchmarkAblationApproxTwoPass measures the feedback refinement.
 func BenchmarkAblationApproxTwoPass(b *testing.B) {
 	fed, shares := ablationFederation()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := approx.Solve(approx.Config{
 			Federation: fed, Shares: shares, Target: 1, Passes: 2,
@@ -216,6 +221,12 @@ func ablationChain(b *testing.B) *markov.CTMC {
 
 func BenchmarkAblationSteadyStateGaussSeidel(b *testing.B) {
 	c := ablationChain(b)
+	// One untimed solve populates the chain's cached transpose, so the
+	// timed iterations measure solver sweeps, not buffer assembly.
+	if _, err := c.SteadyStateGaussSeidel(markov.SteadyStateOptions{Tol: 1e-9}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := c.SteadyStateGaussSeidel(markov.SteadyStateOptions{Tol: 1e-9}); err != nil {
@@ -226,6 +237,10 @@ func BenchmarkAblationSteadyStateGaussSeidel(b *testing.B) {
 
 func BenchmarkAblationSteadyStatePower(b *testing.B) {
 	c := ablationChain(b)
+	if _, err := c.SteadyState(markov.SteadyStateOptions{Tol: 1e-9}); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := c.SteadyState(markov.SteadyStateOptions{Tol: 1e-9}); err != nil {
@@ -238,6 +253,7 @@ func BenchmarkAblationSteadyStatePower(b *testing.B) {
 // the coarse fluid fixed point.
 func BenchmarkAblationModelApprox(b *testing.B) {
 	fed, shares := ablationFederation()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := scshare.ApproxMetrics(fed, shares, 1); err != nil {
 			b.Fatal(err)
@@ -247,9 +263,79 @@ func BenchmarkAblationModelApprox(b *testing.B) {
 
 func BenchmarkAblationModelFluid(b *testing.B) {
 	fed, shares := ablationFederation()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := scshare.FluidMetrics(fed, shares); err != nil {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkGameRound measures whole repeated games on the parallel
+// best-response path (Workers = GOMAXPROCS) for growing federations. Each
+// iteration rebuilds its evaluator, so the timing covers real solves, not
+// cache hits from earlier iterations.
+func BenchmarkGameRound(b *testing.B) {
+	utils := []float64{0.85, 0.7, 0.6, 0.8, 0.65, 0.75, 0.9, 0.55}
+	for _, k := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("K=%d", k), func(b *testing.B) {
+			fed := cloud.Federation{FederationPrice: 0.4}
+			for i := 0; i < k; i++ {
+				fed.SCs = append(fed.SCs, cloud.SC{
+					Name: fmt.Sprintf("sc%d", i), VMs: 50,
+					ArrivalRate: utils[i%len(utils)] * 50, ServiceRate: 1, SLA: 0.2, PublicPrice: 1,
+				})
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				g := &market.Game{
+					Federation: fed,
+					Evaluator:  market.Memoize(fluid.NewEvaluator(fed, fluid.Options{})),
+					Gamma:      0.5,
+					MaxRounds:  100,
+				}
+				if _, err := g.Run(nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationWarmVsCold quantifies the warm-start payoff on the
+// hierarchy solves: per op it runs the same neighboring-share solve cold
+// and warm and reports both solver iteration counts as custom metrics.
+func BenchmarkAblationWarmVsCold(b *testing.B) {
+	fed, shares := ablationFederation()
+	neighbor := []int{shares[0] + 1, shares[1]}
+	b.ReportAllocs()
+	var coldIters, warmIters int
+	for i := 0; i < b.N; i++ {
+		warm := approx.NewWarmCache()
+		prime := &markov.SolveStats{}
+		if _, err := approx.Solve(approx.Config{
+			Federation: fed, Shares: shares, Target: 1,
+			Warm: warm, Solver: markov.SteadyStateOptions{Stats: prime},
+		}); err != nil {
+			b.Fatal(err)
+		}
+		ws := &markov.SolveStats{}
+		if _, err := approx.Solve(approx.Config{
+			Federation: fed, Shares: neighbor, Target: 1,
+			Warm: warm, Solver: markov.SteadyStateOptions{Stats: ws},
+		}); err != nil {
+			b.Fatal(err)
+		}
+		cs := &markov.SolveStats{}
+		if _, err := approx.Solve(approx.Config{
+			Federation: fed, Shares: neighbor, Target: 1,
+			Solver: markov.SteadyStateOptions{Stats: cs},
+		}); err != nil {
+			b.Fatal(err)
+		}
+		coldIters += cs.Iterations
+		warmIters += ws.Iterations
+	}
+	b.ReportMetric(float64(coldIters)/float64(b.N), "cold-iters/op")
+	b.ReportMetric(float64(warmIters)/float64(b.N), "warm-iters/op")
 }

@@ -5,7 +5,8 @@
 // repo-specific analyzers that encode invariants `go vet` cannot see:
 // floating-point comparison discipline, NaN/Inf domain guards on the
 // numeric hot paths, mutex-field locking conventions, panic-free exported
-// solver APIs, and deterministic seeding of simulation randomness.
+// solver APIs, deterministic seeding of simulation randomness, and named
+// (rather than inline) tolerance constants in comparisons.
 //
 // The driver loads every package of the enclosing module (LoadModule),
 // type-checks them with a module-aware importer, and hands each package to
@@ -99,6 +100,7 @@ func All() []*Analyzer {
 		LockField,
 		PanicFree,
 		DetRand,
+		TolConst,
 	}
 }
 

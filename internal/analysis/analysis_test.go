@@ -122,6 +122,16 @@ func TestDetRandFixture(t *testing.T) {
 	checkFixture(t, DetRand, "detrand", "fixture/internal/sim")
 }
 
+func TestTolConstFixture(t *testing.T) {
+	checkFixture(t, TolConst, "tolconst", "fixture/tolconst")
+}
+
+// TestTolConstAllowsNumeric loads a known-bad file under the
+// internal/numeric scope, where inline tolerances are the point.
+func TestTolConstAllowsNumeric(t *testing.T) {
+	checkFixture(t, TolConst, "tolconst_numeric", "fixture/internal/numeric")
+}
+
 // TestScopedAnalyzersIgnoreForeignPackages loads the known-bad fixtures
 // under import paths outside each analyzer's scope and expects silence.
 func TestScopedAnalyzersIgnoreForeignPackages(t *testing.T) {
@@ -204,8 +214,8 @@ func TestMatchesPatterns(t *testing.T) {
 // TestSelect checks rule-subset resolution.
 func TestSelect(t *testing.T) {
 	all, err := Select("")
-	if err != nil || len(all) != 5 {
-		t.Fatalf("Select(\"\") = %d analyzers, err %v; want 5, nil", len(all), err)
+	if err != nil || len(all) != 6 {
+		t.Fatalf("Select(\"\") = %d analyzers, err %v; want 6, nil", len(all), err)
 	}
 	two, err := Select("floatcmp, detrand")
 	if err != nil || len(two) != 2 {

@@ -1,0 +1,23 @@
+package tolconst
+
+import "math"
+
+func converged(delta float64) bool {
+	return delta < 1e-9 // WANT tolconst
+}
+
+func farApart(a, b float64) bool {
+	return math.Abs(a-b) > 1E-12 // WANT tolconst
+}
+
+func bracketed(x float64) bool {
+	return (1e-6) <= x // WANT tolconst
+}
+
+func signed(x float64) bool {
+	return x > -1e-8 // WANT tolconst
+}
+
+func exact(x float64) bool {
+	return x == 1e-15 // WANT tolconst
+}

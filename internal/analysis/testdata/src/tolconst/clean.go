@@ -1,0 +1,25 @@
+package tolconst
+
+// convergedTol is the named home for the convergence threshold; comparisons
+// against it are what the rule asks for.
+const convergedTol = 1e-9
+
+type opts struct{ Tol float64 }
+
+func (o *opts) defaults() {
+	if o.Tol <= 0 {
+		o.Tol = 1e-10 // assignment, not a comparison
+	}
+}
+
+func namedConstant(delta float64) bool {
+	return delta < convergedTol
+}
+
+func positiveExponent(x float64) bool {
+	return x > 1e6 // large-magnitude literal, not a tolerance
+}
+
+func plainFloat(x float64) bool {
+	return x < 0.5
+}

@@ -1,0 +1,7 @@
+//scvet:ignore tolconst -- fixture: file-level suppression silences the rule
+
+package tolconst
+
+func suppressed(x float64) bool {
+	return x < 1e-7
+}

@@ -1,0 +1,7 @@
+// Package numeric stands in for internal/numeric, the designated home of
+// shared tolerances: inline literals are allowed here.
+package numeric
+
+func Converged(delta float64) bool {
+	return delta < 1e-9
+}

@@ -1,0 +1,69 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// TolConst flags comparisons against inline negative-exponent float
+// literals (`x < 1e-9`, `delta > 1E-12`, ...) outside internal/numeric.
+// Scattered magic tolerances drift apart silently: two call sites that must
+// agree on "converged" end up comparing against different thresholds after
+// one is tuned. The fix is a named constant (package-level, or a field with
+// a documented default) so the tolerance has one home and a greppable name.
+//
+// Allowed forms:
+//   - named constants (`delta < convergedTol`): the declaration's literal is
+//     not part of a comparison;
+//   - literals in internal/numeric, the designated home for shared numeric
+//     tolerances and their helpers;
+//   - non-comparison uses, e.g. defaulting a config field (`o.Tol = 1e-9`).
+var TolConst = &Analyzer{
+	Name: "tolconst",
+	Doc:  "flags inline 1e-N tolerance literals in comparisons; hoist them to named constants",
+	Run:  runTolConst,
+}
+
+func runTolConst(p *Pass) {
+	if inScope(p, "internal/numeric") {
+		return
+	}
+	for _, f := range p.Files() {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch be.Op {
+			case token.LSS, token.GTR, token.LEQ, token.GEQ, token.EQL, token.NEQ:
+			default:
+				return true
+			}
+			for _, side := range []ast.Expr{be.X, be.Y} {
+				if lit := negExpLiteral(side); lit != nil {
+					p.Reportf(lit.Pos(), "inline tolerance literal %s in comparison; give it a named constant", lit.Value)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// negExpLiteral returns the negative-exponent float literal the expression
+// reduces to (unwrapping parens and a leading sign), or nil.
+func negExpLiteral(e ast.Expr) *ast.BasicLit {
+	e = ast.Unparen(e)
+	if ue, ok := e.(*ast.UnaryExpr); ok && (ue.Op == token.SUB || ue.Op == token.ADD) {
+		e = ast.Unparen(ue.X)
+	}
+	lit, ok := e.(*ast.BasicLit)
+	if !ok || lit.Kind != token.FLOAT {
+		return nil
+	}
+	v := strings.ToLower(lit.Value)
+	if i := strings.IndexByte(v, 'e'); i >= 0 && i+1 < len(v) && v[i+1] == '-' {
+		return lit
+	}
+	return nil
+}

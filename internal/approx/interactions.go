@@ -32,6 +32,19 @@ const relaxationCutoff = 10.0
 // remainder is renormalized, so total event rates are preserved.
 const defaultPrune = 1e-6
 
+// steadyRelaxTol declares a transient iterate fully relaxed once its L1
+// distance to the steady state falls below it; further stepping only
+// accumulates rounding error.
+const steadyRelaxTol = 1e-8
+
+// jointMassEps skips joint-distribution atoms whose weight is numerically
+// zero when re-binning conditional vectors.
+const jointMassEps = 1e-15
+
+// groupMassEps is the group probability mass below which conditioning on
+// the group is numerically meaningless and the atom is dropped.
+const groupMassEps = 1e-14
+
 type cacheKey struct {
 	group  int
 	bucket int
@@ -177,7 +190,7 @@ func (in *interactions) groupIterates(g int) [][]float64 {
 			continue
 		}
 		v, next = next, v
-		if numeric.L1Diff(v, prev.steady) < 1e-8 {
+		if numeric.L1Diff(v, prev.steady) < steadyRelaxTol {
 			relaxed = true
 			js[k] = in.steadyJoint
 			continue
@@ -241,7 +254,7 @@ func (in *interactions) buildVector(g int, tau float64) []allocEntry {
 	strideA := strideD * (maxArem + 1)
 	acc := make([]float64, strideA*(in.curShare+1))
 	for i, w := range joint {
-		if w < 1e-15 {
+		if w < jointMassEps {
 			continue
 		}
 		f := i / in.strideL
@@ -310,7 +323,7 @@ func (in *interactions) conditionalStart(g int) []float64 {
 		for _, idx := range prev.groups[gg] {
 			mass += prev.steady[idx]
 		}
-		if mass <= 1e-14 {
+		if mass <= groupMassEps {
 			return nil, false
 		}
 		p0 := make([]float64, len(prev.steady))

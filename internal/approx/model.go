@@ -46,6 +46,9 @@ type Config struct {
 	Passes int
 	// Solver configures the per-level steady-state solves.
 	Solver markov.SteadyStateOptions
+	// Warm optionally carries level steady states between Solve calls to
+	// seed the per-level solvers (see WarmCache). Leave nil for cold starts.
+	Warm *WarmCache
 }
 
 // Model is the solved hierarchy for one target SC.
@@ -106,9 +109,14 @@ func Solve(cfg Config) (*Model, error) {
 			inter := newInteractions(prev, share, peerShares, cfg.Epsilon, cfg.Prune)
 			inter.preserveS = prev == nil && demand > 0
 			inter.uncondition = cfg.Uncondition
-			if err := lv.build(inter, demand, cfg.Solver); err != nil {
+			solver := cfg.Solver
+			if start := cfg.Warm.lookup(cfg.Target, scIdx, lv.numStates()); start != nil {
+				solver.Start = start
+			}
+			if err := lv.build(inter, demand, solver); err != nil {
 				return nil, err
 			}
+			cfg.Warm.store(cfg.Target, scIdx, lv.numStates(), lv.steady)
 			m.levels = append(m.levels, lv)
 			prev = lv
 			prevIdx = scIdx

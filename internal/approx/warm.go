@@ -1,0 +1,52 @@
+package approx
+
+import "sync"
+
+// warmKey addresses one hierarchy level's steady state: the target SC the
+// hierarchy was built for, the SC the level models, and the level's state
+// count (so a re-dimensioned level never inherits a stale vector).
+type warmKey struct {
+	target int
+	sc     int
+	states int
+}
+
+// WarmCache carries level steady states between Solve calls. A Tabu sweep
+// evaluates long runs of neighboring share vectors; each level's stationary
+// distribution moves only slightly between neighbors, so seeding the solver
+// with the previous solution cuts the iteration count dramatically compared
+// to a cold (uniform) start. It is safe for concurrent use.
+type WarmCache struct {
+	mu sync.Mutex
+	// pis is guarded by mu.
+	pis map[warmKey][]float64
+}
+
+// NewWarmCache returns an empty warm-start cache, ready to be shared across
+// any number of Solve calls via Config.Warm.
+func NewWarmCache() *WarmCache {
+	return &WarmCache{pis: make(map[warmKey][]float64)}
+}
+
+// lookup returns the last steady state recorded for the key, or nil when
+// none matches. The returned slice is only ever read (the solvers copy their
+// start vector), so handing out the cached backing array is safe.
+func (w *WarmCache) lookup(target, sc, states int) []float64 {
+	if w == nil {
+		return nil
+	}
+	w.mu.Lock()
+	pi := w.pis[warmKey{target: target, sc: sc, states: states}]
+	w.mu.Unlock()
+	return pi
+}
+
+// store records a level's steady state for future lookups.
+func (w *WarmCache) store(target, sc, states int, pi []float64) {
+	if w == nil || len(pi) != states {
+		return
+	}
+	w.mu.Lock()
+	w.pis[warmKey{target: target, sc: sc, states: states}] = pi
+	w.mu.Unlock()
+}

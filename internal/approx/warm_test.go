@@ -1,0 +1,81 @@
+package approx
+
+import (
+	"math"
+	"testing"
+
+	"scshare/internal/markov"
+)
+
+// TestWarmCacheFewerIterations pins the Tabu-sweep payoff: re-solving a
+// neighboring share vector with a shared WarmCache must cost fewer solver
+// iterations than the same solve from a cold start.
+func TestWarmCacheFewerIterations(t *testing.T) {
+	fed := fed2(7, 7)
+	warm := NewWarmCache()
+
+	// Prime the cache at (2, 2).
+	prime := &markov.SolveStats{}
+	if _, err := Solve(Config{
+		Federation: fed, Shares: []int{2, 2}, Target: 1,
+		Warm: warm, Solver: markov.SteadyStateOptions{Stats: prime},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if prime.Solves == 0 || prime.Iterations == 0 {
+		t.Fatalf("priming solve recorded no stats: %+v", prime)
+	}
+
+	// The Tabu neighbor (3, 2) warm-started from (2, 2)...
+	warmStats := &markov.SolveStats{}
+	mWarm, err := Solve(Config{
+		Federation: fed, Shares: []int{3, 2}, Target: 1,
+		Warm: warm, Solver: markov.SteadyStateOptions{Stats: warmStats},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// ...versus the same solve cold.
+	coldStats := &markov.SolveStats{}
+	mCold, err := Solve(Config{
+		Federation: fed, Shares: []int{3, 2}, Target: 1,
+		Solver: markov.SteadyStateOptions{Stats: coldStats},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if warmStats.Iterations >= coldStats.Iterations {
+		t.Fatalf("warm solve took %d iterations, cold took %d; want fewer", warmStats.Iterations, coldStats.Iterations)
+	}
+	// Warm starting changes the iteration path, not the fixed point.
+	mw, mc := mWarm.Metrics(), mCold.Metrics()
+	if math.Abs(mw.ForwardProb-mc.ForwardProb) > 1e-6 ||
+		math.Abs(mw.Utilization-mc.Utilization) > 1e-6 {
+		t.Fatalf("warm metrics %+v diverge from cold metrics %+v", mw, mc)
+	}
+}
+
+// TestWarmCacheDimensionGuard ensures a cached vector is never applied to a
+// re-dimensioned level: changing a share changes that level's state count,
+// so its lookup must miss instead of seeding a mismatched start vector.
+func TestWarmCacheDimensionGuard(t *testing.T) {
+	w := NewWarmCache()
+	w.store(1, 0, 10, make([]float64, 10))
+	if got := w.lookup(1, 0, 11); got != nil {
+		t.Fatal("lookup with mismatched state count returned a vector")
+	}
+	if got := w.lookup(0, 0, 10); got != nil {
+		t.Fatal("lookup with different target returned a vector")
+	}
+	if got := w.lookup(1, 0, 10); len(got) != 10 {
+		t.Fatalf("matching lookup returned %d entries, want 10", len(got))
+	}
+	// A nil cache is inert on both paths.
+	var nilCache *WarmCache
+	nilCache.store(0, 0, 3, make([]float64, 3))
+	if got := nilCache.lookup(0, 0, 3); got != nil {
+		t.Fatal("nil cache returned a vector")
+	}
+}

@@ -105,7 +105,7 @@ func New(cfg Config) (*Framework, error) {
 		}
 	case ModelFluid:
 		mkEval = func(fed cloud.Federation) market.Evaluator {
-			return market.EvaluatorFunc(fluid.Evaluate(fed, fluid.Options{}))
+			return fluid.NewEvaluator(fed, fluid.Options{})
 		}
 	default:
 		return nil, errors.New("core: unknown performance model kind")

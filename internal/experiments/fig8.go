@@ -142,7 +142,7 @@ func Fig8b(opts Fig8bOptions) (Figure, error) {
 			}
 			g := &market.Game{
 				Federation:   fed,
-				Evaluator:    market.Memoize(market.EvaluatorFunc(fluid.Evaluate(fed, fluid.Options{}))),
+				Evaluator:    market.Memoize(fluid.NewEvaluator(fed, fluid.Options{})),
 				Gamma:        opts.Gamma,
 				TabuDistance: dist,
 				MaxRounds:    100,

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"scshare/internal/cloud"
 	"scshare/internal/numeric"
@@ -50,45 +51,99 @@ func (o *Options) defaults() {
 	}
 }
 
-// Solve runs the fixed point and returns per-SC metrics.
+// fpKey addresses one cached Sect. III-A solve: an SC with a quantized
+// lent load folded into its arrival stream.
+type fpKey struct {
+	sc   int
+	lend int64
+}
+
+// Evaluator is a reusable fluid-model evaluator. The forwarding
+// probabilities of the no-sharing model depend only on (SC, lent load) —
+// never on the share vector — so the Evaluator keeps that cache across
+// calls: a market sweep evaluating thousands of neighboring vectors pays
+// for each distinct (SC, load) point once instead of once per vector. It is
+// safe for concurrent use and implements both market evaluator shapes
+// (per-target Evaluate and whole-vector EvaluateAll).
+type Evaluator struct {
+	fed  cloud.Federation
+	opts Options
+
+	mu sync.Mutex
+	// fpCache is guarded by mu; see forwardProb.
+	fpCache map[fpKey]float64
+}
+
+// NewEvaluator validates nothing eagerly (Solve revalidates per call) and
+// returns an evaluator sharing one forwarding-probability cache across all
+// subsequent solves.
+func NewEvaluator(fed cloud.Federation, opts Options) *Evaluator {
+	opts.defaults()
+	return &Evaluator{fed: fed, opts: opts, fpCache: make(map[fpKey]float64)}
+}
+
+// forwardProb returns the no-sharing forwarding probability of SC i with
+// the quantized lent load folded into its arrivals, solving the
+// birth-death chain on a cache miss. Concurrent misses of the same key may
+// solve twice; both arrive at the same value, so the cache stays
+// deterministic.
+func (e *Evaluator) forwardProb(i int, lent float64) (float64, error) {
+	key := fpKey{sc: i, lend: int64(math.Round(lent * 4096))}
+	e.mu.Lock()
+	v, ok := e.fpCache[key]
+	e.mu.Unlock()
+	if ok {
+		return v, nil
+	}
+	sc := e.fed.SCs[i]
+	loaded := sc
+	loaded.ArrivalRate = sc.ArrivalRate + float64(key.lend)/4096*sc.ServiceRate
+	nm, err := queueing.Solve(loaded)
+	if err != nil {
+		return 0, err
+	}
+	v = nm.Metrics().ForwardProb
+	e.mu.Lock()
+	e.fpCache[key] = v
+	e.mu.Unlock()
+	return v, nil
+}
+
+// Evaluate implements the market evaluator signature.
+func (e *Evaluator) Evaluate(shares []int, target int) (cloud.Metrics, error) {
+	ms, err := e.EvaluateAll(shares)
+	if err != nil {
+		return cloud.Metrics{}, err
+	}
+	if target < 0 || target >= len(ms) {
+		return cloud.Metrics{}, fmt.Errorf("fluid: target %d out of range [0,%d)", target, len(ms))
+	}
+	return ms[target], nil
+}
+
+// Solve runs the fixed point with a fresh cache and returns per-SC
+// metrics. Sweeps should construct one Evaluator instead, so the
+// no-sharing solves carry over between calls.
 func Solve(fed cloud.Federation, shares []int, opts Options) ([]cloud.Metrics, error) {
+	return NewEvaluator(fed, opts).EvaluateAll(shares)
+}
+
+// EvaluateAll runs the fixed point and returns every SC's metrics.
+func (e *Evaluator) EvaluateAll(shares []int) ([]cloud.Metrics, error) {
+	fed, opts := e.fed, e.opts
 	if err := fed.Validate(); err != nil {
 		return nil, fmt.Errorf("fluid: %w", err)
 	}
 	if err := fed.ValidateShares(shares); err != nil {
 		return nil, fmt.Errorf("fluid: %w", err)
 	}
-	opts.defaults()
 	k := len(fed.SCs)
 	borrow := make([]float64, k) // Erlangs SC i serves on foreign VMs
 	lend := make([]float64, k)   // Erlangs SC i's VMs serve for others
 	newBorrow := make([]float64, k)
 	newLend := make([]float64, k)
 	overflow := make([]float64, k)
-
-	// forwardProb caches the Sect. III-A solves per (SC, quantized lent
-	// load); the fixed point revisits nearly identical points constantly.
-	type fpKey struct {
-		sc   int
-		lend int64
-	}
-	fpCache := make(map[fpKey]float64)
-	forwardProb := func(i int, lent float64) (float64, error) {
-		key := fpKey{sc: i, lend: int64(math.Round(lent * 4096))}
-		if v, ok := fpCache[key]; ok {
-			return v, nil
-		}
-		sc := fed.SCs[i]
-		loaded := sc
-		loaded.ArrivalRate = sc.ArrivalRate + float64(key.lend)/4096*sc.ServiceRate
-		nm, err := queueing.Solve(loaded)
-		if err != nil {
-			return 0, err
-		}
-		v := nm.Metrics().ForwardProb
-		fpCache[key] = v
-		return v, nil
-	}
+	forwardProb := e.forwardProb
 
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		// Overflow demand and idle supply under the current allocation.
@@ -181,13 +236,10 @@ func metricsOf(fed cloud.Federation, overflow, borrow, lend []float64) []cloud.M
 	return out
 }
 
-// Evaluate adapts Solve to the market evaluator signature.
+// Evaluate adapts the fluid model to the market evaluator signature. The
+// returned closure shares one Evaluator, so its no-sharing cache persists
+// across calls; prefer NewEvaluator directly where the whole-vector
+// EvaluateAll shape matters (Memoize detects it).
 func Evaluate(fed cloud.Federation, opts Options) func(shares []int, target int) (cloud.Metrics, error) {
-	return func(shares []int, target int) (cloud.Metrics, error) {
-		ms, err := Solve(fed, shares, opts)
-		if err != nil {
-			return cloud.Metrics{}, err
-		}
-		return ms[target], nil
-	}
+	return NewEvaluator(fed, opts).Evaluate
 }

@@ -17,6 +17,15 @@ type Evaluator interface {
 	Evaluate(shares []int, target int) (cloud.Metrics, error)
 }
 
+// AllEvaluator is implemented by evaluators whose underlying solve yields
+// every SC's metrics at once (the discrete-event simulator, the fluid fixed
+// point). Memoize exploits it to cache per share vector instead of per
+// (shares, target): the K per-target lookups the game issues for one vector
+// collapse into a single solve.
+type AllEvaluator interface {
+	EvaluateAll(shares []int) ([]cloud.Metrics, error)
+}
+
 // EvaluatorFunc adapts a function to the Evaluator interface.
 type EvaluatorFunc func(shares []int, target int) (cloud.Metrics, error)
 
@@ -27,14 +36,22 @@ func (f EvaluatorFunc) Evaluate(shares []int, target int) (cloud.Metrics, error)
 
 // ApproxEvaluator evaluates sharing decisions with the hierarchical
 // approximate model — the configuration the paper uses for its market
-// experiments.
+// experiments. Successive solves share a warm-start cache: the steady state
+// of each hierarchy level seeds the matching level of the next solve, so
+// the neighboring share vectors of a Tabu sweep converge in a fraction of
+// the cold-start iterations.
 func ApproxEvaluator(fed cloud.Federation, cfg approx.Config) Evaluator {
+	warm := cfg.Warm
+	if warm == nil {
+		warm = approx.NewWarmCache()
+	}
 	return EvaluatorFunc(func(shares []int, target int) (cloud.Metrics, error) {
 		c := cfg
 		c.Federation = fed
 		c.Shares = shares
 		c.Target = target
 		c.Order = nil
+		c.Warm = warm
 		m, err := approx.Solve(c)
 		if err != nil {
 			return cloud.Metrics{}, err
@@ -55,9 +72,12 @@ func ExactEvaluator(fed cloud.Federation, queueCap []int) Evaluator {
 	})
 }
 
-// memoEntry is one cached evaluation result.
+// memoEntry is one cached evaluation result: either a single SC's metrics
+// (per-target caching) or the whole federation's (per-vector caching when
+// the wrapped evaluator implements AllEvaluator).
 type memoEntry struct {
 	m   cloud.Metrics
+	all []cloud.Metrics
 	err error
 }
 
@@ -68,27 +88,81 @@ type memoCall struct {
 	memoEntry
 }
 
-// memoEvaluator caches evaluations by (shares, target) and deduplicates
-// concurrent solves of the same key. The solve itself runs outside the
-// critical section, so distinct keys evaluate in parallel.
-type memoEvaluator struct {
-	inner Evaluator
-
+// memoShard is one lock domain of the sharded cache.
+type memoShard struct {
 	mu sync.Mutex
 	// cache and inflight are guarded by mu.
 	cache    map[string]memoEntry
 	inflight map[string]*memoCall
 }
 
-// Memoize caches evaluations by (shares, target). It is safe for
-// concurrent use: parallel callers asking for the same key share a single
-// solve.
-func Memoize(ev Evaluator) Evaluator {
-	return &memoEvaluator{
-		inner:    ev,
-		cache:    make(map[string]memoEntry),
-		inflight: make(map[string]*memoCall),
+// do returns the entry for key, joining an in-flight solve when one exists
+// and running solve itself otherwise. The solve runs outside the critical
+// section, so distinct keys on the same shard still evaluate in parallel.
+func (s *memoShard) do(key string, solve func() memoEntry) memoEntry {
+	s.mu.Lock()
+	if e, ok := s.cache[key]; ok {
+		s.mu.Unlock()
+		return e
 	}
+	if c, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		<-c.done
+		return c.memoEntry
+	}
+	c := &memoCall{done: make(chan struct{})}
+	s.inflight[key] = c
+	s.mu.Unlock()
+
+	c.memoEntry = solve()
+	close(c.done)
+
+	s.mu.Lock()
+	s.cache[key] = c.memoEntry
+	delete(s.inflight, key)
+	s.mu.Unlock()
+	return c.memoEntry
+}
+
+// memoShardCount is the number of lock domains. A power of two well above
+// GOMAXPROCS on typical hardware: the parallel best-response rounds and
+// multi-start runs hammer the cache from every worker, and one global mutex
+// was the measured contention point on big sweeps.
+const memoShardCount = 32
+
+// memoEvaluator caches evaluations and deduplicates concurrent solves of
+// the same key. The key's FNV-1a hash picks one of memoShardCount
+// independently locked shards, so concurrent lookups rarely contend.
+type memoEvaluator struct {
+	inner Evaluator
+	// all is non-nil when inner solves whole share vectors at once; the
+	// cache is then keyed by vector, without the target.
+	all    AllEvaluator
+	shards [memoShardCount]memoShard
+}
+
+// Memoize caches evaluations by (shares, target) — or by the share vector
+// alone when the evaluator implements AllEvaluator. It is safe for
+// concurrent use: parallel callers asking for the same key share a single
+// solve, and distinct keys spread across independently locked shards.
+func Memoize(ev Evaluator) Evaluator {
+	me := &memoEvaluator{inner: ev}
+	me.all, _ = ev.(AllEvaluator)
+	for i := range me.shards {
+		me.shards[i].cache = make(map[string]memoEntry)
+		me.shards[i].inflight = make(map[string]*memoCall)
+	}
+	return me
+}
+
+// shardOf hashes a cache key (FNV-1a) onto a shard index.
+func (me *memoEvaluator) shardOf(key string) *memoShard {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= 1099511628211
+	}
+	return &me.shards[h%memoShardCount]
 }
 
 // Evaluate implements Evaluator.
@@ -98,31 +172,27 @@ func (me *memoEvaluator) Evaluate(shares []int, target int) (cloud.Metrics, erro
 		key = strconv.AppendInt(key, int64(s), 10)
 		key = append(key, ',')
 	}
-	key = strconv.AppendInt(key, int64(target), 10)
-	k := string(key)
-
-	me.mu.Lock()
-	if e, ok := me.cache[k]; ok {
-		me.mu.Unlock()
+	if me.all == nil {
+		key = strconv.AppendInt(key, int64(target), 10)
+		k := string(key)
+		e := me.shardOf(k).do(k, func() memoEntry {
+			m, err := me.inner.Evaluate(shares, target)
+			return memoEntry{m: m, err: err}
+		})
 		return e.m, e.err
 	}
-	if c, ok := me.inflight[k]; ok {
-		me.mu.Unlock()
-		<-c.done
-		return c.m, c.err
+	k := string(key)
+	e := me.shardOf(k).do(k, func() memoEntry {
+		all, err := me.all.EvaluateAll(shares)
+		return memoEntry{all: all, err: err}
+	})
+	if e.err != nil {
+		return cloud.Metrics{}, e.err
 	}
-	c := &memoCall{done: make(chan struct{})}
-	me.inflight[k] = c
-	me.mu.Unlock()
-
-	c.m, c.err = me.inner.Evaluate(shares, target)
-	close(c.done)
-
-	me.mu.Lock()
-	me.cache[k] = c.memoEntry
-	delete(me.inflight, k)
-	me.mu.Unlock()
-	return c.m, c.err
+	if target < 0 || target >= len(e.all) {
+		return cloud.Metrics{}, fmt.Errorf("market: target %d out of range [0,%d)", target, len(e.all))
+	}
+	return e.all[target], nil
 }
 
 // ValidateShares is a convenience wrapper producing a descriptive error for

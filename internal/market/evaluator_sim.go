@@ -51,6 +51,20 @@ func (se *simEvaluator) Evaluate(shares []int, target int) (cloud.Metrics, error
 	if err := ValidateShares(se.fed, shares, target); err != nil {
 		return cloud.Metrics{}, err
 	}
+	ms, err := se.EvaluateAll(shares)
+	if err != nil {
+		return cloud.Metrics{}, err
+	}
+	return ms[target], nil
+}
+
+// EvaluateAll implements AllEvaluator: one simulation run yields every
+// SC's metrics. The returned slice is shared with the cache; callers must
+// not mutate it.
+func (se *simEvaluator) EvaluateAll(shares []int) ([]cloud.Metrics, error) {
+	if err := se.fed.ValidateShares(shares); err != nil {
+		return nil, err
+	}
 	key := make([]byte, 0, 4*len(shares))
 	for _, s := range shares {
 		key = strconv.AppendInt(key, int64(s), 10)
@@ -61,15 +75,15 @@ func (se *simEvaluator) Evaluate(shares []int, target int) (cloud.Metrics, error
 	se.mu.Lock()
 	if ms, ok := se.cache[k]; ok {
 		se.mu.Unlock()
-		return ms[target], nil
+		return ms, nil
 	}
 	if c, ok := se.inflight[k]; ok {
 		se.mu.Unlock()
 		<-c.done
 		if c.err != nil {
-			return cloud.Metrics{}, c.err
+			return nil, c.err
 		}
-		return c.metrics[target], nil
+		return c.metrics, nil
 	}
 	c := &simCall{done: make(chan struct{})}
 	se.inflight[k] = c
@@ -96,7 +110,7 @@ func (se *simEvaluator) Evaluate(shares []int, target int) (cloud.Metrics, error
 	delete(se.inflight, k)
 	se.mu.Unlock()
 	if c.err != nil {
-		return cloud.Metrics{}, c.err
+		return nil, c.err
 	}
-	return c.metrics[target], nil
+	return c.metrics, nil
 }

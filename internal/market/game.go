@@ -34,6 +34,13 @@ type Game struct {
 	MaxRounds int
 	// MaxShares caps each SC's strategy space; defaults to its VM count.
 	MaxShares []int
+	// Workers bounds the worker pool evaluating a round's best responses.
+	// Jacobi rounds respond to the previous round's decisions, so the K
+	// searches of a round are independent and fan out across min(Workers, K)
+	// goroutines; results merge in SC index order, which keeps the dynamics
+	// bit-identical to the serial schedule. 0 means GOMAXPROCS; 1 forces the
+	// serial path.
+	Workers int
 
 	// skip marks SCs that never best-respond (see RunWithFrozen).
 	skip map[int]bool
@@ -114,37 +121,45 @@ func (g *Game) Run(initial []int) (*Outcome, error) {
 	prev := make([]int, k)
 	visited := map[string]bool{shareKey(shares): true}
 	sequential := false
+	responses := make([]bestResponse, k)
 	for round := 1; round <= maxRounds; round++ {
 		out.Rounds = round
 		copy(prev, shares)
 		changed := false
-		for i := 0; i < k; i++ {
-			if g.skip[i] {
-				continue
-			}
-			base := prev
-			if sequential {
-				base = shares
-			}
-			objective := func(s int) (float64, error) {
-				trial := make([]int, k)
-				copy(trial, base)
-				trial[i] = s
-				m, err := g.Evaluator.Evaluate(trial, i)
-				if err != nil {
-					return 0, err
+		if sequential {
+			// Sequential (Gauss-Seidel) updates: each SC responds to the
+			// partially updated vector, so the round is inherently serial.
+			for i := 0; i < k; i++ {
+				if g.skip[i] {
+					continue
 				}
-				cost := m.NetCost(g.Federation.SCs[i].PublicPrice, g.Federation.FederationPrice)
-				return Utility(baseCosts[i], cost, baseUtils[i], m.Utilization, g.Gamma)
+				r := g.respond(shares, i, maxShares[i], distance, baseCosts, baseUtils)
+				out.Evals += r.evals
+				if r.err != nil {
+					return nil, fmt.Errorf("market: best response of SC %d: %w", i, r.err)
+				}
+				if r.share != shares[i] {
+					shares[i] = r.share
+					changed = true
+				}
 			}
-			bestS, _, evals, err := tabuSearch(base[i], maxShares[i], distance, objective)
-			out.Evals += evals
-			if err != nil {
-				return nil, fmt.Errorf("market: best response of SC %d: %w", i, err)
-			}
-			if bestS != shares[i] {
-				shares[i] = bestS
-				changed = true
+		} else {
+			// Jacobi round: every SC responds to prev, so the K searches are
+			// independent and fan out across the worker pool.
+			g.respondAll(prev, maxShares, distance, baseCosts, baseUtils, responses)
+			for i := 0; i < k; i++ {
+				if g.skip[i] {
+					continue
+				}
+				r := responses[i]
+				out.Evals += r.evals
+				if r.err != nil {
+					return nil, fmt.Errorf("market: best response of SC %d: %w", i, r.err)
+				}
+				if r.share != shares[i] {
+					shares[i] = r.share
+					changed = true
+				}
 			}
 		}
 		if !changed {
@@ -165,6 +180,73 @@ func (g *Game) Run(initial []int) (*Outcome, error) {
 		return out, ErrNoEquilibrium
 	}
 	return out, nil
+}
+
+// bestResponse is the result of one SC's Tabu search.
+type bestResponse struct {
+	share int
+	evals int
+	err   error
+}
+
+// respond runs SC i's best response against the base vector.
+func (g *Game) respond(base []int, i, maxShare, distance int, baseCosts, baseUtils []float64) bestResponse {
+	objective := func(s int) (float64, error) {
+		trial := make([]int, len(base))
+		copy(trial, base)
+		trial[i] = s
+		m, err := g.Evaluator.Evaluate(trial, i)
+		if err != nil {
+			return 0, err
+		}
+		cost := m.NetCost(g.Federation.SCs[i].PublicPrice, g.Federation.FederationPrice)
+		return Utility(baseCosts[i], cost, baseUtils[i], m.Utilization, g.Gamma)
+	}
+	bestS, _, evals, err := tabuSearch(base[i], maxShare, distance, objective)
+	return bestResponse{share: bestS, evals: evals, err: err}
+}
+
+// respondAll fills responses with every non-skipped SC's best response to
+// base, fanning the independent searches across the game's worker pool.
+// responses[i] is written only by the goroutine that owns index i, so the
+// merge order (and therefore the dynamics) is independent of scheduling.
+func (g *Game) respondAll(base, maxShares []int, distance int, baseCosts, baseUtils []float64, responses []bestResponse) {
+	k := len(responses)
+	workers := g.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > k {
+		workers = k
+	}
+	if workers <= 1 {
+		for i := 0; i < k; i++ {
+			if g.skip[i] {
+				continue
+			}
+			responses[i] = g.respond(base, i, maxShares[i], distance, baseCosts, baseUtils)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				responses[i] = g.respond(base, i, maxShares[i], distance, baseCosts, baseUtils)
+			}
+		}()
+	}
+	for i := 0; i < k; i++ {
+		if g.skip[i] {
+			continue
+		}
+		next <- i
+	}
+	close(next)
+	wg.Wait()
 }
 
 // RunMultiStart plays the game from several initial vectors and returns the

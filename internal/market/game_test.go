@@ -260,6 +260,11 @@ func TestWithParticipation(t *testing.T) {
 		calls++
 		return newToyEvaluator(t, sub)
 	})
+	// Construction probes (and caches) the full-federation evaluator to
+	// decide whether the whole-vector path is available.
+	if calls != 1 {
+		t.Fatalf("construction built %d evaluators, want the full-federation probe only", calls)
+	}
 	// A non-contributor gets its standalone baseline: no federation flows.
 	m, err := ev.Evaluate([]int{0, 3, 3}, 0)
 	if err != nil {
@@ -276,8 +281,8 @@ func TestWithParticipation(t *testing.T) {
 	if m.LendRate <= 0 {
 		t.Errorf("contributor lends nothing: %+v", m)
 	}
-	if calls != 1 {
-		t.Errorf("sub-evaluators built: %d, want 1", calls)
+	if calls != 2 {
+		t.Errorf("sub-evaluators built: %d, want 2 (probe + contributor set)", calls)
 	}
 	// A lone contributor is effectively standalone.
 	m, err = ev.Evaluate([]int{0, 3, 0}, 1)
@@ -291,13 +296,14 @@ func TestWithParticipation(t *testing.T) {
 	if _, err := ev.Evaluate([]int{0, 4, 2}, 1); err != nil {
 		t.Fatal(err)
 	}
-	if calls != 1 {
+	if calls != 2 {
 		t.Errorf("participant-set cache miss: %d evaluator builds", calls)
 	}
+	// The all-contributors set reuses the construction-time probe.
 	if _, err := ev.Evaluate([]int{1, 1, 1}, 0); err != nil {
 		t.Fatal(err)
 	}
 	if calls != 2 {
-		t.Errorf("new participant set not built: %d", calls)
+		t.Errorf("full participant set rebuilt despite the probe: %d", calls)
 	}
 }

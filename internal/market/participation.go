@@ -32,13 +32,53 @@ type participationEvaluator struct {
 //
 // mkEval builds an evaluator for a sub-federation; one evaluator is cached
 // per participant set.
+//
+// When mkEval produces AllEvaluators (whole-vector solves), the returned
+// evaluator is one too: non-contributors keep their baselines and the
+// contributor sub-federation is solved once, so Memoize can key its cache
+// by share vector. Per-target models keep the per-target shape — forcing
+// them through EvaluateAll would turn one solve into K.
 func WithParticipation(fed cloud.Federation, mkEval func(sub cloud.Federation) Evaluator) Evaluator {
-	return &participationEvaluator{
+	pe := &participationEvaluator{
 		fed:    fed,
 		mkEval: mkEval,
 		subs:   make(map[string]Evaluator),
 		bases:  make([]*cloud.Metrics, len(fed.SCs)),
 	}
+	// Probe with the full federation (every SC contributing); the evaluator
+	// is cached under its presence bitmap for later reuse.
+	mask := make([]byte, len(fed.SCs))
+	for i := range mask {
+		mask[i] = '1'
+	}
+	if _, ok := pe.subEvaluator(string(mask), fed).(AllEvaluator); ok {
+		return participationAllEvaluator{pe}
+	}
+	return pe
+}
+
+// participationAllEvaluator exposes the whole-vector path; see
+// WithParticipation.
+type participationAllEvaluator struct {
+	*participationEvaluator
+}
+
+// EvaluateAll implements AllEvaluator.
+func (pe participationAllEvaluator) EvaluateAll(shares []int) ([]cloud.Metrics, error) {
+	return pe.evaluateAll(shares)
+}
+
+// subEvaluator returns the cached evaluator for one participant set,
+// building it on first use.
+func (pe *participationEvaluator) subEvaluator(key string, subFed cloud.Federation) Evaluator {
+	pe.mu.Lock()
+	ev, ok := pe.subs[key]
+	if !ok {
+		ev = pe.mkEval(subFed)
+		pe.subs[key] = ev
+	}
+	pe.mu.Unlock()
+	return ev
 }
 
 // baseline returns SC i's no-sharing metrics, solving the birth-death
@@ -91,13 +131,68 @@ func (pe *participationEvaluator) Evaluate(shares []int, target int) (cloud.Metr
 		// Alone in the federation: nothing to lend to or borrow from.
 		return pe.baseline(target)
 	}
-	key := string(mask)
-	pe.mu.Lock()
-	ev, ok := pe.subs[key]
-	if !ok {
-		ev = pe.mkEval(subFed)
-		pe.subs[key] = ev
+	return pe.subEvaluator(string(mask), subFed).Evaluate(subShares, subTarget)
+}
+
+// evaluateAll computes every SC's metrics under the participation
+// semantics: non-contributors (and a lone contributor) get their no-sharing
+// baselines, and the contributor sub-federation is solved in one shot when
+// the sub-evaluator supports it.
+func (pe *participationEvaluator) evaluateAll(shares []int) ([]cloud.Metrics, error) {
+	if err := pe.fed.ValidateShares(shares); err != nil {
+		return nil, err
 	}
-	pe.mu.Unlock()
-	return ev.Evaluate(subShares, subTarget)
+	out := make([]cloud.Metrics, len(shares))
+	var (
+		mask      = make([]byte, len(shares))
+		subFed    cloud.Federation
+		subShares []int
+		subIdx    []int
+	)
+	subFed.FederationPrice = pe.fed.FederationPrice
+	for i, s := range shares {
+		if s == 0 {
+			mask[i] = '0'
+			m, err := pe.baseline(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = m
+			continue
+		}
+		mask[i] = '1'
+		subFed.SCs = append(subFed.SCs, pe.fed.SCs[i])
+		subShares = append(subShares, s)
+		subIdx = append(subIdx, i)
+	}
+	if len(subIdx) == 0 {
+		return out, nil
+	}
+	if len(subIdx) == 1 {
+		m, err := pe.baseline(subIdx[0])
+		if err != nil {
+			return nil, err
+		}
+		out[subIdx[0]] = m
+		return out, nil
+	}
+	ev := pe.subEvaluator(string(mask), subFed)
+	if all, ok := ev.(AllEvaluator); ok {
+		ms, err := all.EvaluateAll(subShares)
+		if err != nil {
+			return nil, err
+		}
+		for j, i := range subIdx {
+			out[i] = ms[j]
+		}
+		return out, nil
+	}
+	for j, i := range subIdx {
+		m, err := ev.Evaluate(subShares, j)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = m
+	}
+	return out, nil
 }

@@ -65,6 +65,14 @@ type CTMC struct {
 	// approximate model's interaction computation.
 	uniCache *DTMC
 	uniGamma float64
+
+	// qtCache caches the transposed rate matrix consumed by the Gauss-Seidel
+	// solver, which otherwise rebuilds it on every call — the dominant
+	// allocation when a chain is re-solved with successive start vectors.
+	qtCache *sparse.CSR
+	// ssCache caches the inflation-1.05 uniformized chain behind the power
+	// iteration solver, for the same reason.
+	ssCache *DTMC
 }
 
 // NumStates returns the number of states.
@@ -120,6 +128,16 @@ func (c *CTMC) Uniformized(inflation float64) (*DTMC, float64) {
 	return &DTMC{n: c.n, p: b.Build()}, gamma
 }
 
+// SolveStats accumulates solver effort across one or more solves. Pass one
+// instance through SteadyStateOptions.Stats to measure, e.g., how many
+// iterations a warm start saves over a cold one.
+type SolveStats struct {
+	// Iterations is the total number of solver sweeps performed.
+	Iterations int
+	// Solves is the number of solver invocations that contributed.
+	Solves int
+}
+
 // SteadyStateOptions controls the iterative steady-state solvers.
 type SteadyStateOptions struct {
 	// Tol is the L1 convergence tolerance between successive iterates
@@ -127,8 +145,21 @@ type SteadyStateOptions struct {
 	Tol float64
 	// MaxIter bounds the number of iterations (default 200000).
 	MaxIter int
-	// Start is an optional initial distribution; uniform when nil.
+	// Start is an optional initial distribution; uniform when nil. The
+	// solvers copy it — a warm-start vector is never written through.
 	Start []float64
+	// Stats, when non-nil, accumulates iteration counts across solves. The
+	// caller owns the instance; solvers only add to it, so it must not be
+	// shared across goroutines.
+	Stats *SolveStats
+}
+
+// record adds one finished solve's effort to the optional stats sink.
+func (o *SteadyStateOptions) record(iterations int) {
+	if o.Stats != nil {
+		o.Stats.Iterations += iterations
+		o.Stats.Solves++
+	}
 }
 
 func (o *SteadyStateOptions) defaults() {
@@ -145,8 +176,10 @@ func (o *SteadyStateOptions) defaults() {
 // returns a stationary distribution that depends on the starting vector.
 func (c *CTMC) SteadyState(opts SteadyStateOptions) ([]float64, error) {
 	opts.defaults()
-	dt, _ := c.Uniformized(1.05)
-	return dt.SteadyState(opts)
+	if c.ssCache == nil {
+		c.ssCache, _ = c.Uniformized(1.05)
+	}
+	return c.ssCache.SteadyState(opts)
 }
 
 // SteadyStateGaussSeidel solves the global balance equations piQ = 0 with a
@@ -155,8 +188,11 @@ func (c *CTMC) SteadyState(opts SteadyStateOptions) ([]float64, error) {
 func (c *CTMC) SteadyStateGaussSeidel(opts SteadyStateOptions) ([]float64, error) {
 	opts.defaults()
 	// pi_j * exit_j = sum_{i != j} pi_i * q_ij: we need column access, i.e.
-	// rows of the transposed rate matrix.
-	qt := c.rates.Transpose()
+	// rows of the transposed rate matrix (cached across solves).
+	if c.qtCache == nil {
+		c.qtCache = c.rates.Transpose()
+	}
+	qt := c.qtCache
 	pi := make([]float64, c.n)
 	if opts.Start != nil {
 		if len(opts.Start) != c.n {
@@ -183,6 +219,7 @@ func (c *CTMC) SteadyStateGaussSeidel(opts SteadyStateOptions) ([]float64, error
 			return nil, ErrNoConvergence
 		}
 		if numeric.L1Diff(pi, prev) < opts.Tol {
+			opts.record(iter + 1)
 			return pi, nil
 		}
 	}

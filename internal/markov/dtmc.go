@@ -38,9 +38,10 @@ func (d *DTMC) NumStates() int { return d.n }
 // Prob returns the one-step probability from a to b.
 func (d *DTMC) Prob(a, b int) float64 { return d.p.At(a, b) }
 
-// Step computes dst = cur * P. dst and cur must not alias.
+// Step computes dst = cur * P into the caller-provided buffer; it performs
+// no allocations. dst and cur must not alias.
 func (d *DTMC) Step(dst, cur []float64) error {
-	return d.p.MulVecT(dst, cur)
+	return d.p.MulVecTTo(dst, cur)
 }
 
 // SteadyState computes the stationary distribution by power iteration.
@@ -63,6 +64,7 @@ func (d *DTMC) SteadyState(opts SteadyStateOptions) ([]float64, error) {
 		}
 		numeric.Normalize(next)
 		if numeric.L1Diff(next, cur) < opts.Tol {
+			opts.record(iter + 1)
 			return next, nil
 		}
 		cur, next = next, cur

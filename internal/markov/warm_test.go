@@ -1,0 +1,104 @@
+package markov
+
+import (
+	"math"
+	"testing"
+)
+
+// birthDeath builds a birth-death CTMC with n states, birth rate lam and
+// death rate mu per step.
+func birthDeath(t *testing.T, n int, lam, mu float64) *CTMC {
+	t.Helper()
+	b := NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.Add(i, i+1, lam)
+		b.Add(i+1, i, mu*float64(i+1))
+	}
+	c, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestWarmStartFewerIterations pins the warm-start payoff both solvers are
+// built for: restarting from the previous solution must converge in fewer
+// iterations than the uniform cold start, and to the same distribution.
+func TestWarmStartFewerIterations(t *testing.T) {
+	chain := birthDeath(t, 120, 8, 1)
+
+	for _, tc := range []struct {
+		name  string
+		solve func(SteadyStateOptions) ([]float64, error)
+	}{
+		{"gauss-seidel", chain.SteadyStateGaussSeidel},
+		{"power", chain.SteadyState},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cold := &SolveStats{}
+			pi, err := tc.solve(SteadyStateOptions{Stats: cold})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if cold.Solves != 1 || cold.Iterations <= 0 {
+				t.Fatalf("cold stats not recorded: %+v", cold)
+			}
+
+			warm := &SolveStats{}
+			pi2, err := tc.solve(SteadyStateOptions{Start: pi, Stats: warm})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if warm.Iterations >= cold.Iterations {
+				t.Fatalf("warm start took %d iterations, cold took %d; want fewer", warm.Iterations, cold.Iterations)
+			}
+			for i := range pi {
+				if math.Abs(pi[i]-pi2[i]) > 1e-8 {
+					t.Fatalf("state %d: warm pi %v != cold pi %v", i, pi2[i], pi[i])
+				}
+			}
+		})
+	}
+}
+
+// TestSolveStatsAccumulates checks that one stats sink sums across solves.
+func TestSolveStatsAccumulates(t *testing.T) {
+	chain := birthDeath(t, 40, 3, 1)
+	stats := &SolveStats{}
+	if _, err := chain.SteadyStateGaussSeidel(SteadyStateOptions{Stats: stats}); err != nil {
+		t.Fatal(err)
+	}
+	first := stats.Iterations
+	if _, err := chain.SteadyStateGaussSeidel(SteadyStateOptions{Stats: stats}); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Solves != 2 {
+		t.Fatalf("Solves = %d, want 2", stats.Solves)
+	}
+	if stats.Iterations <= first {
+		t.Fatalf("Iterations did not accumulate: %d after first, %d after second", first, stats.Iterations)
+	}
+}
+
+// TestWarmStartNotMutated ensures the solvers never write through the
+// caller's start vector (warm caches hand out shared slices).
+func TestWarmStartNotMutated(t *testing.T) {
+	chain := birthDeath(t, 30, 2, 1)
+	start := make([]float64, 30)
+	for i := range start {
+		start[i] = 1.0 / 30
+	}
+	orig := make([]float64, len(start))
+	copy(orig, start)
+	if _, err := chain.SteadyStateGaussSeidel(SteadyStateOptions{Start: start}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := chain.SteadyState(SteadyStateOptions{Start: start}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range start {
+		if start[i] != orig[i] {
+			t.Fatalf("start vector mutated at %d: %v != %v", i, start[i], orig[i])
+		}
+	}
+}

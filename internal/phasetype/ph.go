@@ -19,6 +19,10 @@ type PH struct {
 // Phases returns the number of phases.
 func (p PH) Phases() int { return len(p.Alpha) }
 
+// stochasticTol is the slack allowed when checking that probability vectors
+// sum to one; fitted distributions carry rounding error of this order.
+const stochasticTol = 1e-9
+
 // Validate checks stochasticity of Alpha and the rows of Next.
 func (p PH) Validate() error {
 	m := len(p.Alpha)
@@ -33,7 +37,7 @@ func (p PH) Validate() error {
 		}
 		sum += a
 	}
-	if math.Abs(sum-1) > 1e-9 {
+	if math.Abs(sum-1) > stochasticTol {
 		return fmt.Errorf("phasetype: initial distribution sums to %v", sum)
 	}
 	for i, r := range p.Rates {

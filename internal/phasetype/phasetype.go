@@ -149,12 +149,17 @@ func (h HyperExp2) Sample(rng *rand.Rand) float64 {
 //   - SCV == 1: exponential;
 //   - SCV in (0, 1): mixed Erlang (the standard minimal-phase fit);
 //   - SCV > 1: balanced-means two-branch hyperexponential.
+// fitBoundaryTol absorbs rounding error at the boundaries of the
+// two-moment fit: SCVs this close to 1 are treated as exponential, and
+// mixing probabilities this far below 0 are clamped to a pure Erlang.
+const fitBoundaryTol = 1e-12
+
 func FitTwoMoment(mean, scv float64) (Distribution, error) {
 	if mean <= 0 || scv <= 0 || math.IsNaN(mean) || math.IsNaN(scv) {
 		return nil, fmt.Errorf("%w: mean=%v scv=%v", ErrBadMoments, mean, scv)
 	}
 	switch {
-	case math.Abs(scv-1) < 1e-12:
+	case math.Abs(scv-1) < fitBoundaryTol:
 		return Exponential{Rate: 1 / mean}, nil
 	case scv < 1:
 		// Choose K with 1/K <= scv <= 1/(K-1); then the classical fit
@@ -166,7 +171,7 @@ func FitTwoMoment(mean, scv float64) (Distribution, error) {
 		}
 		fk := float64(k)
 		p := (fk*scv - math.Sqrt(fk*(1+scv)-fk*fk*scv)) / (1 + scv)
-		if p > -1e-12 && p < 0 {
+		if p > -fitBoundaryTol && p < 0 {
 			p = 0 // scv exactly at a 1/K boundary: pure Erlang
 		}
 		if p < 0 || p > 1 || math.IsNaN(p) {

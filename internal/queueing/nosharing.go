@@ -35,13 +35,17 @@ func PNoForward(q, n int, mu, sla float64) float64 {
 	return numeric.PoissonSurvival(q-n, float64(n)*mu*sla)
 }
 
+// pnfNegligible is the admission probability below which P^NF is treated
+// as numerically zero when sizing the chain truncation.
+const pnfNegligible = 1e-12
+
 // TruncationLevel returns the queue length at which the no-sharing chain is
 // truncated: far enough beyond N that P^NF has decayed to numerical zero
 // and the neglected states carry negligible probability mass.
 func TruncationLevel(n int, mu, sla float64) int {
 	mean := float64(n) * mu * sla
 	q := n + int(math.Ceil(mean+10*math.Sqrt(mean))) + 20
-	for PNoForward(q, n, mu, sla) > 1e-12 {
+	for PNoForward(q, n, mu, sla) > pnfNegligible {
 		q += 10
 	}
 	return q

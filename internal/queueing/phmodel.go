@@ -174,6 +174,10 @@ func (m *PHModel) BaselineCost() float64 {
 	return m.stats.NetCost(m.sc.PublicPrice, 0)
 }
 
+// phMeanTol is the max-abs convergence threshold of the mean-time-to-
+// absorption fixed point; the chains are tiny, so it is effectively exact.
+const phMeanTol = 1e-14
+
 func phMean(ph phasetype.PH) float64 {
 	// Mean time to absorption: solve t_i = 1/r_i + sum_j Next[i][j] t_j by
 	// simple fixed-point iteration (the chains here are tiny and acyclic
@@ -190,7 +194,7 @@ func phMean(ph phasetype.PH) float64 {
 			delta = math.Max(delta, math.Abs(v-t[i]))
 			t[i] = v
 		}
-		if delta < 1e-14 {
+		if delta < phMeanTol {
 			break
 		}
 	}

@@ -121,8 +121,9 @@ func (m *CSR) At(r, c int) float64 {
 	return 0
 }
 
-// MulVec computes dst = m * x. dst and x must not alias.
-func (m *CSR) MulVec(dst, x []float64) error {
+// MulVecTo computes dst = m * x into the caller-provided buffer without
+// allocating. dst and x must not alias.
+func (m *CSR) MulVecTo(dst, x []float64) error {
 	if len(x) != m.Cols || len(dst) != m.Rows {
 		return ErrShape
 	}
@@ -136,10 +137,16 @@ func (m *CSR) MulVec(dst, x []float64) error {
 	return nil
 }
 
-// MulVecT computes dst = x * m (that is, dst = mᵀ x), the operation used to
-// push probability vectors through a transition matrix. dst and x must not
-// alias.
-func (m *CSR) MulVecT(dst, x []float64) error {
+// MulVec computes dst = m * x. It is a thin wrapper around MulVecTo, kept
+// for callers predating the allocation-free naming.
+func (m *CSR) MulVec(dst, x []float64) error {
+	return m.MulVecTo(dst, x)
+}
+
+// MulVecTTo computes dst = x * m (that is, dst = mᵀ x), the operation used
+// to push probability vectors through a transition matrix, into the
+// caller-provided buffer without allocating. dst and x must not alias.
+func (m *CSR) MulVecTTo(dst, x []float64) error {
 	if len(x) != m.Rows || len(dst) != m.Cols {
 		return ErrShape
 	}
@@ -156,6 +163,12 @@ func (m *CSR) MulVecT(dst, x []float64) error {
 		}
 	}
 	return nil
+}
+
+// MulVecT is a thin wrapper around MulVecTTo, kept for callers predating
+// the allocation-free naming.
+func (m *CSR) MulVecT(dst, x []float64) error {
+	return m.MulVecTTo(dst, x)
 }
 
 // RowSums returns the vector of row sums.

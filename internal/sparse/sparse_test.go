@@ -208,3 +208,85 @@ func TestBuildOrderIndependentProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestMulVecToMatchesMulVec(t *testing.T) {
+	m := buildSmall(t)
+	x := []float64{1, 2, 3, 4}
+	a := make([]float64, m.Rows)
+	b := make([]float64, m.Rows)
+	if err := m.MulVecTo(a, x); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.MulVec(b, x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("row %d: MulVecTo = %v, MulVec = %v", i, a[i], b[i])
+		}
+	}
+	want := []float64{1*1 + 2*4, 3 * 2, 4*1 + 5*3}
+	for i := range want {
+		if a[i] != want[i] {
+			t.Errorf("row %d = %v, want %v", i, a[i], want[i])
+		}
+	}
+}
+
+func TestMulVecTToMatchesMulVecT(t *testing.T) {
+	m := buildSmall(t)
+	x := []float64{1, 2, 3}
+	a := make([]float64, m.Cols)
+	b := make([]float64, m.Cols)
+	if err := m.MulVecTTo(a, x); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.MulVecT(b, x); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Errorf("col %d: MulVecTTo = %v, MulVecT = %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestMulVecToShape(t *testing.T) {
+	m := buildSmall(t)
+	if err := m.MulVecTo(make([]float64, m.Rows), make([]float64, m.Cols+1)); err != ErrShape {
+		t.Errorf("bad x length: err = %v, want ErrShape", err)
+	}
+	if err := m.MulVecTTo(make([]float64, m.Cols+1), make([]float64, m.Rows)); err != ErrShape {
+		t.Errorf("bad dst length: err = %v, want ErrShape", err)
+	}
+}
+
+// The matvec kernels sit inside every steady-state iteration; they must not
+// allocate per call.
+func TestMulVecToAllocFree(t *testing.T) {
+	b := NewBuilder(64, 64)
+	for r := 0; r < 64; r++ {
+		b.Add(r, (r+1)%64, 1.5)
+		b.Add(r, (r+17)%64, 0.5)
+	}
+	m := b.Build()
+	x := make([]float64, 64)
+	for i := range x {
+		x[i] = float64(i)
+	}
+	dst := make([]float64, 64)
+	if n := testing.AllocsPerRun(100, func() {
+		if err := m.MulVecTo(dst, x); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("MulVecTo allocates %v per run, want 0", n)
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		if err := m.MulVecTTo(dst, x); err != nil {
+			t.Fatal(err)
+		}
+	}); n != 0 {
+		t.Errorf("MulVecTTo allocates %v per run, want 0", n)
+	}
+}

@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# bench.sh — standing perf-trajectory recorder.
+#
+#   ./scripts/bench.sh                 # run the suite, write BENCH_2.json
+#   GOMAXPROCS=8 ./scripts/bench.sh    # same, at a different parallelism
+#
+# Runs the Fig. 7/8 figure benchmarks plus the DESIGN.md ablations with
+# -benchmem, then emits BENCH_2.json containing, per benchmark: op time,
+# bytes and allocations per op, and any custom metrics (the warm/cold
+# solver iteration counts). The pre-PR baseline recorded in
+# results/BENCH_2_baseline.txt is embedded alongside the current numbers,
+# with baseline/current wall-clock speedups for every benchmark present in
+# both — the file is the PR's perf trajectory, not a transient report.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+: "${GOMAXPROCS:=4}"
+export GOMAXPROCS
+
+BASELINE=results/BENCH_2_baseline.txt
+CURRENT=results/BENCH_2_current.txt
+OUT=BENCH_2.json
+
+echo "==> go test -bench (GOMAXPROCS=${GOMAXPROCS}, -benchtime=1x -benchmem)"
+go test -run '^$' \
+    -bench '^(BenchmarkFig7a$|BenchmarkFig8bGameIterations$|BenchmarkGameRound$|BenchmarkAblation)' \
+    -benchtime=1x -benchmem -timeout 60m . | tee "$CURRENT"
+
+echo "==> writing ${OUT}"
+awk -v gomaxprocs="$GOMAXPROCS" '
+# Collect every "<value> <unit>/op" pair of each Benchmark line; file 1 is
+# the baseline, file 2 the current run.
+FNR == 1 { fileno++ }
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    for (i = 3; i <= NF; i++) {
+        if ($i !~ /\/op$/) continue
+        unit = substr($i, 1, length($i) - 3)
+        val = $(i - 1)
+        if (fileno == 1) {
+            if (!(name in bseen)) { bnames[++nb] = name; bseen[name] = 1 }
+            base[name, unit] = val
+            if (!((name, unit) in bu_seen)) { bunits[name] = bunits[name] (bunits[name] ? SUBSEP : "") unit; bu_seen[name, unit] = 1 }
+        } else {
+            if (!(name in cseen)) { cnames[++nc] = name; cseen[name] = 1 }
+            cur[name, unit] = val
+            if (!((name, unit) in cu_seen)) { cunits[name] = cunits[name] (cunits[name] ? SUBSEP : "") unit; cu_seen[name, unit] = 1 }
+        }
+    }
+}
+function emit_block(names, n, tbl, units,    i, j, k, name, us, nu, sep, sep2) {
+    sep = ""
+    for (i = 1; i <= n; i++) {
+        name = names[i]
+        printf "%s    \"%s\": {", sep, name
+        nu = split(units[name], us, SUBSEP)
+        sep2 = ""
+        for (j = 1; j <= nu; j++) {
+            printf "%s\"%s/op\": %s", sep2, us[j], tbl[name, us[j]]
+            sep2 = ", "
+        }
+        printf "}"
+        sep = ",\n"
+    }
+    printf "\n"
+}
+END {
+    printf "{\n"
+    printf "  \"suite\": \"BENCH_2\",\n"
+    printf "  \"gomaxprocs\": %s,\n", gomaxprocs
+    printf "  \"benchtime\": \"1x\",\n"
+    printf "  \"baseline\": {\n"
+    emit_block(bnames, nb, base, bunits)
+    printf "  },\n"
+    printf "  \"current\": {\n"
+    emit_block(cnames, nc, cur, cunits)
+    printf "  },\n"
+    printf "  \"speedup_vs_baseline\": {\n"
+    sep = ""
+    for (i = 1; i <= nb; i++) {
+        name = bnames[i]
+        if (!((name, "ns") in cur) || !((name, "ns") in base)) continue
+        if (cur[name, "ns"] + 0 == 0) continue
+        printf "%s    \"%s\": %.3f", sep, name, base[name, "ns"] / cur[name, "ns"]
+        sep = ",\n"
+    }
+    printf "\n  }\n"
+    printf "}\n"
+}' "$BASELINE" "$CURRENT" > "$OUT"
+
+echo "bench: wrote ${OUT}"

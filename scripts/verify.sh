@@ -6,7 +6,7 @@
 #                                # whole-module self-analysis test)
 #
 # Every check must pass before a PR merges. scvet (cmd/scvet) is the
-# repo-specific static analyzer; see DESIGN.md §8 for its rules and the
+# repo-specific static analyzer; see DESIGN.md §7 for its rules and the
 # //scvet:ignore suppression syntax.
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -27,5 +27,8 @@ go test -race ${short} ./...
 
 echo "==> go run ./cmd/scvet ./..."
 go run ./cmd/scvet ./...
+
+echo "==> quick-bench smoke (BenchmarkAblationApprox, 1x)"
+go test -run '^$' -bench 'BenchmarkAblationApprox' -benchtime=1x .
 
 echo "verify: all checks passed"
