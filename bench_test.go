@@ -132,6 +132,36 @@ func BenchmarkFig7aApproxModel(b *testing.B) {
 	}
 }
 
+// benchSweepDriver runs the Fig. 7a sweep with the paper's approximate
+// performance model through the batch driver at the given grid-level worker
+// count. Workers is the only knob: both settings share the driver's
+// warm-start chaining and cache sharing, so the pair isolates the wall-clock
+// effect of fanning the price grid across the pool.
+func benchSweepDriver(b *testing.B, workers int) {
+	b.Helper()
+	sc := scshare.PaperFig7Scenarios()[0]
+	for i := 0; i < b.N; i++ {
+		fig, err := scshare.Fig7(scshare.Fig7Options{
+			Scenario: sc,
+			Ratios:   []float64{0.2, 0.4, 0.6, 0.8},
+			MaxShare: 4,
+			Workers:  workers,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(fig.Series) == 0 {
+			b.Fatal("empty figure")
+		}
+	}
+}
+
+// BenchmarkSweepDriverSerial and BenchmarkSweepDriverParallel record the
+// whole-sweep wall clock on the serial schedule and on the worker pool
+// (Workers 0 = GOMAXPROCS); BENCH_3.json tracks their ratio.
+func BenchmarkSweepDriverSerial(b *testing.B)   { benchSweepDriver(b, 1) }
+func BenchmarkSweepDriverParallel(b *testing.B) { benchSweepDriver(b, 0) }
+
 // BenchmarkFig8aApproxTime regenerates Fig. 8a: the approximate model's
 // cost as the federation grows.
 func BenchmarkFig8aApproxTime(b *testing.B) {

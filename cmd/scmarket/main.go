@@ -37,6 +37,8 @@ func run(args []string) error {
 	asJSON := fs.Bool("json", false, "emit the equilibrium advice as JSON")
 	maxShare := fs.Int("max-share", 0, "cap on each SC's shared VMs (default: all VMs)")
 	tabu := fs.Int("tabu", 2, "Tabu search distance")
+	sweepWorkers := fs.Int("sweep-workers", 1, "price points processed concurrently by -sweep (0 = GOMAXPROCS)")
+	coldStart := fs.Bool("cold-start", false, "disable warm-starting each -sweep point from its grid neighbor's equilibrium")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -65,7 +67,7 @@ func run(args []string) error {
 		return err
 	}
 	if *sweep != "" {
-		return runSweep(fw, *sweep)
+		return runSweep(fw, *sweep, core.SweepOptions{Workers: *sweepWorkers, WarmStart: !*coldStart})
 	}
 	if *asJSON {
 		adv, err := fw.Advise(nil, market.AlphaUtilitarian)
@@ -108,13 +110,13 @@ func runEquilibrium(fw *core.Framework, price float64) error {
 	return nil
 }
 
-func runSweep(fw *core.Framework, spec string) error {
+func runSweep(fw *core.Framework, spec string, opts core.SweepOptions) error {
 	ratios, err := cli.ParseFloats(spec)
 	if err != nil {
 		return err
 	}
 	alphas := []float64{market.AlphaUtilitarian, market.AlphaProportional, market.AlphaMaxMin}
-	pts, err := fw.SweepPrices(ratios, alphas, nil)
+	pts, err := fw.Sweep(ratios, alphas, nil, opts)
 	if err != nil {
 		return err
 	}

@@ -17,6 +17,22 @@ func TestSweepRun(t *testing.T) {
 	}
 }
 
+func TestSweepRunParallel(t *testing.T) {
+	err := run([]string{"-scs", "10:9,10:4", "-model", "fluid",
+		"-sweep", "0.2,0.4,0.6,0.8", "-max-share", "4", "-sweep-workers", "0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSweepRunColdStart(t *testing.T) {
+	err := run([]string{"-scs", "10:9,10:4", "-model", "fluid",
+		"-sweep", "0.2,0.6", "-max-share", "4", "-cold-start"})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestModelKinds(t *testing.T) {
 	for _, name := range []string{"approx", "exact", "sim", "fluid"} {
 		if _, err := modelKind(name); err != nil {

@@ -10,7 +10,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"math"
 
 	"scshare/internal/approx"
 	"scshare/internal/cloud"
@@ -163,77 +162,17 @@ type SweepPoint struct {
 	Ratio float64
 	// Price is the resulting federation price C^G.
 	Price float64
-	// Shares and Utilities describe the selected equilibrium.
+	// Shares and Utilities describe the selected equilibrium — or, for a
+	// dead market (Converged false), the terminal state of the best
+	// non-converged run.
 	Shares    []int
 	Utilities []float64
 	// Welfare and Efficiency report, per requested alpha, the equilibrium
 	// welfare and its ratio to the empirical market-efficient welfare.
 	Welfare    []float64
 	Efficiency []float64
-	// Rounds is the number of game rounds to equilibrium.
+	// Rounds is the number of game rounds played.
 	Rounds int
-}
-
-// SweepPrices reproduces the Fig. 7 experiments: for every ratio C^G/C^P it
-// finds a market equilibrium and scores its welfare against the empirical
-// market-efficient value for each alpha. Performance-model evaluations are
-// shared across the whole sweep because metrics do not depend on prices.
-func (f *Framework) SweepPrices(ratios, alphas []float64, initials [][]int) ([]SweepPoint, error) {
-	if len(ratios) == 0 || len(alphas) == 0 {
-		return nil, errors.New("core: sweep needs at least one ratio and one alpha")
-	}
-	minPublic := math.Inf(1)
-	for _, sc := range f.cfg.Federation.SCs {
-		if sc.PublicPrice < minPublic {
-			minPublic = sc.PublicPrice
-		}
-	}
-	out := make([]SweepPoint, 0, len(ratios))
-	for _, r := range ratios {
-		fed := f.cfg.Federation
-		fed.FederationPrice = r * minPublic
-		pt := SweepPoint{Ratio: r, Price: fed.FederationPrice}
-
-		g := f.game(fed)
-		outc, err := g.RunMultiStart(initials, alphas[0])
-		if err != nil {
-			if !errors.Is(err, market.ErrNoEquilibrium) {
-				return nil, fmt.Errorf("core: sweep at ratio %v: %w", r, err)
-			}
-			// A non-converging price point is reported as a dead market.
-			pt.Efficiency = make([]float64, len(alphas))
-			pt.Welfare = make([]float64, len(alphas))
-			for i := range pt.Welfare {
-				pt.Welfare[i] = math.Inf(-1)
-			}
-			out = append(out, pt)
-			continue
-		}
-		pt.Shares = outc.Shares
-		pt.Utilities = outc.Utilities
-		pt.Rounds = outc.Rounds
-		totalShared := 0
-		for _, s := range outc.Shares {
-			totalShared += s
-		}
-
-		we, err := market.NewWelfareEvaluator(fed, f.eval, f.cfg.Gamma)
-		if err != nil {
-			return nil, err
-		}
-		for _, alpha := range alphas {
-			w, err := market.Welfare(alpha, outc.Shares, outc.Utilities)
-			if err != nil {
-				return nil, err
-			}
-			_, best, err := we.MaximizeWelfare(alpha, f.cfg.MaxShares, nil)
-			if err != nil {
-				return nil, err
-			}
-			pt.Welfare = append(pt.Welfare, w)
-			pt.Efficiency = append(pt.Efficiency, market.Efficiency(w, best, float64(totalShared)))
-		}
-		out = append(out, pt)
-	}
-	return out, nil
+	// Converged reports whether the point reached a market equilibrium.
+	Converged bool
 }

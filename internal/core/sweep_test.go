@@ -1,0 +1,147 @@
+package core
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"scshare/internal/cloud"
+	"scshare/internal/market"
+)
+
+// fig7aFed mirrors the Fig. 7a scenario: three 10-VM SCs at offered
+// utilizations 0.58/0.73/0.84 under the UF0 utility.
+func fig7aFed() cloud.Federation {
+	fed := cloud.Federation{}
+	for i, u := range []float64{0.58, 0.73, 0.84} {
+		fed.SCs = append(fed.SCs, cloud.SC{
+			Name: []string{"sc0", "sc1", "sc2"}[i], VMs: 10,
+			ArrivalRate: u * 10, ServiceRate: 1, SLA: 0.2, PublicPrice: 1,
+		})
+	}
+	return fed
+}
+
+func fig7aFramework(t *testing.T, maxRounds int) *Framework {
+	t.Helper()
+	f, err := New(Config{
+		Federation: fig7aFed(),
+		Model:      ModelFluid,
+		Gamma:      market.UF0,
+		MaxShares:  []int{4, 4, 4},
+		MaxRounds:  maxRounds,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestSweepParallelMatchesSerial pins the driver's determinism contract on
+// the Fig. 7a workload: with a key-deterministic evaluator (fluid), the
+// parallel schedule must reproduce the serial sweep bit for bit — shares,
+// welfare, efficiency, and rounds alike — with and without warm-started
+// games. Fresh frameworks per run keep the caches from leaking across
+// schedules.
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	ratios := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	alphas := []float64{market.AlphaUtilitarian, market.AlphaProportional, market.AlphaMaxMin}
+	for _, warm := range []bool{false, true} {
+		name := "coldstart"
+		if warm {
+			name = "warmstart"
+		}
+		t.Run(name, func(t *testing.T) {
+			serial, err := fig7aFramework(t, 0).Sweep(ratios, alphas, nil,
+				SweepOptions{Workers: 1, WarmStart: warm})
+			if err != nil {
+				t.Fatal(err)
+			}
+			parallel, err := fig7aFramework(t, 0).Sweep(ratios, alphas, nil,
+				SweepOptions{Workers: 8, WarmStart: warm})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(serial, parallel) {
+				t.Fatalf("parallel sweep diverged from serial:\nserial:   %+v\nparallel: %+v",
+					serial, parallel)
+			}
+			for _, pt := range serial {
+				if !pt.Converged {
+					t.Errorf("ratio %v did not converge", pt.Ratio)
+				}
+			}
+		})
+	}
+}
+
+// TestSweepDefaultWorkers checks the GOMAXPROCS default (Workers 0) against
+// the serial reference, through the public SweepPrices shorthand.
+func TestSweepDefaultWorkers(t *testing.T) {
+	ratios := []float64{0.2, 0.5, 0.8}
+	alphas := []float64{market.AlphaUtilitarian}
+	serial, err := fig7aFramework(t, 0).SweepPrices(ratios, alphas, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	def, err := fig7aFramework(t, 0).Sweep(ratios, alphas, nil, SweepOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// SweepPrices runs cold serially; compare against the same settings.
+	if !reflect.DeepEqual(serial, def) {
+		t.Fatalf("default workers diverged:\nserial:  %+v\ndefault: %+v", serial, def)
+	}
+}
+
+// TestSweepDeadMarketReportsTerminalState covers the dead-market path: a
+// 1-round budget leaves every start short of equilibrium, and the point must
+// still report the terminal shares with -Inf welfare and zero efficiency.
+func TestSweepDeadMarketReportsTerminalState(t *testing.T) {
+	// The default ones-start needs two rounds (the first one moves), so a
+	// 1-round budget cuts the game short of equilibrium.
+	f := fig7aFramework(t, 1)
+	pts, err := f.Sweep([]float64{0.2}, []float64{market.AlphaUtilitarian}, nil,
+		SweepOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt := pts[0]
+	if pt.Converged {
+		t.Fatal("1-round game reported as converged")
+	}
+	if pt.Shares == nil || pt.Utilities == nil {
+		t.Fatalf("dead market lost its terminal state: %+v", pt)
+	}
+	if pt.Rounds != 1 {
+		t.Errorf("rounds = %d, want the 1-round budget", pt.Rounds)
+	}
+	if len(pt.Welfare) != 1 || !math.IsInf(pt.Welfare[0], -1) {
+		t.Errorf("welfare = %v, want [-Inf]", pt.Welfare)
+	}
+	if len(pt.Efficiency) != 1 || pt.Efficiency[0] != 0 {
+		t.Errorf("efficiency = %v, want [0]", pt.Efficiency)
+	}
+}
+
+// TestSweepWarmStartMatchesColdEquilibria checks the warm-started chain
+// reaches the same equilibria as cold multi-starts on the Fig. 7a workload
+// — the continuation is a speedup, not a different market.
+func TestSweepWarmStartMatchesColdEquilibria(t *testing.T) {
+	ratios := []float64{0.1, 0.3, 0.5, 0.7, 0.9}
+	alphas := []float64{market.AlphaUtilitarian}
+	cold, err := fig7aFramework(t, 0).Sweep(ratios, alphas, nil, SweepOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := fig7aFramework(t, 0).Sweep(ratios, alphas, nil, SweepOptions{Workers: 1, WarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cold {
+		if !reflect.DeepEqual(cold[i].Shares, warm[i].Shares) {
+			t.Errorf("ratio %v: cold shares %v != warm shares %v",
+				cold[i].Ratio, cold[i].Shares, warm[i].Shares)
+		}
+	}
+}

@@ -175,3 +175,30 @@ func TestSeq(t *testing.T) {
 		t.Errorf("seq = %v", got)
 	}
 }
+
+// TestSeqGridExact pins the drift fix on the default Fig. 7 grid: an
+// accumulating x += step loop yields 0.30000000000000004 and
+// 0.7999999999999999, which leak into CSV output and the sweep driver's
+// cache keys. Every point must be the exact decimal.
+func TestSeqGridExact(t *testing.T) {
+	want := []float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+	got := seq(0.1, 1.0, 0.1)
+	if len(got) != len(want) {
+		t.Fatalf("seq(0.1, 1.0, 0.1) = %v, want %d points", got, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("point %d = %v, want exactly %v", i, got[i], want[i])
+		}
+	}
+	// Degenerate requests stay well-defined.
+	if s := seq(0.5, 0.5, 0.1); len(s) != 1 || s[0] != 0.5 {
+		t.Errorf("single-point grid: %v", s)
+	}
+	if s := seq(1, 0, 0.1); s != nil {
+		t.Errorf("empty grid: %v", s)
+	}
+	if s := seq(0, 1, 0); s != nil {
+		t.Errorf("zero step: %v", s)
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -83,11 +84,29 @@ func (f Figure) String() string {
 	return b.String()
 }
 
-// seq returns an inclusive arithmetic grid.
+// seqTol absorbs rounding when deciding whether `to` itself is on the
+// grid, and seqSnap is the decimal precision grid points are snapped to.
+const (
+	seqTol  = 1e-9
+	seqSnap = 1e12
+)
+
+// seq returns an inclusive arithmetic grid. Points are computed as
+// from + i*step — never by accumulation, which drifts (0.30000000000000004,
+// 0.7999999999999999) — and snapped to seqSnap decimals so grid values like
+// 0.3 come out exact: they are CSV output and, through the batch sweep
+// driver, cache keys.
 func seq(from, to, step float64) []float64 {
-	var out []float64
-	for x := from; x <= to+1e-9; x += step {
-		out = append(out, x)
+	if step <= 0 {
+		return nil
+	}
+	n := int(math.Floor((to-from)/step+seqTol)) + 1
+	if n < 1 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Round((from+float64(i)*step)*seqSnap) / seqSnap
 	}
 	return out
 }

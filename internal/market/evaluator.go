@@ -145,6 +145,10 @@ type memoEvaluator struct {
 // alone when the evaluator implements AllEvaluator. It is safe for
 // concurrent use: parallel callers asking for the same key share a single
 // solve, and distinct keys spread across independently locked shards.
+//
+// When the wrapped evaluator implements AllEvaluator, so does the returned
+// one, so downstream whole-vector fast paths (Game.fillOutcome, the welfare
+// planner) survive memoization instead of degrading to K per-target probes.
 func Memoize(ev Evaluator) Evaluator {
 	me := &memoEvaluator{inner: ev}
 	me.all, _ = ev.(AllEvaluator)
@@ -152,7 +156,23 @@ func Memoize(ev Evaluator) Evaluator {
 		me.shards[i].cache = make(map[string]memoEntry)
 		me.shards[i].inflight = make(map[string]*memoCall)
 	}
+	if me.all != nil {
+		return memoAllEvaluator{me}
+	}
 	return me
+}
+
+// memoAllEvaluator re-exposes the whole-vector path of a memoized
+// AllEvaluator; see Memoize.
+type memoAllEvaluator struct {
+	*memoEvaluator
+}
+
+// EvaluateAll implements AllEvaluator. The returned slice is owned by the
+// cache and must not be mutated.
+func (me memoAllEvaluator) EvaluateAll(shares []int) ([]cloud.Metrics, error) {
+	e := me.allEntry(shares)
+	return e.all, e.err
 }
 
 // shardOf hashes a cache key (FNV-1a) onto a shard index.
@@ -165,15 +185,30 @@ func (me *memoEvaluator) shardOf(key string) *memoShard {
 	return &me.shards[h%memoShardCount]
 }
 
-// Evaluate implements Evaluator.
-func (me *memoEvaluator) Evaluate(shares []int, target int) (cloud.Metrics, error) {
+// vectorKey encodes a share vector as a cache key prefix.
+func vectorKey(shares []int) []byte {
 	key := make([]byte, 0, 4*len(shares)+4)
 	for _, s := range shares {
 		key = strconv.AppendInt(key, int64(s), 10)
 		key = append(key, ',')
 	}
+	return key
+}
+
+// allEntry returns the cached whole-vector entry for shares, solving it
+// exactly once per key.
+func (me *memoEvaluator) allEntry(shares []int) memoEntry {
+	k := string(vectorKey(shares))
+	return me.shardOf(k).do(k, func() memoEntry {
+		all, err := me.all.EvaluateAll(shares)
+		return memoEntry{all: all, err: err}
+	})
+}
+
+// Evaluate implements Evaluator.
+func (me *memoEvaluator) Evaluate(shares []int, target int) (cloud.Metrics, error) {
 	if me.all == nil {
-		key = strconv.AppendInt(key, int64(target), 10)
+		key := strconv.AppendInt(vectorKey(shares), int64(target), 10)
 		k := string(key)
 		e := me.shardOf(k).do(k, func() memoEntry {
 			m, err := me.inner.Evaluate(shares, target)
@@ -181,11 +216,7 @@ func (me *memoEvaluator) Evaluate(shares []int, target int) (cloud.Metrics, erro
 		})
 		return e.m, e.err
 	}
-	k := string(key)
-	e := me.shardOf(k).do(k, func() memoEntry {
-		all, err := me.all.EvaluateAll(shares)
-		return memoEntry{all: all, err: err}
-	})
+	e := me.allEntry(shares)
 	if e.err != nil {
 		return cloud.Metrics{}, e.err
 	}

@@ -64,6 +64,10 @@ type Outcome struct {
 	Evals  int
 	// Converged reports whether a fixed point was reached.
 	Converged bool
+	// Frozen flags SCs that never best-responded (RunWithFrozen); nil when
+	// every SC played. IsEquilibrium skips frozen SCs, since a player that
+	// never moves cannot deviate.
+	Frozen []bool
 }
 
 // Run plays the game from the given initial sharing vector. A nil initial
@@ -113,6 +117,12 @@ func (g *Game) Run(initial []int) (*Outcome, error) {
 	}
 
 	out := &Outcome{BaselineCosts: baseCosts, BaselineUtils: baseUtils}
+	if len(g.skip) > 0 {
+		out.Frozen = make([]bool, k)
+		for i := range out.Frozen {
+			out.Frozen[i] = g.skip[i]
+		}
+	}
 	// Algorithm 1 is simultaneous (Jacobi-style): every SC best-responds to
 	// the previous round's decisions. Simultaneous play can cycle — the
 	// paper's Tatonnement discussion acknowledges the possibility — so a
@@ -259,6 +269,12 @@ func (g *Game) respondAll(base, maxShares []int, distance int, baseCosts, baseUt
 // WithParticipation) deduplicate shared solves across the runs. Selection
 // stays deterministic: results are compared in the order the initials were
 // given, regardless of which goroutine finishes first.
+//
+// When no start converges but at least one produced a terminal state, the
+// best of those non-converged outcomes is returned alongside
+// ErrNoEquilibrium, so callers (the price-sweep driver's dead-market
+// points) can still report the terminal shares. Hard errors from any start
+// take precedence and return a nil outcome.
 func (g *Game) RunMultiStart(initials [][]int, alpha float64) (*Outcome, error) {
 	if len(initials) == 0 {
 		initials = [][]int{nil}
@@ -278,13 +294,26 @@ func (g *Game) RunMultiStart(initials [][]int, alpha float64) (*Outcome, error) 
 	}
 	wg.Wait()
 
-	var best *Outcome
-	bestW := math.Inf(-1)
-	var firstErr error
+	var best, bestPartial *Outcome
+	bestW, bestPartialW := math.Inf(-1), math.Inf(-1)
+	var hardErr error
 	for i, out := range outs {
 		if errs[i] != nil {
-			if firstErr == nil {
-				firstErr = errs[i]
+			if !errors.Is(errs[i], ErrNoEquilibrium) {
+				if hardErr == nil {
+					hardErr = errs[i]
+				}
+				continue
+			}
+			// A non-converged run still carries its terminal state.
+			if out != nil {
+				w, err := Welfare(alpha, out.Shares, out.Utilities)
+				if err != nil {
+					return nil, err
+				}
+				if bestPartial == nil || w > bestPartialW {
+					bestPartial, bestPartialW = out, w
+				}
 			}
 			continue
 		}
@@ -296,10 +325,16 @@ func (g *Game) RunMultiStart(initials [][]int, alpha float64) (*Outcome, error) 
 			best, bestW = out, w
 		}
 	}
-	if best == nil {
-		return nil, firstErr
+	if best != nil {
+		return best, nil
 	}
-	return best, nil
+	if hardErr != nil {
+		return nil, hardErr
+	}
+	if bestPartial != nil {
+		return bestPartial, ErrNoEquilibrium
+	}
+	return nil, ErrNoEquilibrium
 }
 
 // baselines solves the no-sharing model for every SC.
@@ -318,20 +353,35 @@ func (g *Game) baselines() (costs, utils []float64, err error) {
 	return costs, utils, nil
 }
 
-// fillOutcome evaluates the final shares for every SC.
+// fillOutcome evaluates the final shares for every SC, collapsing the K
+// per-target evaluations into one whole-vector solve when the evaluator
+// supports it.
 func (g *Game) fillOutcome(out *Outcome) error {
 	k := len(g.Federation.SCs)
 	out.Metrics = make([]cloud.Metrics, k)
 	out.Costs = make([]float64, k)
 	out.Utilities = make([]float64, k)
-	for i := 0; i < k; i++ {
-		m, err := g.Evaluator.Evaluate(out.Shares, i)
+	if all, ok := g.Evaluator.(AllEvaluator); ok {
+		ms, err := all.EvaluateAll(out.Shares)
 		if err != nil {
-			return fmt.Errorf("market: final evaluation of SC %d: %w", i, err)
+			return fmt.Errorf("market: final evaluation: %w", err)
 		}
-		out.Metrics[i] = m
-		out.Costs[i] = m.NetCost(g.Federation.SCs[i].PublicPrice, g.Federation.FederationPrice)
-		u, err := Utility(out.BaselineCosts[i], out.Costs[i], out.BaselineUtils[i], m.Utilization, g.Gamma)
+		if len(ms) != k {
+			return fmt.Errorf("market: final evaluation returned %d metrics for %d SCs", len(ms), k)
+		}
+		copy(out.Metrics, ms)
+	} else {
+		for i := 0; i < k; i++ {
+			m, err := g.Evaluator.Evaluate(out.Shares, i)
+			if err != nil {
+				return fmt.Errorf("market: final evaluation of SC %d: %w", i, err)
+			}
+			out.Metrics[i] = m
+		}
+	}
+	for i := 0; i < k; i++ {
+		out.Costs[i] = out.Metrics[i].NetCost(g.Federation.SCs[i].PublicPrice, g.Federation.FederationPrice)
+		u, err := Utility(out.BaselineCosts[i], out.Costs[i], out.BaselineUtils[i], out.Metrics[i].Utilization, g.Gamma)
 		if err != nil {
 			return err
 		}
@@ -343,6 +393,11 @@ func (g *Game) fillOutcome(out *Outcome) error {
 // IsEquilibrium verifies that no SC can improve its utility by unilaterally
 // deviating to any share in its strategy space — the pure-strategy Nash
 // condition the paper observes empirically. tol absorbs numerical noise.
+//
+// SCs that never best-respond are skipped: both the game's own frozen set
+// (RunWithFrozen on this instance) and the outcome's recorded Frozen flags,
+// so an outcome produced by a frozen game checks as the constrained
+// equilibrium it is rather than being falsely reported as non-Nash.
 func (g *Game) IsEquilibrium(out *Outcome, tol float64) (bool, error) {
 	k := len(g.Federation.SCs)
 	maxShares := g.MaxShares
@@ -353,6 +408,9 @@ func (g *Game) IsEquilibrium(out *Outcome, tol float64) (bool, error) {
 		}
 	}
 	for i := 0; i < k; i++ {
+		if g.skip[i] || (out.Frozen != nil && out.Frozen[i]) {
+			continue
+		}
 		for s := 0; s <= maxShares[i]; s++ {
 			if s == out.Shares[i] {
 				continue

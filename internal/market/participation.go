@@ -13,12 +13,23 @@ type participationEvaluator struct {
 	fed    cloud.Federation
 	mkEval func(sub cloud.Federation) Evaluator
 
+	// bases holds the Sect. III-A no-sharing metrics, one cell per SC. The
+	// slice is fixed at construction and each cell deduplicates its own
+	// solve, so distinct baselines solve concurrently and never block
+	// sub-evaluator lookups behind an unrelated birth-death solve.
+	bases []baselineCell
+
 	mu sync.Mutex
-	// subs and bases are guarded by mu: subs caches one evaluator per
-	// participant set (keyed by the presence bitmap), bases the Sect. III-A
-	// no-sharing metrics per SC.
-	subs  map[string]Evaluator
-	bases []*cloud.Metrics
+	// subs is guarded by mu: it caches one evaluator per participant set
+	// (keyed by the presence bitmap).
+	subs map[string]Evaluator
+}
+
+// baselineCell lazily solves and caches one SC's no-sharing metrics.
+type baselineCell struct {
+	once sync.Once
+	m    cloud.Metrics
+	err  error
 }
 
 // WithParticipation enforces the paper's participation semantics: an SC is
@@ -43,7 +54,7 @@ func WithParticipation(fed cloud.Federation, mkEval func(sub cloud.Federation) E
 		fed:    fed,
 		mkEval: mkEval,
 		subs:   make(map[string]Evaluator),
-		bases:  make([]*cloud.Metrics, len(fed.SCs)),
+		bases:  make([]baselineCell, len(fed.SCs)),
 	}
 	// Probe with the full federation (every SC contributing); the evaluator
 	// is cached under its presence bitmap for later reuse.
@@ -82,20 +93,20 @@ func (pe *participationEvaluator) subEvaluator(key string, subFed cloud.Federati
 }
 
 // baseline returns SC i's no-sharing metrics, solving the birth-death
-// chain once per SC.
+// chain once per SC. The per-cell sync.Once keeps the solve off the
+// evaluator-wide mutex: concurrent callers of the same SC share one solve,
+// while distinct SCs (and subEvaluator lookups) proceed in parallel.
 func (pe *participationEvaluator) baseline(i int) (cloud.Metrics, error) {
-	pe.mu.Lock()
-	defer pe.mu.Unlock()
-	if pe.bases[i] != nil {
-		return *pe.bases[i], nil
-	}
-	m, err := queueing.Solve(pe.fed.SCs[i])
-	if err != nil {
-		return cloud.Metrics{}, err
-	}
-	v := m.Metrics()
-	pe.bases[i] = &v
-	return v, nil
+	c := &pe.bases[i]
+	c.once.Do(func() {
+		m, err := queueing.Solve(pe.fed.SCs[i])
+		if err != nil {
+			c.err = err
+			return
+		}
+		c.m = m.Metrics()
+	})
+	return c.m, c.err
 }
 
 // Evaluate implements Evaluator.

@@ -3,6 +3,7 @@ package market
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"scshare/internal/cloud"
 	"scshare/internal/queueing"
@@ -10,12 +11,25 @@ import (
 
 // WelfareEvaluator computes social welfare for arbitrary sharing vectors;
 // it is the measuring stick behind the Fig. 7 efficiency ratios.
+//
+// Performance metrics are price-independent, so one WelfareEvaluator can
+// score any number of federation prices: the ...At methods take the price
+// explicitly and recombine cached whole-vector metrics, which is what lets
+// the batch sweep driver hoist the empirical-max search out of the ratio
+// loop instead of re-enumerating the strategy space per ratio. It is safe
+// for concurrent use.
 type WelfareEvaluator struct {
 	fed       cloud.Federation
 	ev        Evaluator
+	all       AllEvaluator // non-nil when ev solves whole vectors at once
 	gamma     float64
 	baseCosts []float64
 	baseUtils []float64
+
+	mu sync.Mutex
+	// vectors caches one whole-vector metrics slice per visited share
+	// vector; guarded by mu. Slices are read-only once stored.
+	vectors map[string][]cloud.Metrics
 }
 
 // NewWelfareEvaluator solves the no-sharing baselines once and returns an
@@ -27,7 +41,13 @@ func NewWelfareEvaluator(fed cloud.Federation, ev Evaluator, gamma float64) (*We
 	if gamma < 0 || gamma > 1 {
 		return nil, ErrBadGamma
 	}
-	we := &WelfareEvaluator{fed: fed, ev: ev, gamma: gamma}
+	we := &WelfareEvaluator{
+		fed:     fed,
+		ev:      ev,
+		gamma:   gamma,
+		vectors: make(map[string][]cloud.Metrics),
+	}
+	we.all, _ = ev.(AllEvaluator)
 	for i, sc := range fed.SCs {
 		m, err := queueing.Solve(sc)
 		if err != nil {
@@ -39,19 +59,129 @@ func NewWelfareEvaluator(fed cloud.Federation, ev Evaluator, gamma float64) (*We
 	return we, nil
 }
 
-// Utilities returns every SC's Eq. (2) utility under the sharing vector.
-func (we *WelfareEvaluator) Utilities(shares []int) ([]float64, error) {
+// metricsFor returns every SC's metrics under the sharing vector, solving
+// each distinct vector once across all prices, alphas, and callers. The
+// AllEvaluator fast path turns the K per-target probes into a single
+// whole-vector solve.
+func (we *WelfareEvaluator) metricsFor(shares []int) ([]cloud.Metrics, error) {
+	key := shareKey(shares)
+	we.mu.Lock()
+	ms, ok := we.vectors[key]
+	we.mu.Unlock()
+	if ok {
+		return ms, nil
+	}
+	if we.all != nil {
+		all, err := we.all.EvaluateAll(shares)
+		if err != nil {
+			return nil, fmt.Errorf("market: evaluate %v: %w", shares, err)
+		}
+		if len(all) != len(we.fed.SCs) {
+			return nil, fmt.Errorf("market: evaluate %v: %d metrics for %d SCs", shares, len(all), len(we.fed.SCs))
+		}
+		ms = all
+	} else {
+		ms = make([]cloud.Metrics, len(we.fed.SCs))
+		for i := range we.fed.SCs {
+			m, err := we.ev.Evaluate(shares, i)
+			if err != nil {
+				return nil, fmt.Errorf("market: evaluate SC %d: %w", i, err)
+			}
+			ms[i] = m
+		}
+	}
+	we.mu.Lock()
+	we.vectors[key] = ms
+	we.mu.Unlock()
+	return ms, nil
+}
+
+// primeCap bounds the strategy-space size Prime will enumerate: beyond it,
+// speculative whole-space evaluation costs more than the lazy searches save.
+const primeCap = 1024
+
+// Prime solves the whole-vector metrics for every sharing vector in the
+// maxShares box across a bounded worker pool, populating the caches the
+// ...At methods (and, through the shared evaluator, the games) read.
+//
+// It is the batch sweep driver's speculative pre-enumeration: metrics are
+// price-independent, so one parallel pass over the box serves every (price,
+// alpha) empirical-max search of a sweep, where the lazy coordinate ascents
+// would discover the same vectors one at a time on the critical path. The
+// pass may evaluate vectors no search visits — acceptable for a batch
+// driver trading total work for wall clock. It is a no-op when the box
+// exceeds primeCap or fewer than two workers are available; evaluation
+// errors are skipped, left for the lazy path to surface if a search visits
+// the offending vector. A nil maxShares means each SC's full VM count.
+func (we *WelfareEvaluator) Prime(maxShares []int, workers int) {
+	k := len(we.fed.SCs)
+	if maxShares == nil {
+		maxShares = make([]int, k)
+		for i, sc := range we.fed.SCs {
+			maxShares[i] = sc.VMs
+		}
+	}
+	if len(maxShares) != k {
+		return
+	}
+	space := 1
+	for i := 0; i < k; i++ {
+		space *= maxShares[i] + 1
+		if space > primeCap {
+			return
+		}
+	}
+	if workers > space {
+		workers = space
+	}
+	if workers <= 1 {
+		return
+	}
+	next := make(chan []int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for shares := range next {
+				_, _ = we.metricsFor(shares)
+			}
+		}()
+	}
+	// Odometer walk over the box, lowest index fastest.
+	shares := make([]int, k)
+	for {
+		next <- append([]int(nil), shares...)
+		i := 0
+		for ; i < k; i++ {
+			shares[i]++
+			if shares[i] <= maxShares[i] {
+				break
+			}
+			shares[i] = 0
+		}
+		if i == k {
+			break
+		}
+	}
+	close(next)
+	wg.Wait()
+}
+
+// UtilitiesAt returns every SC's Eq. (2) utility under the sharing vector
+// at the given federation price C^G.
+func (we *WelfareEvaluator) UtilitiesAt(price float64, shares []int) ([]float64, error) {
 	if err := we.fed.ValidateShares(shares); err != nil {
 		return nil, fmt.Errorf("market: %w", err)
 	}
+	ms, err := we.metricsFor(shares)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]float64, len(we.fed.SCs))
 	for i, sc := range we.fed.SCs {
-		m, err := we.ev.Evaluate(shares, i)
-		if err != nil {
-			return nil, fmt.Errorf("market: evaluate SC %d: %w", i, err)
-		}
-		cost := m.NetCost(sc.PublicPrice, we.fed.FederationPrice)
-		u, err := Utility(we.baseCosts[i], cost, we.baseUtils[i], m.Utilization, we.gamma)
+		cost := ms[i].NetCost(sc.PublicPrice, price)
+		u, err := Utility(we.baseCosts[i], cost, we.baseUtils[i], ms[i].Utilization, we.gamma)
 		if err != nil {
 			return nil, err
 		}
@@ -60,21 +190,41 @@ func (we *WelfareEvaluator) Utilities(shares []int) ([]float64, error) {
 	return out, nil
 }
 
-// Welfare returns the alpha-fair welfare of the sharing vector.
-func (we *WelfareEvaluator) Welfare(alpha float64, shares []int) (float64, error) {
-	us, err := we.Utilities(shares)
+// Utilities returns every SC's Eq. (2) utility under the sharing vector at
+// the federation's configured price.
+func (we *WelfareEvaluator) Utilities(shares []int) ([]float64, error) {
+	return we.UtilitiesAt(we.fed.FederationPrice, shares)
+}
+
+// WelfareAt returns the alpha-fair welfare of the sharing vector at the
+// given federation price.
+func (we *WelfareEvaluator) WelfareAt(price, alpha float64, shares []int) (float64, error) {
+	us, err := we.UtilitiesAt(price, shares)
 	if err != nil {
 		return 0, err
 	}
 	return Welfare(alpha, shares, us)
 }
 
+// Welfare returns the alpha-fair welfare of the sharing vector at the
+// federation's configured price.
+func (we *WelfareEvaluator) Welfare(alpha float64, shares []int) (float64, error) {
+	return we.WelfareAt(we.fed.FederationPrice, alpha, shares)
+}
+
 // MaximizeWelfare searches for the empirical market-efficient sharing
-// vector by multi-start greedy coordinate ascent: from each start, SCs'
-// shares are optimized one coordinate at a time (full scans) until a sweep
-// makes no improvement. With memoized evaluators the cost is dominated by
-// previously unseen share vectors.
+// vector at the federation's configured price; see MaximizeWelfareAt.
 func (we *WelfareEvaluator) MaximizeWelfare(alpha float64, maxShares []int, starts [][]int) ([]int, float64, error) {
+	return we.MaximizeWelfareAt(we.fed.FederationPrice, alpha, maxShares, starts)
+}
+
+// MaximizeWelfareAt searches for the empirical market-efficient sharing
+// vector at the given federation price by multi-start greedy coordinate
+// ascent: from each start, SCs' shares are optimized one coordinate at a
+// time (full scans) until a sweep makes no improvement. Every vector the
+// ascent visits hits the evaluator's shared metrics cache, so after the
+// first price only the price-dependent cost arithmetic is recomputed.
+func (we *WelfareEvaluator) MaximizeWelfareAt(price, alpha float64, maxShares []int, starts [][]int) ([]int, float64, error) {
 	k := len(we.fed.SCs)
 	if maxShares == nil {
 		maxShares = make([]int, k)
@@ -98,7 +248,7 @@ func (we *WelfareEvaluator) MaximizeWelfare(alpha float64, maxShares []int, star
 	for _, start := range starts {
 		shares := make([]int, k)
 		copy(shares, start)
-		w, err := we.Welfare(alpha, shares)
+		w, err := we.WelfareAt(price, alpha, shares)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -111,7 +261,7 @@ func (we *WelfareEvaluator) MaximizeWelfare(alpha float64, maxShares []int, star
 						continue
 					}
 					shares[i] = s
-					cand, err := we.Welfare(alpha, shares)
+					cand, err := we.WelfareAt(price, alpha, shares)
 					if err != nil {
 						return nil, 0, err
 					}

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # bench.sh — standing perf-trajectory recorder.
 #
-#   ./scripts/bench.sh                 # run the suite, write BENCH_2.json
+#   ./scripts/bench.sh                 # run the suite, write BENCH_2.json + BENCH_3.json
 #   GOMAXPROCS=8 ./scripts/bench.sh    # same, at a different parallelism
 #
 # Runs the Fig. 7/8 figure benchmarks plus the DESIGN.md ablations with
@@ -11,6 +11,13 @@
 # results/BENCH_2_baseline.txt is embedded alongside the current numbers,
 # with baseline/current wall-clock speedups for every benchmark present in
 # both — the file is the PR's perf trajectory, not a transient report.
+#
+# It then times the whole-sweep batch driver (DESIGN.md §10) serial vs.
+# parallel on the Fig. 7a approximate-model grid and emits BENCH_3.json
+# with the wall-clock speedup. The host CPU count is recorded alongside:
+# on a single-CPU host the workers time-slice one core, so the ratio is
+# bounded near 1.0x and reflects cache/warm-start scheduling effects, not
+# hardware concurrency.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -90,3 +97,53 @@ END {
 }' "$BASELINE" "$CURRENT" > "$OUT"
 
 echo "bench: wrote ${OUT}"
+
+SWEEP_CURRENT=results/BENCH_3_current.txt
+SWEEP_OUT=BENCH_3.json
+NUM_CPU=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)
+
+echo "==> go test -bench SweepDriver (GOMAXPROCS=${GOMAXPROCS}, -benchtime=1x -benchmem)"
+go test -run '^$' \
+    -bench '^BenchmarkSweepDriver(Serial|Parallel)$' \
+    -benchtime=1x -benchmem -timeout 60m . | tee "$SWEEP_CURRENT"
+
+echo "==> writing ${SWEEP_OUT}"
+awk -v gomaxprocs="$GOMAXPROCS" -v numcpu="$NUM_CPU" '
+/^BenchmarkSweepDriver/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    mode = (name ~ /Serial$/) ? "serial" : "parallel"
+    for (i = 3; i <= NF; i++) {
+        if ($i !~ /\/op$/) continue
+        unit = substr($i, 1, length($i) - 3)
+        tbl[mode, unit] = $(i - 1)
+        if (!((mode, unit) in seen)) { units[mode] = units[mode] (units[mode] ? SUBSEP : "") unit; seen[mode, unit] = 1 }
+    }
+}
+function emit_mode(mode,    us, nu, j, sep2) {
+    printf "  \"%s\": {", mode
+    nu = split(units[mode], us, SUBSEP)
+    sep2 = ""
+    for (j = 1; j <= nu; j++) {
+        printf "%s\"%s/op\": %s", sep2, us[j], tbl[mode, us[j]]
+        sep2 = ", "
+    }
+    printf "}"
+}
+END {
+    printf "{\n"
+    printf "  \"suite\": \"BENCH_3\",\n"
+    printf "  \"benchmark\": \"whole-sweep batch driver, Fig. 7a approx grid\",\n"
+    printf "  \"gomaxprocs\": %s,\n", gomaxprocs
+    printf "  \"num_cpu\": %s,\n", numcpu
+    printf "  \"benchtime\": \"1x\",\n"
+    emit_mode("serial"); printf ",\n"
+    emit_mode("parallel"); printf ",\n"
+    if ((("serial", "ns") in tbl) && (("parallel", "ns") in tbl) && tbl["parallel", "ns"] + 0 != 0)
+        printf "  \"speedup_parallel_vs_serial\": %.3f\n", tbl["serial", "ns"] / tbl["parallel", "ns"]
+    else
+        printf "  \"speedup_parallel_vs_serial\": null\n"
+    printf "}\n"
+}' "$SWEEP_CURRENT" > "$SWEEP_OUT"
+
+echo "bench: wrote ${SWEEP_OUT}"

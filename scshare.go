@@ -82,6 +82,9 @@ type (
 	ModelKind = core.ModelKind
 	// SweepPoint is one price setting of a Fig. 7-style price sweep.
 	SweepPoint = core.SweepPoint
+	// SweepOptions tunes the batch price-sweep driver (workers, warm
+	// starts).
+	SweepOptions = core.SweepOptions
 	// Baseline describes one SC outside the federation.
 	Baseline = core.Baseline
 )
