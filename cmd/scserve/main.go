@@ -1,0 +1,92 @@
+// Command scserve runs the SC-Share advice service: a long-running HTTP
+// server answering federation-sharing queries (POST /v1/advise), streaming
+// Fig. 7-style price sweeps as NDJSON (POST /v1/sweep), and exposing
+// liveness (GET /healthz) and expvar-style counters (GET /metrics).
+// Frameworks — and their evaluation caches — persist across requests per
+// federation configuration, so repeated queries at drifting prices are
+// answered warm; see DESIGN.md §11.
+//
+// Usage:
+//
+//	scserve -addr :8080
+//	scserve -addr :8080 -solve-timeout 30s -drain 5s
+//
+// The server drains gracefully on SIGINT/SIGTERM: the listener closes, the
+// drain window lets in-flight solves finish, and anything still running is
+// canceled through its request context when the window expires.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"scshare/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "scserve:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until ctx is canceled (a signal arrives), then drains. It is
+// split from main, with the listener bound before the first request is
+// served, so the end-to-end test can run the real command loop on ":0".
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("scserve", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address")
+	solveTimeout := fs.Duration("solve-timeout", 0, "per-request solve cap (0 = only the client's disconnect cancels)")
+	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown window for in-flight requests")
+	maxFrameworks := fs.Int("max-frameworks", 0, "cached frameworks across federation configurations (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Handler: serve.New(serve.Options{
+			SolveTimeout:  *solveTimeout,
+			MaxFrameworks: *maxFrameworks,
+		}),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Fprintf(stdout, "scserve: listening on %s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(stdout, "scserve: draining for up to %v\n", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		// The drain window expired: close the remaining connections, which
+		// cancels their request contexts and unwinds the solves.
+		srv.Close()
+		return fmt.Errorf("drain window expired: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(stdout, "scserve: bye")
+	return nil
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"context"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer lets the test read the server's stdout while run is writing
+// it from another goroutine.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestServeEndToEnd boots the real command loop on an ephemeral port,
+// exercises one advise round trip, and shuts down through the same path a
+// SIGTERM takes.
+func TestServeEndToEnd(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-drain", "5s"}, &out)
+	}()
+
+	addrRE := regexp.MustCompile(`listening on (\S+)`)
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if m := addrRE.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("server exited before listening: %v\n%s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no listen line within deadline:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	resp, err := http.Post("http://"+addr+"/v1/advise", "application/json",
+		strings.NewReader(`{"scs": [{"vms": 10, "arrivalRate": 5.8}, {"vms": 10, "arrivalRate": 8.4}],
+		                    "model": "fluid", "maxShare": 4, "price": 0.5}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("advise over the wire = %d", resp.StatusCode)
+	}
+	resp, err = http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	cancel() // stands in for SIGTERM: same NotifyContext path
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown failed: %v\n%s", err, out.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("server did not drain:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "scserve: bye") {
+		t.Fatalf("missing drain log:\n%s", out.String())
+	}
+
+	// A bad flag must fail fast, not serve.
+	if err := run(context.Background(), []string{"-addr"}, &out); err == nil {
+		t.Fatal("run accepted a broken flag line")
+	}
+}

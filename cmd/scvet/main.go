@@ -1,8 +1,8 @@
 // Command scvet is the repository's custom static-analysis driver. It
 // loads every package of the enclosing module, runs the repo-specific
 // analyzers from internal/analysis (floatcmp, nanguard, lockfield,
-// panicfree, detrand, tolconst) and exits non-zero when any finding
-// survives the per-file //scvet:ignore suppressions.
+// panicfree, detrand, tolconst, ctxleak) and exits non-zero when any
+// finding survives the per-file //scvet:ignore suppressions.
 //
 // Usage:
 //

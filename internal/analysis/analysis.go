@@ -5,8 +5,9 @@
 // repo-specific analyzers that encode invariants `go vet` cannot see:
 // floating-point comparison discipline, NaN/Inf domain guards on the
 // numeric hot paths, mutex-field locking conventions, panic-free exported
-// solver APIs, deterministic seeding of simulation randomness, and named
-// (rather than inline) tolerance constants in comparisons.
+// solver APIs, deterministic seeding of simulation randomness, named
+// (rather than inline) tolerance constants in comparisons, and
+// cancellation-safe goroutines in the serving layer.
 //
 // The driver loads every package of the enclosing module (LoadModule),
 // type-checks them with a module-aware importer, and hands each package to
@@ -101,6 +102,7 @@ func All() []*Analyzer {
 		PanicFree,
 		DetRand,
 		TolConst,
+		CtxLeak,
 	}
 }
 

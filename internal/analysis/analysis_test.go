@@ -126,6 +126,10 @@ func TestTolConstFixture(t *testing.T) {
 	checkFixture(t, TolConst, "tolconst", "fixture/tolconst")
 }
 
+func TestCtxLeakFixture(t *testing.T) {
+	checkFixture(t, CtxLeak, "ctxleak", "fixture/internal/serve")
+}
+
 // TestTolConstAllowsNumeric loads a known-bad file under the
 // internal/numeric scope, where inline tolerances are the point.
 func TestTolConstAllowsNumeric(t *testing.T) {
@@ -142,6 +146,7 @@ func TestScopedAnalyzersIgnoreForeignPackages(t *testing.T) {
 		{NaNGuard, "nanguard"},
 		{PanicFree, "panicfree"},
 		{DetRand, "detrand"},
+		{CtxLeak, "ctxleak"},
 	}
 	for _, tc := range cases {
 		pkg, err := LoadDir(filepath.Join("testdata", "src", tc.fixture), "fixture/internal/unrelated")
@@ -214,8 +219,8 @@ func TestMatchesPatterns(t *testing.T) {
 // TestSelect checks rule-subset resolution.
 func TestSelect(t *testing.T) {
 	all, err := Select("")
-	if err != nil || len(all) != 6 {
-		t.Fatalf("Select(\"\") = %d analyzers, err %v; want 6, nil", len(all), err)
+	if err != nil || len(all) != 7 {
+		t.Fatalf("Select(\"\") = %d analyzers, err %v; want 7, nil", len(all), err)
 	}
 	two, err := Select("floatcmp, detrand")
 	if err != nil || len(two) != 2 {

@@ -1,0 +1,124 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// CtxLeak guards the serving layer (internal/serve) against goroutines
+// that outlive their request. A handler-spawned goroutine capturing
+// request-scoped state — anything declared in a function that receives a
+// context.Context or *http.Request — keeps solving after the client is
+// gone unless it can observe cancellation. The rule flags every `go`
+// statement in a request-scoped function that captures such state, unless
+// the spawned call carries a cancellation path: an expression of type
+// context.Context, a channel receive, a channel range, or a select
+// statement anywhere in the call or its function literal body.
+var CtxLeak = &Analyzer{
+	Name: "ctxleak",
+	Doc:  "flags serving-layer goroutines that capture request state without a cancellation path",
+	Run:  runCtxLeak,
+}
+
+func runCtxLeak(p *Pass) {
+	if !inScope(p, "internal/serve") {
+		return
+	}
+	forEachFunc(p, func(fd *ast.FuncDecl) {
+		if !requestScoped(p, fd) {
+			return
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if capturesEnclosingState(p, g, fd) && !hasCancellationPath(p, g) {
+				p.Reportf(g.Pos(), "goroutine in request-scoped %s captures request state but has no cancellation path (context, channel receive, or select); it outlives the request", fd.Name.Name)
+			}
+			return true
+		})
+	})
+}
+
+// requestScoped reports whether fd handles one request: it receives a
+// context.Context or a *net/http.Request.
+func requestScoped(p *Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		t := p.TypesInfo().Types[field.Type].Type
+		if isContextType(t) || isHTTPRequestPtr(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// capturesEnclosingState reports whether the spawned call references a
+// variable declared in fd (parameters included) outside the go statement
+// itself — the request-scoped state that would leak.
+func capturesEnclosingState(p *Pass, g *ast.GoStmt, fd *ast.FuncDecl) bool {
+	for v := range varsOf(p, g.Call) {
+		pos := v.Pos()
+		if pos >= fd.Pos() && pos < fd.End() && !(pos >= g.Pos() && pos < g.End()) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasCancellationPath reports whether the go statement's call — arguments
+// and any function-literal body — contains a way to observe cancellation.
+func hasCancellationPath(p *Pass, g *ast.GoStmt) bool {
+	found := false
+	ast.Inspect(g.Call, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			if t := p.TypesInfo().Types[n.X].Type; t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					found = true
+				}
+			}
+		case ast.Expr:
+			if isContextType(p.TypesInfo().Types[n].Type) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named := namedFrom(t)
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "context" && named.Obj().Name() == "Context"
+}
+
+// isHTTPRequestPtr reports whether t is *net/http.Request.
+func isHTTPRequestPtr(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named := namedFrom(ptr)
+	if named == nil || named.Obj().Pkg() == nil {
+		return false
+	}
+	return named.Obj().Pkg().Path() == "net/http" && named.Obj().Name() == "Request"
+}

@@ -1,0 +1,32 @@
+// Package serve is the ctxleak fixture: goroutines spawned from
+// request-scoped functions, with and without a cancellation path.
+package serve
+
+import (
+	"context"
+	"log"
+	"net/http"
+)
+
+type store struct{ hits int }
+
+// handleBad fires a goroutine that holds the request but can never see the
+// client leave.
+func handleBad(w http.ResponseWriter, r *http.Request) {
+	go func() { // WANT ctxleak
+		log.Println(r.URL.Path)
+	}()
+}
+
+// solveBad leaks request-scoped state through a named function value.
+func solveBad(ctx context.Context, s *store) {
+	work := func() { s.hits++ }
+	go work() // WANT ctxleak
+}
+
+// nestedBad spawns from inside a loop body; depth must not hide it.
+func nestedBad(ctx context.Context, urls []string) {
+	for _, u := range urls {
+		go log.Println(u) // WANT ctxleak
+	}
+}

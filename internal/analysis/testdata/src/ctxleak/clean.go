@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+)
+
+// handleCtxArg hands the request context to the goroutine explicitly.
+func handleCtxArg(w http.ResponseWriter, r *http.Request) {
+	go func(ctx context.Context) {
+		<-ctx.Done()
+	}(r.Context())
+}
+
+// handleCtxCapture captures a context.Context value directly.
+func handleCtxCapture(ctx context.Context, s *store) {
+	go func() {
+		if ctx.Err() == nil {
+			s.hits++
+		}
+	}()
+}
+
+// handleReceive blocks on a channel receive, so shutdown can release it.
+func handleReceive(ctx context.Context, done chan struct{}) {
+	go func() {
+		<-done
+	}()
+}
+
+// handleRange drains a channel; closing it ends the goroutine.
+func handleRange(ctx context.Context, jobs chan int) {
+	go func() {
+		for range jobs {
+		}
+	}()
+}
+
+// handleSelect observes cancellation through a select arm.
+func handleSelect(ctx context.Context, c chan int) {
+	go func() {
+		select {
+		case <-c:
+		default:
+		}
+	}()
+}
+
+// notRequestScoped has no context or request parameter, so its goroutines
+// are background work by construction, not request work.
+func notRequestScoped(n int) {
+	go func() { _ = n }()
+}
+
+// noCapture spawns a goroutine that touches no enclosing state.
+func noCapture(ctx context.Context) {
+	go func() {}()
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -47,26 +48,43 @@ type SCAdvice struct {
 }
 
 // Advise runs the negotiation (multi-start under the given alpha) and
-// summarizes the outcome per SC.
+// summarizes the outcome per SC. It is shorthand for AdviseAt at the
+// configured federation price with a background context.
 func (f *Framework) Advise(initials [][]int, alpha float64) (*Advice, error) {
-	out, err := f.Equilibrium(initials, alpha)
+	return f.AdviseAt(context.Background(), f.cfg.Federation.FederationPrice, initials, alpha)
+}
+
+// AdviseAt runs the negotiation at federation price cg instead of the
+// configured one, under a context. Performance metrics are
+// price-independent, so every price reuses the framework's one memoized
+// evaluator (and, for the approximate model, its warm-start caches) — this
+// is what lets a long-running advice service answer repeated queries for
+// drifting prices from a warm cache. Cancellation stops the repeated game
+// between model evaluations.
+func (f *Framework) AdviseAt(ctx context.Context, cg float64, initials [][]int, alpha float64) (*Advice, error) {
+	fed := f.cfg.Federation
+	fed.FederationPrice = cg
+	if err := fed.Validate(); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	out, err := f.game(fed).RunMultiStartContext(ctx, initials, alpha)
 	if err != nil && out == nil {
 		return nil, err
 	}
 	minPublic := math.Inf(1)
-	for _, sc := range f.cfg.Federation.SCs {
+	for _, sc := range fed.SCs {
 		if sc.PublicPrice < minPublic {
 			minPublic = sc.PublicPrice
 		}
 	}
 	adv := &Advice{
-		FederationPrice: f.cfg.Federation.FederationPrice,
-		PriceRatio:      f.cfg.Federation.FederationPrice / minPublic,
+		FederationPrice: fed.FederationPrice,
+		PriceRatio:      fed.FederationPrice / minPublic,
 		Rounds:          out.Rounds,
 		Evaluations:     out.Evals,
 		Converged:       out.Converged,
 	}
-	for i, sc := range f.cfg.Federation.SCs {
+	for i, sc := range fed.SCs {
 		saving := out.BaselineCosts[i] - out.Costs[i]
 		adv.SCs = append(adv.SCs, SCAdvice{
 			Name:                sc.Name,

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -154,6 +155,12 @@ func (f *Framework) game(fed cloud.Federation) *market.Game {
 // outcome with the best alpha-fair welfare.
 func (f *Framework) Equilibrium(initials [][]int, alpha float64) (*market.Outcome, error) {
 	return f.game(f.cfg.Federation).RunMultiStart(initials, alpha)
+}
+
+// EquilibriumContext is Equilibrium under a context: cancellation stops
+// the repeated game between model evaluations (market.Game.RunContext).
+func (f *Framework) EquilibriumContext(ctx context.Context, initials [][]int, alpha float64) (*market.Outcome, error) {
+	return f.game(f.cfg.Federation).RunMultiStartContext(ctx, initials, alpha)
 }
 
 // SweepPoint is one federation price setting of a price sweep.

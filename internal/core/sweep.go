@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -29,6 +30,14 @@ type SweepOptions struct {
 	// scoring still overlaps freely across workers, and the chain is part
 	// of the schedule, so parallel output remains identical to serial.
 	WarmStart bool
+	// OnPoint, when non-nil, is invoked once per finished grid point with
+	// the point's index into the ratio grid and its completed SweepPoint —
+	// the hook behind scserve's streamed per-point sweep progress. Under
+	// Workers > 1 points finish out of grid order, but calls are serialized
+	// by the driver, so the callback needs no locking of its own. A point
+	// that fails with a hard error (including cancellation) produces no
+	// callback.
+	OnPoint func(index int, pt SweepPoint)
 }
 
 // SweepPrices reproduces the Fig. 7 experiments on the serial schedule: for
@@ -45,8 +54,18 @@ func (f *Framework) SweepPrices(ratios, alphas []float64, initials [][]int) ([]S
 // optionally warm-starts each point's game from its grid neighbor's
 // equilibrium. Dead markets — points where no start converges — report the
 // terminal shares of the best non-converged run with -Inf welfare and zero
-// efficiency.
+// efficiency. It is shorthand for SweepContext with a background context.
 func (f *Framework) Sweep(ratios, alphas []float64, initials [][]int, opts SweepOptions) ([]SweepPoint, error) {
+	return f.SweepContext(context.Background(), ratios, alphas, initials, opts)
+}
+
+// SweepContext is Sweep under a context. Every grid point's game observes
+// the context (see market.Game.RunContext), undispatched points are never
+// started once it is canceled, and a point blocked on its warm-start
+// neighbor is released immediately. A canceled sweep returns nil points and
+// an error wrapping ctx.Err(); points already streamed through
+// SweepOptions.OnPoint remain valid.
+func (f *Framework) SweepContext(ctx context.Context, ratios, alphas []float64, initials [][]int, opts SweepOptions) ([]SweepPoint, error) {
 	if len(ratios) == 0 || len(alphas) == 0 {
 		return nil, errors.New("core: sweep needs at least one ratio and one alpha")
 	}
@@ -84,6 +103,18 @@ func (f *Framework) Sweep(ratios, alphas []float64, initials [][]int, opts Sweep
 		}
 	}
 
+	// report streams one finished point through OnPoint; the mutex keeps
+	// concurrent workers' callbacks serialized.
+	var onPointMu sync.Mutex
+	report := func(i int) {
+		if opts.OnPoint == nil {
+			return
+		}
+		onPointMu.Lock()
+		defer onPointMu.Unlock()
+		opts.OnPoint(i, pts[i])
+	}
+
 	run := func(i int) {
 		r := ratios[i]
 		fed := f.cfg.Federation
@@ -93,12 +124,20 @@ func (f *Framework) Sweep(ratios, alphas []float64, initials [][]int, opts Sweep
 
 		starts := base
 		if opts.WarmStart && i > 0 {
-			<-gameDone[i-1]
+			// A canceled context releases the warm-start chain: the
+			// neighbor may never close its channel if it was undispatched.
+			select {
+			case <-gameDone[i-1]:
+			case <-ctx.Done():
+				errs[i] = ctx.Err()
+				close(gameDone[i])
+				return
+			}
 			if prev := warm[i-1]; prev != nil {
 				starts = append(append([][]int{}, base...), prev)
 			}
 		}
-		outc, err := f.game(fed).RunMultiStart(starts, alphas[0])
+		outc, err := f.game(fed).RunMultiStartContext(ctx, starts, alphas[0])
 		if opts.WarmStart {
 			if err == nil && outc.Converged {
 				warm[i] = outc.Shares
@@ -124,6 +163,7 @@ func (f *Framework) Sweep(ratios, alphas []float64, initials [][]int, opts Sweep
 				pt.Utilities = outc.Utilities
 				pt.Rounds = outc.Rounds
 			}
+			report(i)
 			return
 		}
 		pt.Converged = true
@@ -148,13 +188,14 @@ func (f *Framework) Sweep(ratios, alphas []float64, initials [][]int, opts Sweep
 			pt.Welfare = append(pt.Welfare, w)
 			pt.Efficiency = append(pt.Efficiency, market.Efficiency(w, best, float64(totalShared)))
 		}
+		report(i)
 	}
 
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > 1 && runtime.NumCPU() > 1 {
+	if workers > 1 && runtime.NumCPU() > 1 && ctx.Err() == nil {
 		// Speculatively enumerate the (small) strategy box across the pool
 		// before touching the grid: the lazy empirical-max ascents and the
 		// games discover these price-independent metrics one at a time on
@@ -170,12 +211,17 @@ func (f *Framework) Sweep(ratios, alphas []float64, initials [][]int, opts Sweep
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				break
+			}
 			run(i)
 		}
 	} else {
 		// Points are dispatched in grid order, so with WarmStart every
 		// point's predecessor is already done or in flight — the chain
-		// drains front to back and cannot deadlock.
+		// drains front to back and cannot deadlock. Cancellation stops the
+		// dispatch; in-flight points unwind through their games' own
+		// context checks.
 		var wg sync.WaitGroup
 		next := make(chan int)
 		for w := 0; w < workers; w++ {
@@ -187,11 +233,19 @@ func (f *Framework) Sweep(ratios, alphas []float64, initials [][]int, opts Sweep
 				}
 			}()
 		}
+	dispatch:
 		for i := 0; i < n; i++ {
-			next <- i
+			select {
+			case next <- i:
+			case <-ctx.Done():
+				break dispatch
+			}
 		}
 		close(next)
 		wg.Wait()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("core: sweep canceled: %w", err)
 	}
 	for _, err := range errs {
 		if err != nil {

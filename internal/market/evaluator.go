@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"scshare/internal/approx"
 	"scshare/internal/cloud"
@@ -99,16 +100,18 @@ type memoShard struct {
 // do returns the entry for key, joining an in-flight solve when one exists
 // and running solve itself otherwise. The solve runs outside the critical
 // section, so distinct keys on the same shard still evaluate in parallel.
-func (s *memoShard) do(key string, solve func() memoEntry) memoEntry {
+// The second result reports whether the entry was served without running
+// solve (a cache hit or an in-flight join).
+func (s *memoShard) do(key string, solve func() memoEntry) (memoEntry, bool) {
 	s.mu.Lock()
 	if e, ok := s.cache[key]; ok {
 		s.mu.Unlock()
-		return e
+		return e, true
 	}
 	if c, ok := s.inflight[key]; ok {
 		s.mu.Unlock()
 		<-c.done
-		return c.memoEntry
+		return c.memoEntry, true
 	}
 	c := &memoCall{done: make(chan struct{})}
 	s.inflight[key] = c
@@ -121,7 +124,7 @@ func (s *memoShard) do(key string, solve func() memoEntry) memoEntry {
 	s.cache[key] = c.memoEntry
 	delete(s.inflight, key)
 	s.mu.Unlock()
-	return c.memoEntry
+	return c.memoEntry, false
 }
 
 // memoShardCount is the number of lock domains. A power of two well above
@@ -139,6 +142,45 @@ type memoEvaluator struct {
 	// cache is then keyed by vector, without the target.
 	all    AllEvaluator
 	shards [memoShardCount]memoShard
+	// hits counts lookups served from the cache (including joins of an
+	// in-flight solve); misses counts lookups that ran the model.
+	hits, misses atomic.Uint64
+}
+
+// CacheStats summarizes a memoized evaluator's lookup history. A hit is a
+// lookup answered without running the performance model — either from the
+// cache or by joining another caller's in-flight solve of the same key.
+type CacheStats struct {
+	Hits, Misses uint64
+}
+
+// HitRatio returns Hits/(Hits+Misses), or 0 before any lookup.
+func (s CacheStats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// CacheStatsReporter is implemented by the evaluators Memoize returns; the
+// scserve /metrics endpoint reads it to report the cross-request hit ratio.
+type CacheStatsReporter interface {
+	Stats() CacheStats
+}
+
+// Stats implements CacheStatsReporter.
+func (me *memoEvaluator) Stats() CacheStats {
+	return CacheStats{Hits: me.hits.Load(), Misses: me.misses.Load()}
+}
+
+// count records one lookup's hit/miss outcome.
+func (me *memoEvaluator) count(hit bool) {
+	if hit {
+		me.hits.Add(1)
+	} else {
+		me.misses.Add(1)
+	}
 }
 
 // Memoize caches evaluations by (shares, target) — or by the share vector
@@ -199,10 +241,12 @@ func vectorKey(shares []int) []byte {
 // exactly once per key.
 func (me *memoEvaluator) allEntry(shares []int) memoEntry {
 	k := string(vectorKey(shares))
-	return me.shardOf(k).do(k, func() memoEntry {
+	e, hit := me.shardOf(k).do(k, func() memoEntry {
 		all, err := me.all.EvaluateAll(shares)
 		return memoEntry{all: all, err: err}
 	})
+	me.count(hit)
+	return e
 }
 
 // Evaluate implements Evaluator.
@@ -210,10 +254,11 @@ func (me *memoEvaluator) Evaluate(shares []int, target int) (cloud.Metrics, erro
 	if me.all == nil {
 		key := strconv.AppendInt(vectorKey(shares), int64(target), 10)
 		k := string(key)
-		e := me.shardOf(k).do(k, func() memoEntry {
+		e, hit := me.shardOf(k).do(k, func() memoEntry {
 			m, err := me.inner.Evaluate(shares, target)
 			return memoEntry{m: m, err: err}
 		})
+		me.count(hit)
 		return e.m, e.err
 	}
 	e := me.allEntry(shares)

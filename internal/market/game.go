@@ -1,6 +1,7 @@
 package market
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -71,8 +72,19 @@ type Outcome struct {
 }
 
 // Run plays the game from the given initial sharing vector. A nil initial
-// vector starts from everyone sharing one VM.
+// vector starts from everyone sharing one VM. It is shorthand for
+// RunContext with a background context.
 func (g *Game) Run(initial []int) (*Outcome, error) {
+	return g.RunContext(context.Background(), initial)
+}
+
+// RunContext plays the game under a context. Cancellation is observed
+// between rounds and before every performance-model evaluation inside the
+// Tabu searches, so a canceled context stops the dynamics within one
+// model solve: worker-pool goroutines drain their queued best responses
+// through the same check and exit. A canceled run returns a nil outcome
+// and an error wrapping ctx.Err().
+func (g *Game) RunContext(ctx context.Context, initial []int) (*Outcome, error) {
 	k := len(g.Federation.SCs)
 	if err := g.Federation.Validate(); err != nil {
 		return nil, fmt.Errorf("market: %w", err)
@@ -133,6 +145,9 @@ func (g *Game) Run(initial []int) (*Outcome, error) {
 	sequential := false
 	responses := make([]bestResponse, k)
 	for round := 1; round <= maxRounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("market: game canceled in round %d: %w", round, err)
+		}
 		out.Rounds = round
 		copy(prev, shares)
 		changed := false
@@ -143,7 +158,7 @@ func (g *Game) Run(initial []int) (*Outcome, error) {
 				if g.skip[i] {
 					continue
 				}
-				r := g.respond(shares, i, maxShares[i], distance, baseCosts, baseUtils)
+				r := g.respond(ctx, shares, i, maxShares[i], distance, baseCosts, baseUtils)
 				out.Evals += r.evals
 				if r.err != nil {
 					return nil, fmt.Errorf("market: best response of SC %d: %w", i, r.err)
@@ -156,7 +171,7 @@ func (g *Game) Run(initial []int) (*Outcome, error) {
 		} else {
 			// Jacobi round: every SC responds to prev, so the K searches are
 			// independent and fan out across the worker pool.
-			g.respondAll(prev, maxShares, distance, baseCosts, baseUtils, responses)
+			g.respondAll(ctx, prev, maxShares, distance, baseCosts, baseUtils, responses)
 			for i := 0; i < k; i++ {
 				if g.skip[i] {
 					continue
@@ -199,9 +214,14 @@ type bestResponse struct {
 	err   error
 }
 
-// respond runs SC i's best response against the base vector.
-func (g *Game) respond(base []int, i, maxShare, distance int, baseCosts, baseUtils []float64) bestResponse {
+// respond runs SC i's best response against the base vector. The context
+// is consulted before every evaluation, bounding cancellation latency by
+// one model solve.
+func (g *Game) respond(ctx context.Context, base []int, i, maxShare, distance int, baseCosts, baseUtils []float64) bestResponse {
 	objective := func(s int) (float64, error) {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		trial := make([]int, len(base))
 		copy(trial, base)
 		trial[i] = s
@@ -220,7 +240,7 @@ func (g *Game) respond(base []int, i, maxShare, distance int, baseCosts, baseUti
 // base, fanning the independent searches across the game's worker pool.
 // responses[i] is written only by the goroutine that owns index i, so the
 // merge order (and therefore the dynamics) is independent of scheduling.
-func (g *Game) respondAll(base, maxShares []int, distance int, baseCosts, baseUtils []float64, responses []bestResponse) {
+func (g *Game) respondAll(ctx context.Context, base, maxShares []int, distance int, baseCosts, baseUtils []float64, responses []bestResponse) {
 	k := len(responses)
 	workers := g.Workers
 	if workers <= 0 {
@@ -234,7 +254,7 @@ func (g *Game) respondAll(base, maxShares []int, distance int, baseCosts, baseUt
 			if g.skip[i] {
 				continue
 			}
-			responses[i] = g.respond(base, i, maxShares[i], distance, baseCosts, baseUtils)
+			responses[i] = g.respond(ctx, base, i, maxShares[i], distance, baseCosts, baseUtils)
 		}
 		return
 	}
@@ -245,7 +265,7 @@ func (g *Game) respondAll(base, maxShares []int, distance int, baseCosts, baseUt
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				responses[i] = g.respond(base, i, maxShares[i], distance, baseCosts, baseUtils)
+				responses[i] = g.respond(ctx, base, i, maxShares[i], distance, baseCosts, baseUtils)
 			}
 		}()
 	}
@@ -276,6 +296,14 @@ func (g *Game) respondAll(base, maxShares []int, distance int, baseCosts, baseUt
 // points) can still report the terminal shares. Hard errors from any start
 // take precedence and return a nil outcome.
 func (g *Game) RunMultiStart(initials [][]int, alpha float64) (*Outcome, error) {
+	return g.RunMultiStartContext(context.Background(), initials, alpha)
+}
+
+// RunMultiStartContext is RunMultiStart under a context: every start's game
+// observes the same context (see RunContext), so one cancellation stops all
+// of them. A canceled multi-start returns a nil outcome and an error
+// wrapping ctx.Err() — cancellation is a hard error, never a dead market.
+func (g *Game) RunMultiStartContext(ctx context.Context, initials [][]int, alpha float64) (*Outcome, error) {
 	if len(initials) == 0 {
 		initials = [][]int{nil}
 	}
@@ -289,7 +317,7 @@ func (g *Game) RunMultiStart(initials [][]int, alpha float64) (*Outcome, error) 
 		go func(i int, init []int) {
 			defer wg.Done()
 			defer func() { <-workers }()
-			outs[i], errs[i] = g.Run(init)
+			outs[i], errs[i] = g.RunContext(ctx, init)
 		}(i, init)
 	}
 	wg.Wait()

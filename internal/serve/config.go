@@ -1,0 +1,216 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"scshare/internal/approx"
+	"scshare/internal/cloud"
+	"scshare/internal/core"
+	"scshare/internal/market"
+)
+
+// scSpec is one SC in a request, mirroring cloud.SC with the same defaults
+// the CLI specs use (service rate 1/s, SLA 0.2 s, public price 1).
+type scSpec struct {
+	Name        string  `json:"name,omitempty"`
+	VMs         int     `json:"vms"`
+	ArrivalRate float64 `json:"arrivalRate"`
+	ServiceRate float64 `json:"serviceRate,omitempty"`
+	SLA         float64 `json:"sla,omitempty"`
+	PublicPrice float64 `json:"publicPrice,omitempty"`
+}
+
+// approxSpec exposes the approximate model's cost/accuracy knobs.
+type approxSpec struct {
+	Passes  int     `json:"passes,omitempty"`
+	Prune   float64 `json:"prune,omitempty"`
+	PoolCap int     `json:"poolCap,omitempty"`
+}
+
+// federationSpec is the price-independent part of a request: everything
+// that determines the performance metrics and the game, but not the
+// federation price. It doubles as the framework-cache key (see key), which
+// is what makes cross-request cache reuse sound — two requests with equal
+// specs share solves no matter their prices.
+type federationSpec struct {
+	SCs []scSpec `json:"scs"`
+	// Model is approx (default), exact, sim, or fluid.
+	Model string `json:"model,omitempty"`
+	// Gamma is the Eq. (2) utility exponent (0 = UF0 … 1 = UF1).
+	Gamma float64 `json:"gamma,omitempty"`
+	// MaxShare caps each SC's strategy space (default: all its VMs).
+	MaxShare int `json:"maxShare,omitempty"`
+	// Tabu and MaxRounds tune the repeated game.
+	Tabu      int `json:"tabu,omitempty"`
+	MaxRounds int `json:"maxRounds,omitempty"`
+	// Approx tunes the approximate model; SimHorizon/SimSeed the simulator.
+	Approx     *approxSpec `json:"approx,omitempty"`
+	SimHorizon float64     `json:"simHorizon,omitempty"`
+	SimSeed    int64       `json:"simSeed,omitempty"`
+}
+
+// adviseRequest is the body of POST /v1/advise.
+type adviseRequest struct {
+	federationSpec
+	// Price is the federation VM price C^G.
+	Price float64 `json:"price"`
+	// Alpha selects the welfare used to pick among equilibria:
+	// "utilitarian" (default), "proportional", "maxmin", or a number.
+	Alpha string `json:"alpha,omitempty"`
+	// Initial optionally seeds the negotiation's share vector.
+	Initial []int `json:"initial,omitempty"`
+}
+
+// sweepRequest is the body of POST /v1/sweep.
+type sweepRequest struct {
+	federationSpec
+	// Ratios is the swept C^G/C^P grid (against the minimum public price).
+	Ratios []float64 `json:"ratios"`
+	// Alphas are the welfare regimes scored per point (default all three:
+	// utilitarian, proportional, maxmin).
+	Alphas []string `json:"alphas,omitempty"`
+	// Workers bounds grid-level parallelism (0 = GOMAXPROCS, 1 = serial).
+	Workers int `json:"workers,omitempty"`
+	// ColdStart disables warm-starting each point from its grid neighbor.
+	ColdStart bool `json:"coldStart,omitempty"`
+}
+
+// normalize applies defaults and validates everything that can be checked
+// without solving. It must run before key, config, or federation.
+func (sp *federationSpec) normalize() error {
+	if len(sp.SCs) == 0 {
+		return fmt.Errorf("request needs at least one SC")
+	}
+	for i := range sp.SCs {
+		sc := &sp.SCs[i]
+		if sc.Name == "" {
+			sc.Name = "sc" + strconv.Itoa(i)
+		}
+		if sc.ServiceRate <= 0 {
+			sc.ServiceRate = 1
+		}
+		if sc.SLA <= 0 {
+			sc.SLA = 0.2
+		}
+		if sc.PublicPrice <= 0 {
+			sc.PublicPrice = 1
+		}
+	}
+	switch sp.Model {
+	case "":
+		sp.Model = "approx"
+	case "approx", "exact", "sim", "fluid":
+	default:
+		return fmt.Errorf("unknown model %q (want approx, exact, sim, or fluid)", sp.Model)
+	}
+	// Price-independent validation: run the cloud checks at price 0 so a
+	// bad federation fails the request with 400 instead of a solve error.
+	if err := sp.federation(0).Validate(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// federation materializes the cloud federation at the given price.
+func (sp *federationSpec) federation(price float64) cloud.Federation {
+	fed := cloud.Federation{FederationPrice: price}
+	for _, sc := range sp.SCs {
+		fed.SCs = append(fed.SCs, cloud.SC{
+			Name:        sc.Name,
+			VMs:         sc.VMs,
+			ArrivalRate: sc.ArrivalRate,
+			ServiceRate: sc.ServiceRate,
+			SLA:         sc.SLA,
+			PublicPrice: sc.PublicPrice,
+		})
+	}
+	return fed
+}
+
+// config builds the core configuration backing this spec's framework. The
+// federation price is left at 0 — every solve supplies its own price
+// through AdviseAt or the sweep grid.
+func (sp *federationSpec) config() core.Config {
+	cfg := core.Config{
+		Federation:   sp.federation(0),
+		Gamma:        sp.Gamma,
+		TabuDistance: sp.Tabu,
+		MaxRounds:    sp.MaxRounds,
+		SimHorizon:   sp.SimHorizon,
+		SimSeed:      sp.SimSeed,
+	}
+	switch sp.Model {
+	case "exact":
+		cfg.Model = core.ModelExact
+	case "sim":
+		cfg.Model = core.ModelSim
+	case "fluid":
+		cfg.Model = core.ModelFluid
+	default:
+		cfg.Model = core.ModelApprox
+	}
+	if sp.Approx != nil {
+		cfg.Approx = approx.Config{
+			Passes:  sp.Approx.Passes,
+			Prune:   sp.Approx.Prune,
+			PoolCap: sp.Approx.PoolCap,
+		}
+	}
+	if sp.MaxShare > 0 {
+		cfg.MaxShares = make([]int, len(sp.SCs))
+		for i := range cfg.MaxShares {
+			cfg.MaxShares[i] = min(sp.MaxShare, sp.SCs[i].VMs)
+		}
+	}
+	return cfg
+}
+
+// key canonicalizes the normalized spec for the framework cache. JSON of
+// the normalized struct is deterministic (fixed field order, defaults
+// applied), so equal configurations — and only those — share a framework.
+func (sp *federationSpec) key() (string, error) {
+	b, err := json.Marshal(sp)
+	if err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+// parseAlpha resolves a welfare-regime name or number.
+func parseAlpha(s string) (float64, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "", "utilitarian":
+		return market.AlphaUtilitarian, nil
+	case "proportional":
+		return market.AlphaProportional, nil
+	case "maxmin", "max-min":
+		return market.AlphaMaxMin, nil
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil || math.IsNaN(v) || v < 0 {
+		return 0, fmt.Errorf("bad alpha %q: want utilitarian, proportional, maxmin, or a number >= 0", s)
+	}
+	return v, nil
+}
+
+// parseAlphas resolves the per-point welfare list of a sweep, defaulting
+// to the paper's three regimes.
+func parseAlphas(names []string) ([]float64, []string, error) {
+	if len(names) == 0 {
+		return []float64{market.AlphaUtilitarian, market.AlphaProportional, market.AlphaMaxMin},
+			[]string{"utilitarian", "proportional", "maxmin"}, nil
+	}
+	vals := make([]float64, len(names))
+	for i, n := range names {
+		v, err := parseAlpha(n)
+		if err != nil {
+			return nil, nil, err
+		}
+		vals[i] = v
+	}
+	return vals, names, nil
+}

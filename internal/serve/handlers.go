@@ -1,0 +1,328 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"time"
+
+	"scshare/internal/core"
+)
+
+// maxBodyBytes bounds request bodies; federation specs are tiny, so 1 MiB
+// is generous.
+const maxBodyBytes = 1 << 20
+
+// adviseResponse mirrors core.Advice with the same field names the scmarket
+// CLI emits, but with possibly non-finite floats as nullable pointers —
+// encoding/json cannot represent ±Inf, and a dead market's utilities are
+// -Inf by construction.
+type adviseResponse struct {
+	FederationPrice float64            `json:"federationPrice"`
+	PriceRatio      float64            `json:"priceRatio"`
+	Rounds          int                `json:"rounds"`
+	Evaluations     int                `json:"evaluations"`
+	Converged       bool               `json:"converged"`
+	SCs             []scAdviceResponse `json:"scs"`
+}
+
+type scAdviceResponse struct {
+	Name                string   `json:"name"`
+	Share               int      `json:"share"`
+	Join                bool     `json:"join"`
+	BaselineCostPerSec  float64  `json:"baselineCostPerSec"`
+	CostPerSec          float64  `json:"costPerSec"`
+	SavingPerSec        float64  `json:"savingPerSec"`
+	BorrowVMs           float64  `json:"borrowVMs"`
+	LendVMs             float64  `json:"lendVMs"`
+	Utilization         float64  `json:"utilization"`
+	BaselineUtilization float64  `json:"baselineUtilization"`
+	Utility             *float64 `json:"utility"`
+}
+
+// sweepLine is one NDJSON line of POST /v1/sweep: a finished grid point.
+// Index is the point's position in the request's ratio grid (points can
+// finish out of order when workers > 1); Alphas names the welfare regimes
+// the Welfare/Efficiency slices are indexed by. Non-finite welfare (a dead
+// market's -Inf) is encoded as null.
+type sweepLine struct {
+	Index      int        `json:"index"`
+	Total      int        `json:"total"`
+	Ratio      float64    `json:"ratio"`
+	Price      float64    `json:"price"`
+	Shares     []int      `json:"shares"`
+	Utilities  []*float64 `json:"utilities"`
+	Alphas     []string   `json:"alphas"`
+	Welfare    []*float64 `json:"welfare"`
+	Efficiency []*float64 `json:"efficiency"`
+	Rounds     int        `json:"rounds"`
+	Converged  bool       `json:"converged"`
+}
+
+// sweepTrailer is the final NDJSON line: either the whole grid finished
+// (Done true) or the sweep failed after zero or more streamed points.
+type sweepTrailer struct {
+	Done   bool   `json:"done"`
+	Points int    `json:"points,omitempty"`
+	Error  string `json:"error,omitempty"`
+}
+
+// errorResponse is the body of every non-streaming error reply.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// fptr returns a pointer to v, or nil when v is not a finite number —
+// JSON-encodable in either case.
+func fptr(v float64) *float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return nil
+	}
+	return &v
+}
+
+func fptrs(vs []float64) []*float64 {
+	out := make([]*float64, len(vs))
+	for i, v := range vs {
+		out[i] = fptr(v)
+	}
+	return out
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"encoding failure"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(b, '\n'))
+}
+
+// fail answers a request with a JSON error and counts it.
+func (s *Server) fail(w http.ResponseWriter, status int, err error) {
+	s.metrics.errors.Add(1)
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// decodeJSON strictly decodes the request body into v: unknown fields and
+// trailing garbage are errors, so typos in a spec fail loudly instead of
+// silently running a default configuration.
+func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("bad request body: %w", err)
+	}
+	if dec.More() {
+		return errors.New("bad request body: trailing data after JSON object")
+	}
+	return nil
+}
+
+// solveContext derives the context a solve runs under: the request context
+// (so a client disconnect cancels the worker-pool rounds) capped by the
+// configured solve timeout, if any.
+func (s *Server) solveContext(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.solveTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.solveTimeout)
+	}
+	return context.WithCancel(r.Context())
+}
+
+// clientGone reports whether a solve error is due to the client
+// disconnecting (as opposed to the server-side solve timeout).
+func clientGone(r *http.Request, err error) bool {
+	return errors.Is(err, context.Canceled) && r.Context().Err() != nil
+}
+
+// handleAdvise runs one equilibrium solve and returns the per-SC advice.
+func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
+	s.metrics.advise.Add(1)
+	var req adviseRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := req.normalize(); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	alpha, err := parseAlpha(req.Alpha)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	var initials [][]int
+	if req.Initial != nil {
+		if len(req.Initial) != len(req.SCs) {
+			s.fail(w, http.StatusBadRequest,
+				fmt.Errorf("initial has %d entries for %d SCs", len(req.Initial), len(req.SCs)))
+			return
+		}
+		initials = [][]int{req.Initial}
+	}
+	fw, err := s.framework(&req.federationSpec)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+
+	ctx, cancel := s.solveContext(r)
+	defer cancel()
+	s.metrics.inFlight.Add(1)
+	adv, err := fw.AdviseAt(ctx, req.Price, initials, alpha)
+	s.metrics.inFlight.Add(-1)
+	if err != nil {
+		switch {
+		case clientGone(r, err):
+			s.metrics.canceled.Add(1)
+		case errors.Is(err, context.DeadlineExceeded):
+			s.fail(w, http.StatusGatewayTimeout,
+				fmt.Errorf("solve exceeded the server's %v timeout", s.solveTimeout))
+		default:
+			s.fail(w, http.StatusUnprocessableEntity, err)
+		}
+		return
+	}
+	s.metrics.solveRounds.Add(int64(adv.Rounds))
+	s.metrics.solveEvals.Add(int64(adv.Evaluations))
+
+	resp := adviseResponse{
+		FederationPrice: adv.FederationPrice,
+		PriceRatio:      adv.PriceRatio,
+		Rounds:          adv.Rounds,
+		Evaluations:     adv.Evaluations,
+		Converged:       adv.Converged,
+	}
+	for _, sc := range adv.SCs {
+		resp.SCs = append(resp.SCs, scAdviceResponse{
+			Name:                sc.Name,
+			Share:               sc.Share,
+			Join:                sc.Join,
+			BaselineCostPerSec:  sc.BaselineCostPerSec,
+			CostPerSec:          sc.CostPerSec,
+			SavingPerSec:        sc.SavingPerSec,
+			BorrowVMs:           sc.BorrowVMs,
+			LendVMs:             sc.LendVMs,
+			Utilization:         sc.Utilization,
+			BaselineUtilization: sc.BaselineUtilization,
+			Utility:             fptr(sc.Utility),
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleSweep runs the Fig. 7-style price-grid sweep and streams each
+// finished point as one NDJSON line, followed by a trailer line. Validation
+// failures are plain JSON errors (the stream has not started); a solve
+// failure mid-stream arrives as a trailer with the error, since the 200
+// status is already on the wire.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.metrics.sweep.Add(1)
+	var req sweepRequest
+	if err := decodeJSON(w, r, &req); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := req.normalize(); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(req.Ratios) == 0 {
+		s.fail(w, http.StatusBadRequest, errors.New("request needs at least one ratio"))
+		return
+	}
+	for _, ratio := range req.Ratios {
+		if math.IsNaN(ratio) || ratio < 0 {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("bad ratio %v", ratio))
+			return
+		}
+	}
+	alphaVals, alphaNames, err := parseAlphas(req.Alphas)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	fw, err := s.framework(&req.federationSpec)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+
+	ctx, cancel := s.solveContext(r)
+	defer cancel()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	// writeLine runs either inside the sweep's OnPoint callback — which the
+	// driver serializes — or after SweepContext has returned; the two never
+	// overlap, so the ResponseWriter sees one writer at a time.
+	writeLine := func(v any) {
+		enc.Encode(v)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+
+	total := len(req.Ratios)
+	s.metrics.inFlight.Add(1)
+	pts, err := fw.SweepContext(ctx, req.Ratios, alphaVals, nil, core.SweepOptions{
+		Workers:   req.Workers,
+		WarmStart: !req.ColdStart,
+		OnPoint: func(i int, pt core.SweepPoint) {
+			s.metrics.sweepPoints.Add(1)
+			s.metrics.solveRounds.Add(int64(pt.Rounds))
+			writeLine(sweepLine{
+				Index:      i,
+				Total:      total,
+				Ratio:      pt.Ratio,
+				Price:      pt.Price,
+				Shares:     pt.Shares,
+				Utilities:  fptrs(pt.Utilities),
+				Alphas:     alphaNames,
+				Welfare:    fptrs(pt.Welfare),
+				Efficiency: fptrs(pt.Efficiency),
+				Rounds:     pt.Rounds,
+				Converged:  pt.Converged,
+			})
+		},
+	})
+	s.metrics.inFlight.Add(-1)
+	if err != nil {
+		if clientGone(r, err) {
+			// Nobody is listening; just unwind.
+			s.metrics.canceled.Add(1)
+			return
+		}
+		s.metrics.errors.Add(1)
+		msg := err.Error()
+		if errors.Is(err, context.DeadlineExceeded) {
+			msg = fmt.Sprintf("sweep exceeded the server's %v timeout", s.solveTimeout)
+		}
+		writeLine(sweepTrailer{Error: msg})
+		return
+	}
+	writeLine(sweepTrailer{Done: true, Points: len(pts)})
+}
+
+// handleHealthz answers liveness probes.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.metrics.healthz.Add(1)
+	io.Copy(io.Discard, io.LimitReader(r.Body, maxBodyBytes))
+	writeJSON(w, http.StatusOK, struct {
+		Status        string  `json:"status"`
+		UptimeSeconds float64 `json:"uptimeSeconds"`
+	}{"ok", time.Since(s.start).Seconds()})
+}
+
+// handleMetrics reports the expvar-style counter snapshot.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.metrics.metricsReqs.Add(1)
+	writeJSON(w, http.StatusOK, s.snapshot(time.Since(s.start).Seconds()))
+}

@@ -1,0 +1,80 @@
+package serve
+
+import "sync/atomic"
+
+// counters are the service's expvar-style metrics. Every field is an
+// atomic, so handlers update them without locks and /metrics reads a
+// near-consistent snapshot (exact consistency across counters is not
+// needed for monitoring).
+type counters struct {
+	// Per-endpoint request counts.
+	advise, sweep, healthz, metricsReqs atomic.Int64
+	// errors counts requests answered with an error (bad input, solve
+	// failure, or timeout); canceled counts solves abandoned because the
+	// client disconnected.
+	errors, canceled atomic.Int64
+	// inFlight is the number of solves currently running.
+	inFlight atomic.Int64
+	// Cumulative solver work: game rounds, model evaluations, and
+	// streamed sweep points.
+	solveRounds, solveEvals, sweepPoints atomic.Int64
+}
+
+// metricsSnapshot is the GET /metrics payload.
+type metricsSnapshot struct {
+	UptimeSeconds float64          `json:"uptimeSeconds"`
+	Requests      requestCounts    `json:"requests"`
+	Errors        int64            `json:"errors"`
+	Canceled      int64            `json:"canceled"`
+	InFlight      int64            `json:"inFlightSolves"`
+	Solver        solverCounts     `json:"solver"`
+	Cache         cacheStatsReport `json:"cache"`
+}
+
+type requestCounts struct {
+	Advise  int64 `json:"advise"`
+	Sweep   int64 `json:"sweep"`
+	Healthz int64 `json:"healthz"`
+	Metrics int64 `json:"metrics"`
+}
+
+type solverCounts struct {
+	Rounds      int64 `json:"rounds"`
+	Evaluations int64 `json:"evaluations"`
+	SweepPoints int64 `json:"sweepPoints"`
+}
+
+type cacheStatsReport struct {
+	Hits       uint64  `json:"hits"`
+	Misses     uint64  `json:"misses"`
+	HitRatio   float64 `json:"hitRatio"`
+	Frameworks int     `json:"frameworks"`
+}
+
+// snapshot collects all counters plus the cross-framework cache totals.
+func (s *Server) snapshot(uptimeSeconds float64) metricsSnapshot {
+	stats, n := s.cacheStats()
+	return metricsSnapshot{
+		UptimeSeconds: uptimeSeconds,
+		Requests: requestCounts{
+			Advise:  s.metrics.advise.Load(),
+			Sweep:   s.metrics.sweep.Load(),
+			Healthz: s.metrics.healthz.Load(),
+			Metrics: s.metrics.metricsReqs.Load(),
+		},
+		Errors:   s.metrics.errors.Load(),
+		Canceled: s.metrics.canceled.Load(),
+		InFlight: s.metrics.inFlight.Load(),
+		Solver: solverCounts{
+			Rounds:      s.metrics.solveRounds.Load(),
+			Evaluations: s.metrics.solveEvals.Load(),
+			SweepPoints: s.metrics.sweepPoints.Load(),
+		},
+		Cache: cacheStatsReport{
+			Hits:       stats.Hits,
+			Misses:     stats.Misses,
+			HitRatio:   stats.HitRatio(),
+			Frameworks: n,
+		},
+	}
+}

@@ -1,0 +1,141 @@
+// Package serve implements scserve, the long-running federation advice
+// service: the deployment setting of Sect. VII's Tatonnement discussion and
+// of the dynamic-market follow-up work, where SC operators re-query for
+// sharing advice as prices and demand drift instead of regenerating batch
+// figures. It wraps the core.Framework equilibrium search behind a
+// stdlib-only net/http JSON API — POST /v1/advise (one equilibrium solve),
+// POST /v1/sweep (the Fig. 7-style price-grid sweep, streamed as NDJSON),
+// GET /healthz, and GET /metrics (expvar-style counters) — and keeps one
+// framework per distinct federation configuration alive across requests, so
+// repeated queries at drifting prices are answered from the sharded
+// evaluation cache and the approximate model's warm-start caches instead of
+// from cold solves. Every solve is request-scoped: the request context is
+// threaded through the game loop, so client disconnects and the configured
+// solve timeout cancel in-flight worker-pool rounds and sweep points.
+package serve
+
+import (
+	"net/http"
+	"sync"
+	"time"
+
+	"scshare/internal/core"
+	"scshare/internal/market"
+)
+
+// defaultMaxFrameworks bounds the per-configuration framework cache; each
+// entry holds a sharded evaluation cache that only grows, so the map is a
+// deliberate memory/time trade kept small enough to reason about.
+const defaultMaxFrameworks = 32
+
+// Options configures a Server.
+type Options struct {
+	// SolveTimeout caps the solving time of one request (advise: the whole
+	// negotiation; sweep: the whole grid). 0 means no cap: the request is
+	// bounded only by the client's patience, since its disconnect cancels
+	// the solve.
+	SolveTimeout time.Duration
+	// MaxFrameworks bounds the framework cache (default 32); the oldest
+	// configuration is evicted first.
+	MaxFrameworks int
+}
+
+// Server is the advice service. Create it with New; it implements
+// http.Handler and is safe for concurrent use.
+//
+// What is shared across requests, and why that is safe: frameworks — and
+// with them the memoized evaluator, its 32-way sharded cache, and the
+// approximate model's warm-start caches — are keyed by the full
+// price-independent federation configuration. Performance metrics do not
+// depend on prices (DESIGN.md §10), so two requests that differ only in
+// the federation price C^G legitimately share every cached solve; requests
+// that differ in anything affecting metrics (the SCs, the model, its
+// tuning) or the game (gamma, tabu distance, share caps) get distinct
+// frameworks. Concurrent requests on one framework are safe because the
+// sharded cache deduplicates in-flight solves per key and the game itself
+// is re-entrant (no state on Framework mutates after New).
+type Server struct {
+	solveTimeout  time.Duration
+	maxFrameworks int
+	start         time.Time
+	mux           *http.ServeMux
+	metrics       counters
+
+	mu sync.Mutex
+	// frameworks and order are guarded by mu: the cache of live
+	// frameworks keyed by canonical configuration, and their keys in
+	// insertion order for FIFO eviction.
+	frameworks map[string]*core.Framework
+	order      []string
+}
+
+// New builds a Server with its routes registered.
+func New(opts Options) *Server {
+	s := &Server{
+		solveTimeout:  opts.SolveTimeout,
+		maxFrameworks: opts.MaxFrameworks,
+		start:         time.Now(),
+		frameworks:    make(map[string]*core.Framework),
+	}
+	if s.maxFrameworks <= 0 {
+		s.maxFrameworks = defaultMaxFrameworks
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/advise", s.handleAdvise)
+	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// InFlight reports the number of solves currently running — exported for
+// the disconnect tests, which poll it to prove a canceled request's solve
+// actually unwound.
+func (s *Server) InFlight() int64 { return s.metrics.inFlight.Load() }
+
+// framework returns the cached framework for the spec, building and
+// registering one on first use. The spec must already be normalized.
+func (s *Server) framework(sp *federationSpec) (*core.Framework, error) {
+	key, err := sp.key()
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if fw, ok := s.frameworks[key]; ok {
+		return fw, nil
+	}
+	fw, err := core.New(sp.config())
+	if err != nil {
+		return nil, err
+	}
+	if len(s.frameworks) >= s.maxFrameworks {
+		oldest := s.order[0]
+		s.order = s.order[1:]
+		delete(s.frameworks, oldest)
+	}
+	s.frameworks[key] = fw
+	s.order = append(s.order, key)
+	return fw, nil
+}
+
+// cacheStats sums the evaluation-cache statistics over every live
+// framework, together with the cache count.
+func (s *Server) cacheStats() (market.CacheStats, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total market.CacheStats
+	for _, fw := range s.frameworks {
+		if rep, ok := fw.Evaluator().(market.CacheStatsReporter); ok {
+			st := rep.Stats()
+			total.Hits += st.Hits
+			total.Misses += st.Misses
+		}
+	}
+	return total, len(s.frameworks)
+}

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # bench.sh — standing perf-trajectory recorder.
 #
-#   ./scripts/bench.sh                 # run the suite, write BENCH_2.json + BENCH_3.json
+#   ./scripts/bench.sh                 # run the suite, write BENCH_2/3/4.json
 #   GOMAXPROCS=8 ./scripts/bench.sh    # same, at a different parallelism
 #
 # Runs the Fig. 7/8 figure benchmarks plus the DESIGN.md ablations with
@@ -18,6 +18,11 @@
 # on a single-CPU host the workers time-slice one core, so the ratio is
 # bounded near 1.0x and reflects cache/warm-start scheduling effects, not
 # hardware concurrency.
+#
+# Finally it times the Fig. 7a sweep through the scserve HTTP service
+# against the same sweep in-process (both on cold caches) and emits
+# BENCH_4.json with the serving overhead ratio — what answering from the
+# service costs over calling the framework directly.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -147,3 +152,52 @@ END {
 }' "$SWEEP_CURRENT" > "$SWEEP_OUT"
 
 echo "bench: wrote ${SWEEP_OUT}"
+
+SERVE_CURRENT=results/BENCH_4_current.txt
+SERVE_OUT=BENCH_4.json
+
+echo "==> go test ./internal/serve -bench SweepFig7a (GOMAXPROCS=${GOMAXPROCS}, -benchtime=1x -benchmem)"
+go test -run '^$' \
+    -bench '^Benchmark(Served|InProcess)SweepFig7a$' \
+    -benchtime=1x -benchmem -timeout 60m ./internal/serve | tee "$SERVE_CURRENT"
+
+echo "==> writing ${SERVE_OUT}"
+awk -v gomaxprocs="$GOMAXPROCS" -v numcpu="$NUM_CPU" '
+/^Benchmark(Served|InProcess)SweepFig7a/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    mode = (name ~ /^BenchmarkServed/) ? "served" : "in_process"
+    for (i = 3; i <= NF; i++) {
+        if ($i !~ /\/op$/) continue
+        unit = substr($i, 1, length($i) - 3)
+        tbl[mode, unit] = $(i - 1)
+        if (!((mode, unit) in seen)) { units[mode] = units[mode] (units[mode] ? SUBSEP : "") unit; seen[mode, unit] = 1 }
+    }
+}
+function emit_mode(mode,    us, nu, j, sep2) {
+    printf "  \"%s\": {", mode
+    nu = split(units[mode], us, SUBSEP)
+    sep2 = ""
+    for (j = 1; j <= nu; j++) {
+        printf "%s\"%s/op\": %s", sep2, us[j], tbl[mode, us[j]]
+        sep2 = ", "
+    }
+    printf "}"
+}
+END {
+    printf "{\n"
+    printf "  \"suite\": \"BENCH_4\",\n"
+    printf "  \"benchmark\": \"scserve /v1/sweep vs in-process Framework.Sweep, Fig. 7a approx grid, cold caches\",\n"
+    printf "  \"gomaxprocs\": %s,\n", gomaxprocs
+    printf "  \"num_cpu\": %s,\n", numcpu
+    printf "  \"benchtime\": \"1x\",\n"
+    emit_mode("served"); printf ",\n"
+    emit_mode("in_process"); printf ",\n"
+    if ((("served", "ns") in tbl) && (("in_process", "ns") in tbl) && tbl["in_process", "ns"] + 0 != 0)
+        printf "  \"serving_overhead_ratio\": %.3f\n", tbl["served", "ns"] / tbl["in_process", "ns"]
+    else
+        printf "  \"serving_overhead_ratio\": null\n"
+    printf "}\n"
+}' "$SERVE_CURRENT" > "$SERVE_OUT"
+
+echo "bench: wrote ${SERVE_OUT}"

@@ -28,6 +28,22 @@ go test -race ${short} ./...
 echo "==> go run ./cmd/scvet ./..."
 go run ./cmd/scvet ./...
 
+echo "==> godoc audit: every internal package declares a package comment"
+missing=0
+for dir in $(find internal -type d -not -path '*/testdata*'); do
+    # Only directories that actually hold a non-test Go file form a package.
+    files=$(find "$dir" -maxdepth 1 -name '*.go' ! -name '*_test.go')
+    [[ -z "$files" ]] && continue
+    if ! grep -l '^// Package ' $files >/dev/null; then
+        echo "verify: package in $dir has no '^// Package' comment" >&2
+        missing=1
+    fi
+done
+if [[ "$missing" -ne 0 ]]; then
+    echo "verify: godoc audit failed" >&2
+    exit 1
+fi
+
 echo "==> quick-bench smoke (BenchmarkAblationApprox, 1x)"
 go test -run '^$' -bench 'BenchmarkAblationApprox' -benchtime=1x .
 
