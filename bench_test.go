@@ -209,8 +209,8 @@ func BenchmarkAblationApproxOnePass(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := approx.Solve(approx.Config{
-			Federation: fed, Shares: shares, Target: 1, Passes: 1,
-		}); err != nil {
+			Federation: fed, Shares: shares, Passes: 1,
+		}, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -222,9 +222,49 @@ func BenchmarkAblationApproxTwoPass(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := approx.Solve(approx.Config{
-			Federation: fed, Shares: shares, Target: 1, Passes: 2,
-		}); err != nil {
+			Federation: fed, Shares: shares, Passes: 2,
+		}, 1); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// The whole-vector ablation: one approx.SolveAll against K per-target
+// hierarchies on a 4-SC federation — the ratio is the PR 5 payoff.
+func ablationFederation4() (cloud.Federation, []int) {
+	return cloud.Federation{
+		SCs: []cloud.SC{
+			{Name: "a", VMs: 10, ArrivalRate: 7, ServiceRate: 1, SLA: 0.2, PublicPrice: 1},
+			{Name: "b", VMs: 10, ArrivalRate: 5, ServiceRate: 1, SLA: 0.2, PublicPrice: 1},
+			{Name: "c", VMs: 10, ArrivalRate: 8, ServiceRate: 1, SLA: 0.2, PublicPrice: 1},
+			{Name: "d", VMs: 10, ArrivalRate: 6, ServiceRate: 1, SLA: 0.2, PublicPrice: 1},
+		},
+		FederationPrice: 0.5,
+	}, []int{3, 2, 4, 3}
+}
+
+// BenchmarkAblationApproxEvaluateAll measures the shared-spine whole-vector
+// solve for all K SCs at once.
+func BenchmarkAblationApproxEvaluateAll(b *testing.B) {
+	fed, shares := ablationFederation4()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := approx.SolveAll(approx.Config{Federation: fed, Shares: shares}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationApproxKTargets measures the pre-SolveAll alternative: K
+// independent per-target hierarchies for the same metrics vector.
+func BenchmarkAblationApproxKTargets(b *testing.B) {
+	fed, shares := ablationFederation4()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for t := range shares {
+			if _, err := approx.Solve(approx.Config{Federation: fed, Shares: shares}, t); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 }
@@ -344,23 +384,23 @@ func BenchmarkAblationWarmVsCold(b *testing.B) {
 		warm := approx.NewWarmCache()
 		prime := &markov.SolveStats{}
 		if _, err := approx.Solve(approx.Config{
-			Federation: fed, Shares: shares, Target: 1,
+			Federation: fed, Shares: shares,
 			Warm: warm, Solver: markov.SteadyStateOptions{Stats: prime},
-		}); err != nil {
+		}, 1); err != nil {
 			b.Fatal(err)
 		}
 		ws := &markov.SolveStats{}
 		if _, err := approx.Solve(approx.Config{
-			Federation: fed, Shares: neighbor, Target: 1,
+			Federation: fed, Shares: neighbor,
 			Warm: warm, Solver: markov.SteadyStateOptions{Stats: ws},
-		}); err != nil {
+		}, 1); err != nil {
 			b.Fatal(err)
 		}
 		cs := &markov.SolveStats{}
 		if _, err := approx.Solve(approx.Config{
-			Federation: fed, Shares: neighbor, Target: 1,
+			Federation: fed, Shares: neighbor,
 			Solver: markov.SteadyStateOptions{Stats: cs},
-		}); err != nil {
+		}, 1); err != nil {
 			b.Fatal(err)
 		}
 		coldIters += cs.Iterations

@@ -46,7 +46,7 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	kind, err := modelKind(*model)
+	kind, err := market.ParseKind(*model)
 	if err != nil {
 		return err
 	}
@@ -79,20 +79,6 @@ func run(args []string) error {
 		return enc.Encode(adv)
 	}
 	return runEquilibrium(fw, *price)
-}
-
-func modelKind(name string) (core.ModelKind, error) {
-	switch name {
-	case "approx":
-		return core.ModelApprox, nil
-	case "exact":
-		return core.ModelExact, nil
-	case "sim":
-		return core.ModelSim, nil
-	case "fluid":
-		return core.ModelFluid, nil
-	}
-	return 0, fmt.Errorf("unknown model %q", name)
 }
 
 func runEquilibrium(fw *core.Framework, price float64) error {

@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"scshare/internal/market"
+)
 
 func TestEquilibriumRun(t *testing.T) {
 	err := run([]string{"-scs", "10:9,10:7,10:4", "-price", "0.4", "-model", "fluid"})
@@ -35,21 +39,21 @@ func TestSweepRunColdStart(t *testing.T) {
 
 func TestModelKinds(t *testing.T) {
 	for _, name := range []string{"approx", "exact", "sim", "fluid"} {
-		if _, err := modelKind(name); err != nil {
+		if _, err := market.ParseKind(name); err != nil {
 			t.Errorf("%s: %v", name, err)
 		}
 	}
-	if _, err := modelKind("nope"); err == nil {
+	if _, err := market.ParseKind("nope"); err == nil {
 		t.Error("unknown model accepted")
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	cases := [][]string{
-		{},                                          // missing spec
-		{"-scs", "10:9", "-model", "nope"},          // bad model
-		{"-scs", "10:9", "-gamma", "3"},             // bad gamma
-		{"-scs", "10:9", "-sweep", "x"},             // bad sweep list
+		{},                                 // missing spec
+		{"-scs", "10:9", "-model", "nope"}, // bad model
+		{"-scs", "10:9", "-gamma", "3"},    // bad gamma
+		{"-scs", "10:9", "-sweep", "x"},    // bad sweep list
 	}
 	for _, args := range cases {
 		if err := run(args); err == nil {

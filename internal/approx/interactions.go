@@ -80,6 +80,9 @@ type interactions struct {
 	// uncondition starts every transient from the unconditioned steady
 	// state (accuracy ablation).
 	uncondition bool
+	// shiftF and shiftLent are the SolveAll readout self-exclusion shifts
+	// (in VMs); see setSelfExclusion.
+	shiftF, shiftLent float64
 
 	gamma       float64
 	kmax        int
@@ -126,12 +129,15 @@ func newInteractions(prev *level, curShare int, peerShares []int, epsilon, prune
 var pointMass = []allocEntry{{p: 1}}
 
 // alloc returns the interaction vector for a state of the level under
-// construction: current allocations (s, a) — whose sum is the conditioning
-// group — the mean inter-event duration tau, and the state's legality
-// clamps (aloc <= capAloc, arem <= capArem). Without predecessors the
-// current allocations are preserved: they belong to the successor-demand
-// process, which has its own explicit transitions.
-func (in *interactions) alloc(lv *level, s, a int, tau float64, capAloc, capArem int) []allocEntry {
+// construction: the current allocations (s, o, a), the mean inter-event
+// duration tau, and the state's legality clamps (aloc <= capAloc, arem <=
+// capArem). The conditioning group is s+a — the previous level's usage as
+// visible from a chain level — plus, on readout levels, the share of the
+// current o that the previous SC's own lent count carries (see
+// setSelfExclusion). Without predecessors the current allocations are
+// preserved: they belong to the successor-demand process, which has its
+// own explicit transitions.
+func (in *interactions) alloc(lv *level, s, o, a int, tau float64, capAloc, capArem int) []allocEntry {
 	if in.prev == nil {
 		if in.preserveS {
 			return []allocEntry{{aloc: min(s, capAloc), p: 1}}
@@ -148,7 +154,7 @@ func (in *interactions) jointIndex(f, lent, dead, cong int) int {
 }
 
 // summarize collapses a full distribution over the previous level's states
-// to the summary joint.
+// to the summary joint, applying the self-exclusion shifts when installed.
 func (in *interactions) summarize(p []float64) []float64 {
 	prev := in.prev
 	out := make([]float64, in.dim)
@@ -162,7 +168,73 @@ func (in *interactions) summarize(p []float64) []float64 {
 		}
 		out[in.jointIndex(prev.foreign[idx], prev.lent[idx], prev.dead[idx], c)] += w
 	}
+	if in.shiftLent > 0 {
+		shiftAxisDown(out, in.strideD, in.strideL/in.strideD, in.shiftLent)
+	}
+	if in.shiftF > 0 {
+		shiftAxisDown(out, in.strideL, len(out)/in.strideL, in.shiftF)
+	}
 	return out
+}
+
+// setSelfExclusion installs the SolveAll readout correction: the previous
+// level's summary counts the readout SC's own expected borrowing (the
+// readout SC was one of the spine's predecessors), so before the summary
+// feeds this level's interaction vectors that usage is subtracted in
+// expectation — shiftF VMs off the foreign-usage axis and shiftLent VMs off
+// the previous SC's lent axis, each as a deterministic linear-interpolation
+// translation. Must be called before the first alloc; it re-derives the
+// cached steady joint so every subsequent summary (steady and transient
+// iterates alike) carries the shift.
+//
+// The groups need the same correction from the other side: a readout
+// level's conditioning aggregate s+a measures the previous level's usage
+// *excluding* what it lent to the readout SC, while prev.groups are indexed
+// by the unshifted lent+o+a. conditionalStart therefore adds the expected
+// self-lending (shiftLent, floored) back before restricting, so the group
+// aggregates line up with the unshifted states the groups index; the
+// summaries of the selected states then carry the shift.
+func (in *interactions) setSelfExclusion(shiftF, shiftLent float64) {
+	if in.prev == nil {
+		return
+	}
+	in.shiftF = shiftF
+	in.shiftLent = shiftLent
+	in.steadyJoint = in.summarize(in.prev.steady)
+}
+
+// shiftAxisDown translates probability mass down one axis of a summary
+// joint by a possibly fractional number of units: each cell's mass moves to
+// coordinate max(c-n, 0) with weight 1-frac and max(c-n-1, 0) with weight
+// frac, where shift = n + frac. Mass that would land below zero piles up at
+// zero, so the total is preserved. The axis is addressed by its stride and
+// extent within the flat layout.
+func shiftAxisDown(joint []float64, stride, extent int, shift float64) {
+	if shift <= 0 || extent <= 1 {
+		return
+	}
+	n := int(shift)
+	frac := shift - float64(n)
+	outer := len(joint) / (stride * extent)
+	line := make([]float64, extent)
+	for o := 0; o < outer; o++ {
+		for r := 0; r < stride; r++ {
+			base := o*stride*extent + r
+			for c := 0; c < extent; c++ {
+				line[c] = joint[base+c*stride]
+				joint[base+c*stride] = 0
+			}
+			for c, w := range line {
+				if w == 0 {
+					continue
+				}
+				joint[base+max(c-n, 0)*stride] += w * (1 - frac)
+				if frac > 0 {
+					joint[base+max(c-n-1, 0)*stride] += w * frac
+				}
+			}
+		}
+	}
 }
 
 // groupIterates returns (building if needed) the summary joints of the
@@ -303,12 +375,24 @@ func (in *interactions) buildVector(g int, tau float64) []allocEntry {
 // conditionalStart restricts the previous level's steady state to the
 // states whose total shared usage equals g (falling back to the nearest
 // non-empty total) and renormalizes: the pi^X construction of the paper
-// applied to the observable aggregate.
+// applied to the observable aggregate. On SolveAll readout levels the
+// expected self-lending shiftLent is added back first — floored, because
+// conditioning feeds the lend dynamics back into the aggregate and rounding
+// the bias up overdrives that loop — since the caller's aggregate excludes
+// the readout SC's own borrowing while the groups do not.
 func (in *interactions) conditionalStart(g int) []float64 {
 	prev := in.prev
 	if in.uncondition {
 		return prev.steady
 	}
+	return in.groupRestriction(g + int(in.shiftLent))
+}
+
+// groupRestriction is conditionalStart's core: restrict the previous
+// level's steady state to usage aggregate g, nearest-neighbor fallback when
+// the group is empty or out of range.
+func (in *interactions) groupRestriction(g int) []float64 {
+	prev := in.prev
 	if g < 0 {
 		g = 0
 	}

@@ -143,7 +143,7 @@ func (lv *level) build(prev *interactions, demand float64, opts markov.SteadySta
 		}
 
 		// Arrival event (C1-C3).
-		arr := prev.alloc(lv, s, a, 1/lambda, capAloc, lv.poolDim-o)
+		arr := prev.alloc(lv, s, o, a, 1/lambda, capAloc, lv.poolDim-o)
 		for _, e := range arr {
 			switch {
 			case q+e.aloc < lv.sc.VMs: // C1: local idle VM
@@ -165,7 +165,7 @@ func (lv *level) build(prev *interactions, demand float64, opts markov.SteadySta
 		// Local departure event (C4).
 		if l := min(q, lv.sc.VMs-s); l > 0 {
 			rate := float64(l) * mu
-			dep := prev.alloc(lv, s, a, 1/rate, capAloc, lv.poolDim-o)
+			dep := prev.alloc(lv, s, o, a, 1/rate, capAloc, lv.poolDim-o)
 			for _, e := range dep {
 				switch {
 				case q-1+e.aloc >= lv.sc.VMs: // own queue absorbs the VM
@@ -181,7 +181,7 @@ func (lv *level) build(prev *interactions, demand float64, opts markov.SteadySta
 		// Remote departure event (C5).
 		if o > 0 {
 			rate := float64(o) * mu
-			dep := prev.alloc(lv, s, a, 1/rate, capAloc, lv.poolDim-(o-1))
+			dep := prev.alloc(lv, s, o, a, 1/rate, capAloc, lv.poolDim-(o-1))
 			for _, e := range dep {
 				switch {
 				case e.cong && o-1+e.arem+1 <= lv.poolDim: // predecessors take it

@@ -9,18 +9,14 @@ import (
 	"scshare/internal/queueing"
 )
 
-// Config parameterizes one approximate solve.
+// Config parameterizes the approximate solves of one federation. It
+// describes the federation and the model's cost/accuracy knobs only — the
+// target SC is an explicit argument of Solve, so a single Config drives any
+// number of per-target solves and whole-vector SolveAll calls.
 type Config struct {
 	Federation cloud.Federation
 	// Shares is S_i for every SC.
 	Shares []int
-	// Target is the SC whose metrics are computed (the last level of the
-	// hierarchy). The remaining SCs are processed in ascending index order
-	// unless Order overrides it.
-	Target int
-	// Order optionally fixes the level order; it must be a permutation of
-	// the SC indices ending with Target.
-	Order []int
 	// QueueCap optionally overrides the per-SC queue truncation.
 	QueueCap []int
 	// Epsilon is the transient-analysis truncation (default 1e-9).
@@ -46,31 +42,39 @@ type Config struct {
 	Passes int
 	// Solver configures the per-level steady-state solves.
 	Solver markov.SteadyStateOptions
-	// Warm optionally carries level steady states between Solve calls to
-	// seed the per-level solvers (see WarmCache). Leave nil for cold starts.
+	// Warm optionally carries level steady states between Solve and
+	// SolveAll calls to seed the per-level solvers (see WarmCache). Leave
+	// nil for cold starts.
 	Warm *WarmCache
 }
 
 // Model is the solved hierarchy for one target SC.
 type Model struct {
 	cfg     Config
+	target  int
 	levels  []*level
 	metrics cloud.Metrics
 }
 
-// Solve builds and solves M^1..M^K for the configured target SC.
-func Solve(cfg Config) (*Model, error) {
+// chainSolver carries the validated inputs shared by every chain a
+// Solve/SolveAll call builds.
+type chainSolver struct {
+	cfg      Config
+	k        int
+	passes   int
+	overflow []float64
+}
+
+// newChainSolver validates the configuration and precomputes the overflow
+// demand estimates that size the level pools.
+func newChainSolver(cfg Config) (*chainSolver, error) {
 	if err := cfg.Federation.Validate(); err != nil {
 		return nil, fmt.Errorf("approx: %w", err)
 	}
 	if err := cfg.Federation.ValidateShares(cfg.Shares); err != nil {
 		return nil, fmt.Errorf("approx: %w", err)
 	}
-	k := len(cfg.Federation.SCs)
-	if cfg.Target < 0 || cfg.Target >= k {
-		return nil, fmt.Errorf("approx: target %d out of range [0,%d)", cfg.Target, k)
-	}
-	order, err := levelOrder(cfg, k)
+	overflow, err := overflowErlangs(cfg.Federation)
 	if err != nil {
 		return nil, err
 	}
@@ -78,74 +82,226 @@ func Solve(cfg Config) (*Model, error) {
 	if passes <= 0 {
 		passes = 2
 	}
-	m := &Model{cfg: cfg}
-	overflow, err := overflowErlangs(cfg.Federation)
+	return &chainSolver{cfg: cfg, k: len(cfg.Federation.SCs), passes: passes, overflow: overflow}, nil
+}
+
+// Solve builds and solves the per-target hierarchy M^1..M^K for the given
+// target SC: the other SCs are processed in ascending index order with the
+// target last. Use SolveOrdered to fix a different level order, and
+// SolveAll for every SC's metrics off one shared hierarchy.
+func Solve(cfg Config, target int) (*Model, error) {
+	s, err := newChainSolver(cfg)
 	if err != nil {
 		return nil, err
 	}
+	if target < 0 || target >= s.k {
+		return nil, fmt.Errorf("approx: target %d out of range [0,%d)", target, s.k)
+	}
+	return s.solveOrdered(defaultOrder(s.k, target), target)
+}
+
+// SolveOrdered is Solve with an explicit level order, which must be a
+// permutation of the SC indices ending with target.
+func SolveOrdered(cfg Config, target int, order []int) (*Model, error) {
+	s, err := newChainSolver(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if target < 0 || target >= s.k {
+		return nil, fmt.Errorf("approx: target %d out of range [0,%d)", target, s.k)
+	}
+	if err := validateOrder(order, s.k, target); err != nil {
+		return nil, err
+	}
+	return s.solveOrdered(order, target)
+}
+
+func (s *chainSolver) solveOrdered(order []int, target int) (*Model, error) {
+	levels, err := s.buildChain(order)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{
+		cfg:     s.cfg,
+		target:  target,
+		levels:  levels,
+		metrics: levels[len(levels)-1].metrics(),
+	}, nil
+}
+
+// buildChain runs the pass loop over one level order and returns the final
+// pass's solved levels.
+func (s *chainSolver) buildChain(order []int) ([]*level, error) {
+	target := order[len(order)-1]
 	demand := 0.0
-	for pass := 0; pass < passes; pass++ {
-		m.levels = m.levels[:0]
+	var levels []*level
+	for pass := 0; pass < s.passes; pass++ {
+		levels = levels[:0]
 		var prev *level
 		prevIdx := -1
 		for _, scIdx := range order {
-			sc := cfg.Federation.SCs[scIdx]
-			share := cfg.Shares[scIdx]
-			pool := cloud.PoolExcluding(cfg.Shares, scIdx)
-			qcap := 0
-			if cfg.QueueCap != nil && scIdx < len(cfg.QueueCap) {
-				qcap = cfg.QueueCap[scIdx]
-			}
-			// Shares of the other members of the previous level's pool
-			// (everyone except the previous SC and this one); they weight
-			// the demand split in the interaction vectors.
-			var peerShares []int
-			for j, s := range cfg.Shares {
-				if j != scIdx && j != prevIdx {
-					peerShares = append(peerShares, s)
-				}
-			}
-			lv := newLevel(sc, share, pool, poolDim(cfg, overflow, scIdx, pool), qcap)
-			inter := newInteractions(prev, share, peerShares, cfg.Epsilon, cfg.Prune)
-			inter.preserveS = prev == nil && demand > 0
-			inter.uncondition = cfg.Uncondition
-			solver := cfg.Solver
-			if start := cfg.Warm.lookup(cfg.Target, scIdx, lv.numStates()); start != nil {
-				solver.Start = start
-			}
-			if err := lv.build(inter, demand, solver); err != nil {
+			lv, err := s.buildLevel(prev, prevIdx, scIdx, demand, target, 0, 0)
+			if err != nil {
 				return nil, err
 			}
-			cfg.Warm.store(cfg.Target, scIdx, lv.numStates(), lv.steady)
-			m.levels = append(m.levels, lv)
+			levels = append(levels, lv)
 			prev = lv
 			prevIdx = scIdx
 		}
-		if pass+1 < passes {
-			demand = m.successorDemand(order)
+		if pass+1 < s.passes {
+			demand = successorDemand(s.cfg, levels, order)
 		}
 	}
-	m.metrics = m.levels[len(m.levels)-1].metrics()
-	return m, nil
+	return levels, nil
+}
+
+// buildLevel assembles and solves one hierarchy level: SC scIdx fed by the
+// solved predecessor level (nil for a first level) under the given
+// successor-demand rate. Warm lookups and stores are keyed by warmTarget —
+// the target whose per-target hierarchy this level would belong to — so the
+// shared spine of SolveAll and the chain of Solve(cfg, k-1) warm each
+// other, and each readout level shares warmth with Solve(cfg, t)'s final
+// level. shiftF/shiftLent install the readout self-exclusion shift (see
+// buildReadout); both are 0 for ordinary chain levels.
+func (s *chainSolver) buildLevel(prev *level, prevIdx, scIdx int, demand float64, warmTarget int, shiftF, shiftLent float64) (*level, error) {
+	cfg := s.cfg
+	sc := cfg.Federation.SCs[scIdx]
+	share := cfg.Shares[scIdx]
+	pool := cloud.PoolExcluding(cfg.Shares, scIdx)
+	qcap := 0
+	if cfg.QueueCap != nil && scIdx < len(cfg.QueueCap) {
+		qcap = cfg.QueueCap[scIdx]
+	}
+	// Shares of the other members of the previous level's pool (everyone
+	// except the previous SC and this one); they weight the demand split in
+	// the interaction vectors.
+	var peerShares []int
+	for j, sh := range cfg.Shares {
+		if j != scIdx && j != prevIdx {
+			peerShares = append(peerShares, sh)
+		}
+	}
+	lv := newLevel(sc, share, pool, poolDim(cfg, s.overflow, scIdx, pool), qcap)
+	inter := newInteractions(prev, share, peerShares, cfg.Epsilon, cfg.Prune)
+	inter.preserveS = prev == nil && demand > 0
+	inter.uncondition = cfg.Uncondition
+	if shiftF > 0 || shiftLent > 0 {
+		inter.setSelfExclusion(shiftF, shiftLent)
+	}
+	solver := cfg.Solver
+	if start := cfg.Warm.lookup(s.k, warmTarget, scIdx, lv.numStates()); start != nil {
+		solver.Start = start
+	}
+	if err := lv.build(inter, demand, solver); err != nil {
+		return nil, err
+	}
+	cfg.Warm.store(s.k, warmTarget, scIdx, lv.numStates(), lv.steady)
+	return lv, nil
+}
+
+// selfExclusionTol is the per-SC borrow-estimate movement (in VMs) below
+// which the SolveAll readout fixpoint is considered settled.
+const selfExclusionTol = 0.05
+
+// maxReadoutRounds bounds the readout fixpoint iteration; estimates settle
+// within two rounds on every studied federation.
+const maxReadoutRounds = 2
+
+// SolveAll computes every SC's metrics off one shared hierarchy per
+// strategy vector instead of K independent per-target hierarchies.
+//
+// Construction: the canonical ascending chain M^1..M^K — the shared spine,
+// identical (passes included) to the per-target hierarchy of SC K-1 — is
+// built and solved once; SC K-1's metrics are read from its last level
+// directly. Every other SC t then gets a single readout level fed by the
+// spine's last level, with SC t's own expected shared-VM usage subtracted
+// from the predecessor summary (the self-exclusion shift), and the
+// subtraction is iterated to a fixpoint on the borrow estimates. That is
+// ~K+... level solves per vector in place of the K*K (times passes) a
+// per-target loop pays; DESIGN.md §12 spells out what is and is not
+// identical to K per-target Solve calls.
+func SolveAll(cfg Config) ([]cloud.Metrics, error) {
+	s, err := newChainSolver(cfg)
+	if err != nil {
+		return nil, err
+	}
+	k := s.k
+	if k == 1 {
+		m, err := s.solveOrdered([]int{0}, 0)
+		if err != nil {
+			return nil, err
+		}
+		return []cloud.Metrics{m.Metrics()}, nil
+	}
+	spine, err := s.buildChain(defaultOrder(k, k-1))
+	if err != nil {
+		return nil, err
+	}
+	last := spine[k-1]
+	out := make([]cloud.Metrics, k)
+	out[k-1] = last.metrics()
+	// Initial self-usage estimates come from the spine itself: level t
+	// models SC t with only SCs 0..t-1 interacting, so its borrow rate is a
+	// coarse first guess the readout rounds refine.
+	borrow := make([]float64, k)
+	for t := 0; t < k-1; t++ {
+		borrow[t] = spine[t].metrics().BorrowRate
+	}
+	for round := 0; round < maxReadoutRounds; round++ {
+		moved := false
+		for t := 0; t < k-1; t++ {
+			lv, err := s.buildReadout(last, k-1, t, borrow[t])
+			if err != nil {
+				return nil, err
+			}
+			m := lv.metrics()
+			if math.Abs(m.BorrowRate-borrow[t]) > selfExclusionTol {
+				moved = true
+			}
+			borrow[t] = m.BorrowRate
+			out[t] = m
+		}
+		if !moved {
+			break
+		}
+	}
+	return out, nil
+}
+
+// buildReadout solves SC t's readout level off the shared spine: one final
+// hierarchy level whose predecessor is the spine's last level. The spine
+// includes SC t among the last level's predecessors, so its summary counts
+// SC t's own borrowing as foreign pool usage; the self-exclusion shift
+// subtracts that usage in expectation, split between the last SC's lent
+// count (the borrowed VMs that belong to SC lastIdx) and the foreign usage
+// F (those that belong to the remaining pool members).
+func (s *chainSolver) buildReadout(last *level, lastIdx, t int, borrowEst float64) (*level, error) {
+	shiftF, shiftLent := 0.0, 0.0
+	if pool := cloud.PoolExcluding(s.cfg.Shares, t); pool > 0 && borrowEst > 0 {
+		wLast := float64(s.cfg.Shares[lastIdx]) / float64(pool)
+		shiftLent = borrowEst * wLast
+		shiftF = borrowEst * (1 - wLast)
+	}
+	return s.buildLevel(last, lastIdx, t, 0, t, shiftF, shiftLent)
 }
 
 // successorDemand estimates the rate at which the rest of the federation
 // acquires the first-level SC's shared VMs: every other SC's borrowed-VM
 // throughput, attributed to the first SC in proportion to its slice of
 // that SC's borrowable pool.
-func (m *Model) successorDemand(order []int) float64 {
+func successorDemand(cfg Config, levels []*level, order []int) float64 {
 	first := order[0]
-	firstShare := m.cfg.Shares[first]
+	firstShare := cfg.Shares[first]
 	if firstShare == 0 {
 		return 0
 	}
 	total := 0.0
-	for li, lv := range m.levels {
+	for li, lv := range levels {
 		if li == 0 {
 			continue
 		}
 		scIdx := order[li]
-		pool := cloud.PoolExcluding(m.cfg.Shares, scIdx)
+		pool := cloud.PoolExcluding(cfg.Shares, scIdx)
 		if pool == 0 {
 			continue
 		}
@@ -189,34 +345,41 @@ func poolDim(cfg Config, overflow []float64, scIdx, pool int) int {
 	return min(pool, int(math.Ceil(d+6*math.Sqrt(d)))+3)
 }
 
-func levelOrder(cfg Config, k int) ([]int, error) {
-	if cfg.Order == nil {
-		order := make([]int, 0, k)
-		for i := 0; i < k; i++ {
-			if i != cfg.Target {
-				order = append(order, i)
-			}
+// defaultOrder is the paper's level order for one target: the other SCs in
+// ascending index order, the target last.
+func defaultOrder(k, target int) []int {
+	order := make([]int, 0, k)
+	for i := 0; i < k; i++ {
+		if i != target {
+			order = append(order, i)
 		}
-		return append(order, cfg.Target), nil
 	}
-	if len(cfg.Order) != k {
-		return nil, fmt.Errorf("approx: order has %d entries for %d SCs", len(cfg.Order), k)
+	return append(order, target)
+}
+
+// validateOrder checks an explicit level order for SolveOrdered.
+func validateOrder(order []int, k, target int) error {
+	if len(order) != k {
+		return fmt.Errorf("approx: order has %d entries for %d SCs", len(order), k)
 	}
 	seen := make([]bool, k)
-	for _, i := range cfg.Order {
+	for _, i := range order {
 		if i < 0 || i >= k || seen[i] {
-			return nil, fmt.Errorf("approx: order %v is not a permutation", cfg.Order)
+			return fmt.Errorf("approx: order %v is not a permutation", order)
 		}
 		seen[i] = true
 	}
-	if cfg.Order[k-1] != cfg.Target {
-		return nil, fmt.Errorf("approx: order must end with target %d, got %v", cfg.Target, cfg.Order)
+	if order[k-1] != target {
+		return fmt.Errorf("approx: order must end with target %d, got %v", target, order)
 	}
-	return cfg.Order, nil
+	return nil
 }
 
 // Metrics returns the target SC's performance parameters.
 func (m *Model) Metrics() cloud.Metrics { return m.metrics }
+
+// Target returns the SC index the hierarchy was solved for.
+func (m *Model) Target() int { return m.target }
 
 // TotalStates returns the summed size of all level chains; the quantity
 // the paper compares against the exponential detailed model (Fig. 8a).
@@ -235,21 +398,4 @@ func (m *Model) LevelSizes() []int {
 		out[i] = lv.numStates()
 	}
 	return out
-}
-
-// SolveAll computes metrics for every SC by running the hierarchy once per
-// target, which is exactly how SCs use the model in a decentralized way.
-func SolveAll(cfg Config) ([]cloud.Metrics, error) {
-	out := make([]cloud.Metrics, len(cfg.Federation.SCs))
-	for i := range cfg.Federation.SCs {
-		c := cfg
-		c.Target = i
-		c.Order = nil
-		m, err := Solve(c)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = m.Metrics()
-	}
-	return out, nil
 }

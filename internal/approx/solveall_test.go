@@ -1,0 +1,217 @@
+package approx
+
+import (
+	"math"
+	"testing"
+
+	"scshare/internal/cloud"
+	"scshare/internal/exact"
+	"scshare/internal/markov"
+)
+
+// Parity tolerances between SolveAll and K per-target Solve calls, pinned
+// from measured deltas (the readout construction is not identical to a
+// dedicated hierarchy, so small gaps are expected; see DESIGN.md §12).
+const (
+	// solveAllRateTol bounds |Δ| on the lend and borrow rates (VMs).
+	solveAllRateTol = 0.06
+	// solveAllUtilTol bounds |Δ| on utilization.
+	solveAllUtilTol = 0.005
+	// solveAllFwdTol bounds |Δ| on the forwarding probability.
+	solveAllFwdTol = 0.006
+	// solveAllSpineTol bounds the last SC's metrics, whose readout IS the
+	// shared spine — the same hierarchy Solve builds for that target.
+	solveAllSpineTol = 1e-12
+)
+
+// Accuracy tolerances of SolveAll against the exact CTMC — the Fig. 6
+// question asked of the whole-vector path. Pinned from measured errors;
+// per-target Solve sits at the same distance from exact on these cases.
+const (
+	exactRateTol = 0.25
+	exactUtilTol = 0.02
+	exactFwdTol  = 0.02
+)
+
+// fed3small keeps the counter-oriented tests (level solves, warm traffic)
+// cheap under -race; the parity and accuracy tests use the full-size
+// federations.
+func fed3small() cloud.Federation {
+	return cloud.Federation{
+		SCs: []cloud.SC{
+			{Name: "a", VMs: 5, ArrivalRate: 3.5, ServiceRate: 1, SLA: 0.2, PublicPrice: 1},
+			{Name: "b", VMs: 5, ArrivalRate: 2.5, ServiceRate: 1, SLA: 0.2, PublicPrice: 1},
+			{Name: "c", VMs: 5, ArrivalRate: 4, ServiceRate: 1, SLA: 0.2, PublicPrice: 1},
+		},
+		FederationPrice: 0.5,
+	}
+}
+
+func fed3s() cloud.Federation {
+	return cloud.Federation{
+		SCs: []cloud.SC{
+			{Name: "a", VMs: 10, ArrivalRate: 7, ServiceRate: 1, SLA: 0.2, PublicPrice: 1},
+			{Name: "b", VMs: 10, ArrivalRate: 5, ServiceRate: 1, SLA: 0.2, PublicPrice: 1},
+			{Name: "c", VMs: 10, ArrivalRate: 8, ServiceRate: 1, SLA: 0.2, PublicPrice: 1},
+		},
+		FederationPrice: 0.5,
+	}
+}
+
+func checkParity(t *testing.T, all []cloud.Metrics, per cloud.Metrics, i, last int) {
+	t.Helper()
+	rateTol, utilTol, fwdTol := solveAllRateTol, solveAllUtilTol, solveAllFwdTol
+	if i == last {
+		rateTol, utilTol, fwdTol = solveAllSpineTol, solveAllSpineTol, solveAllSpineTol
+	}
+	if d := math.Abs(all[i].LendRate - per.LendRate); d > rateTol {
+		t.Errorf("sc %d lend: all %.4f per %.4f (|Δ|=%.4f > %v)", i, all[i].LendRate, per.LendRate, d, rateTol)
+	}
+	if d := math.Abs(all[i].BorrowRate - per.BorrowRate); d > rateTol {
+		t.Errorf("sc %d borrow: all %.4f per %.4f (|Δ|=%.4f > %v)", i, all[i].BorrowRate, per.BorrowRate, d, rateTol)
+	}
+	if d := math.Abs(all[i].Utilization - per.Utilization); d > utilTol {
+		t.Errorf("sc %d util: all %.4f per %.4f (|Δ|=%.4f > %v)", i, all[i].Utilization, per.Utilization, d, utilTol)
+	}
+	if d := math.Abs(all[i].ForwardProb - per.ForwardProb); d > fwdTol {
+		t.Errorf("sc %d fwd: all %.5f per %.5f (|Δ|=%.5f > %v)", i, all[i].ForwardProb, per.ForwardProb, d, fwdTol)
+	}
+}
+
+// SolveAll must agree with K per-target Solve calls within the pinned
+// tolerances, and exactly on the last SC (its readout is the shared spine).
+func TestSolveAllMatchesPerTarget(t *testing.T) {
+	cases := []struct {
+		name   string
+		fed    cloud.Federation
+		shares []int
+	}{
+		{"2sc-even", fed2(9, 4), []int{5, 5}},
+		{"2sc-thin", fed2(9, 4), []int{5, 1}},
+		{"2sc-skew", fed2(9, 4), []int{2, 8}},
+		{"3sc", fed3s(), []int{3, 2, 4}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Config{Federation: tc.fed, Shares: tc.shares}
+			all, err := SolveAll(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			k := len(tc.shares)
+			if len(all) != k {
+				t.Fatalf("SolveAll returned %d metrics, want %d", len(all), k)
+			}
+			for i := 0; i < k; i++ {
+				pm, err := Solve(cfg, i)
+				if err != nil {
+					t.Fatal(err)
+				}
+				checkParity(t, all, pm.Metrics(), i, k-1)
+			}
+		})
+	}
+}
+
+// The Fig. 6 accuracy question for the whole-vector path: SolveAll must
+// stay as close to the exact CTMC as the per-target hierarchy does.
+func TestSolveAllAccuracyVsExact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("exact CTMC solves are slow")
+	}
+	for _, shares := range [][]int{{5, 5}, {5, 1}, {2, 8}} {
+		fed := fed2(9, 4)
+		all, err := SolveAll(Config{Federation: fed, Shares: shares})
+		if err != nil {
+			t.Fatal(err)
+		}
+		em, err := exact.Solve(exact.Config{Federation: fed, Shares: shares})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, ex := range em.AllMetrics() {
+			if d := math.Abs(all[i].LendRate - ex.LendRate); d > exactRateTol {
+				t.Errorf("%v sc %d lend vs exact: %.4f vs %.4f", shares, i, all[i].LendRate, ex.LendRate)
+			}
+			if d := math.Abs(all[i].BorrowRate - ex.BorrowRate); d > exactRateTol {
+				t.Errorf("%v sc %d borrow vs exact: %.4f vs %.4f", shares, i, all[i].BorrowRate, ex.BorrowRate)
+			}
+			if d := math.Abs(all[i].Utilization - ex.Utilization); d > exactUtilTol {
+				t.Errorf("%v sc %d util vs exact: %.4f vs %.4f", shares, i, all[i].Utilization, ex.Utilization)
+			}
+			if d := math.Abs(all[i].ForwardProb - ex.ForwardProb); d > exactFwdTol {
+				t.Errorf("%v sc %d fwd vs exact: %.5f vs %.5f", shares, i, all[i].ForwardProb, ex.ForwardProb)
+			}
+		}
+	}
+}
+
+// The point of SolveAll: one shared spine plus K-1 readout levels is fewer
+// level solves than K full hierarchies.
+func TestSolveAllFewerLevelSolves(t *testing.T) {
+	fed := fed3small()
+	shares := []int{2, 1, 2}
+
+	var allStats markov.SolveStats
+	if _, err := SolveAll(Config{Federation: fed, Shares: shares,
+		Solver: markov.SteadyStateOptions{Stats: &allStats}}); err != nil {
+		t.Fatal(err)
+	}
+
+	var perStats markov.SolveStats
+	for i := range shares {
+		if _, err := Solve(Config{Federation: fed, Shares: shares,
+			Solver: markov.SteadyStateOptions{Stats: &perStats}}, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if allStats.Solves >= perStats.Solves {
+		t.Errorf("SolveAll used %d level solves, per-target used %d; want fewer",
+			allStats.Solves, perStats.Solves)
+	}
+}
+
+// A shared WarmCache must flow both ways: SolveAll's spine and readout
+// states seed later per-target Solve calls.
+func TestSolveAllWarmsSolve(t *testing.T) {
+	fed := fed3small()
+	shares := []int{2, 1, 2}
+	warm := NewWarmCache()
+	cfg := Config{Federation: fed, Shares: shares, Warm: warm}
+	if _, err := SolveAll(cfg); err != nil {
+		t.Fatal(err)
+	}
+	st := warm.Stats()
+	if st.Stores == 0 {
+		t.Fatalf("SolveAll stored nothing in the warm cache: %+v", st)
+	}
+	for i := range shares {
+		if _, err := Solve(cfg, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after := warm.Stats()
+	if after.Hits <= st.Hits {
+		t.Errorf("per-target solves after SolveAll got no warm hits: before %+v after %+v", st, after)
+	}
+}
+
+// K=1 has no interactions to share; SolveAll must reduce to Solve.
+func TestSolveAllSingleSC(t *testing.T) {
+	fed := cloud.Federation{
+		SCs:             []cloud.SC{{Name: "solo", VMs: 10, ArrivalRate: 8, ServiceRate: 1, SLA: 0.2, PublicPrice: 1}},
+		FederationPrice: 0.5,
+	}
+	cfg := Config{Federation: fed, Shares: []int{0}}
+	all, err := SolveAll(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Solve(cfg, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 1 || all[0] != m.Metrics() {
+		t.Errorf("SolveAll K=1 %+v, want %+v", all, m.Metrics())
+	}
+}

@@ -2,28 +2,46 @@ package approx
 
 import "sync"
 
-// warmKey addresses one hierarchy level's steady state: the target SC the
-// hierarchy was built for, the SC the level models, and the level's state
-// count (so a re-dimensioned level never inherits a stale vector).
+// warmKey addresses one hierarchy level's steady state: the chain length
+// (number of SCs, so sub-federations of different sizes never collide), the
+// target SC the hierarchy was built for, the SC the level models, and the
+// level's state count (so a re-dimensioned level never inherits a stale
+// vector). SolveAll stores its shared spine under target k-1 — the spine is
+// that hierarchy — and each readout level under its own SC's target, which
+// is exactly where Solve looks, so the two entry points warm each other.
 type warmKey struct {
+	k      int
 	target int
 	sc     int
 	states int
 }
 
-// WarmCache carries level steady states between Solve calls. A Tabu sweep
-// evaluates long runs of neighboring share vectors; each level's stationary
-// distribution moves only slightly between neighbors, so seeding the solver
-// with the previous solution cuts the iteration count dramatically compared
-// to a cold (uniform) start. It is safe for concurrent use.
+// WarmCache carries level steady states between Solve and SolveAll calls. A
+// Tabu sweep evaluates long runs of neighboring share vectors; each level's
+// stationary distribution moves only slightly between neighbors, so seeding
+// the solver with the previous solution cuts the iteration count
+// dramatically compared to a cold (uniform) start. It is safe for
+// concurrent use.
 type WarmCache struct {
 	mu sync.Mutex
 	// pis is guarded by mu.
 	pis map[warmKey][]float64
+	// hits, misses, and stores are guarded by mu.
+	hits   uint64
+	misses uint64
+	stores uint64
+}
+
+// WarmStats counts WarmCache traffic: lookups that found a start vector,
+// lookups that did not, and stores. A nil cache reports zeros.
+type WarmStats struct {
+	Hits   uint64
+	Misses uint64
+	Stores uint64
 }
 
 // NewWarmCache returns an empty warm-start cache, ready to be shared across
-// any number of Solve calls via Config.Warm.
+// any number of Solve and SolveAll calls via Config.Warm.
 func NewWarmCache() *WarmCache {
 	return &WarmCache{pis: make(map[warmKey][]float64)}
 }
@@ -31,22 +49,39 @@ func NewWarmCache() *WarmCache {
 // lookup returns the last steady state recorded for the key, or nil when
 // none matches. The returned slice is only ever read (the solvers copy their
 // start vector), so handing out the cached backing array is safe.
-func (w *WarmCache) lookup(target, sc, states int) []float64 {
+func (w *WarmCache) lookup(k, target, sc, states int) []float64 {
 	if w == nil {
 		return nil
 	}
 	w.mu.Lock()
-	pi := w.pis[warmKey{target: target, sc: sc, states: states}]
+	pi := w.pis[warmKey{k: k, target: target, sc: sc, states: states}]
+	if pi != nil {
+		w.hits++
+	} else {
+		w.misses++
+	}
 	w.mu.Unlock()
 	return pi
 }
 
 // store records a level's steady state for future lookups.
-func (w *WarmCache) store(target, sc, states int, pi []float64) {
+func (w *WarmCache) store(k, target, sc, states int, pi []float64) {
 	if w == nil || len(pi) != states {
 		return
 	}
 	w.mu.Lock()
-	w.pis[warmKey{target: target, sc: sc, states: states}] = pi
+	w.pis[warmKey{k: k, target: target, sc: sc, states: states}] = pi
+	w.stores++
 	w.mu.Unlock()
+}
+
+// Stats returns a snapshot of the cache's traffic counters.
+func (w *WarmCache) Stats() WarmStats {
+	if w == nil {
+		return WarmStats{}
+	}
+	w.mu.Lock()
+	s := WarmStats{Hits: w.hits, Misses: w.misses, Stores: w.stores}
+	w.mu.Unlock()
+	return s
 }

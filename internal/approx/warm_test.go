@@ -17,9 +17,9 @@ func TestWarmCacheFewerIterations(t *testing.T) {
 	// Prime the cache at (2, 2).
 	prime := &markov.SolveStats{}
 	if _, err := Solve(Config{
-		Federation: fed, Shares: []int{2, 2}, Target: 1,
+		Federation: fed, Shares: []int{2, 2},
 		Warm: warm, Solver: markov.SteadyStateOptions{Stats: prime},
-	}); err != nil {
+	}, 1); err != nil {
 		t.Fatal(err)
 	}
 	if prime.Solves == 0 || prime.Iterations == 0 {
@@ -29,9 +29,9 @@ func TestWarmCacheFewerIterations(t *testing.T) {
 	// The Tabu neighbor (3, 2) warm-started from (2, 2)...
 	warmStats := &markov.SolveStats{}
 	mWarm, err := Solve(Config{
-		Federation: fed, Shares: []int{3, 2}, Target: 1,
+		Federation: fed, Shares: []int{3, 2},
 		Warm: warm, Solver: markov.SteadyStateOptions{Stats: warmStats},
-	})
+	}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,9 +39,9 @@ func TestWarmCacheFewerIterations(t *testing.T) {
 	// ...versus the same solve cold.
 	coldStats := &markov.SolveStats{}
 	mCold, err := Solve(Config{
-		Federation: fed, Shares: []int{3, 2}, Target: 1,
+		Federation: fed, Shares: []int{3, 2},
 		Solver: markov.SteadyStateOptions{Stats: coldStats},
-	})
+	}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,20 +62,30 @@ func TestWarmCacheFewerIterations(t *testing.T) {
 // so its lookup must miss instead of seeding a mismatched start vector.
 func TestWarmCacheDimensionGuard(t *testing.T) {
 	w := NewWarmCache()
-	w.store(1, 0, 10, make([]float64, 10))
-	if got := w.lookup(1, 0, 11); got != nil {
+	w.store(2, 1, 0, 10, make([]float64, 10))
+	if got := w.lookup(2, 1, 0, 11); got != nil {
 		t.Fatal("lookup with mismatched state count returned a vector")
 	}
-	if got := w.lookup(0, 0, 10); got != nil {
+	if got := w.lookup(2, 0, 0, 10); got != nil {
 		t.Fatal("lookup with different target returned a vector")
 	}
-	if got := w.lookup(1, 0, 10); len(got) != 10 {
+	if got := w.lookup(3, 1, 0, 10); got != nil {
+		t.Fatal("lookup with different chain length returned a vector")
+	}
+	if got := w.lookup(2, 1, 0, 10); len(got) != 10 {
 		t.Fatalf("matching lookup returned %d entries, want 10", len(got))
+	}
+	st := w.Stats()
+	if st.Stores != 1 || st.Hits != 1 || st.Misses != 3 {
+		t.Fatalf("stats %+v, want 1 store / 1 hit / 3 misses", st)
 	}
 	// A nil cache is inert on both paths.
 	var nilCache *WarmCache
-	nilCache.store(0, 0, 3, make([]float64, 3))
-	if got := nilCache.lookup(0, 0, 3); got != nil {
+	nilCache.store(1, 0, 0, 3, make([]float64, 3))
+	if got := nilCache.lookup(1, 0, 0, 3); got != nil {
 		t.Fatal("nil cache returned a vector")
+	}
+	if st := nilCache.Stats(); st != (WarmStats{}) {
+		t.Fatalf("nil cache reported stats %+v", st)
 	}
 }

@@ -14,25 +14,26 @@ import (
 
 	"scshare/internal/approx"
 	"scshare/internal/cloud"
-	"scshare/internal/fluid"
 	"scshare/internal/market"
 	"scshare/internal/queueing"
 )
 
-// ModelKind selects the performance model backing the framework.
-type ModelKind int
+// ModelKind selects the performance model backing the framework. It is an
+// alias of market.Kind, so framework configuration and the market's
+// evaluator constructors speak the same enum.
+type ModelKind = market.Kind
 
 const (
 	// ModelApprox is the hierarchical approximate model (the paper's
 	// choice for market experiments).
-	ModelApprox ModelKind = iota + 1
+	ModelApprox = market.KindApprox
 	// ModelExact is the detailed CTMC; feasible only for tiny federations.
-	ModelExact
+	ModelExact = market.KindExact
 	// ModelSim estimates metrics by discrete-event simulation.
-	ModelSim
+	ModelSim = market.KindSim
 	// ModelFluid is the fast fixed-point mean-field model; coarse, but
 	// cheap enough for large federations and wide strategy spaces.
-	ModelFluid
+	ModelFluid = market.KindFluid
 )
 
 // Config parameterizes the framework.
@@ -82,33 +83,39 @@ func New(cfg Config) (*Framework, error) {
 		return nil, market.ErrBadGamma
 	}
 	f := &Framework{cfg: cfg}
-	var mkEval func(fed cloud.Federation) market.Evaluator
-	switch cfg.Model {
-	case ModelApprox, 0:
-		mkEval = func(fed cloud.Federation) market.Evaluator {
-			return market.ApproxEvaluator(fed, cfg.Approx)
-		}
-	case ModelExact:
-		mkEval = func(fed cloud.Federation) market.Evaluator {
-			return market.ExactEvaluator(fed, nil)
-		}
-	case ModelSim:
-		horizon, warmup := cfg.SimHorizon, cfg.SimWarmup
-		if horizon <= 0 {
-			horizon = 20000
-		}
-		if warmup <= 0 {
-			warmup = horizon / 20
-		}
-		mkEval = func(fed cloud.Federation) market.Evaluator {
-			return market.SimEvaluator(fed, horizon, warmup, cfg.SimSeed)
-		}
-	case ModelFluid:
-		mkEval = func(fed cloud.Federation) market.Evaluator {
-			return fluid.NewEvaluator(fed, fluid.Options{})
-		}
-	default:
+	kind := cfg.Model
+	if kind == 0 {
+		kind = ModelApprox
+	}
+	if !kind.Valid() {
 		return nil, errors.New("core: unknown performance model kind")
+	}
+	opts := market.EvaluatorOptions{
+		Approx:     cfg.Approx,
+		SimHorizon: cfg.SimHorizon,
+		SimWarmup:  cfg.SimWarmup,
+		SimSeed:    cfg.SimSeed,
+	}
+	if opts.Approx.Warm == nil {
+		// One warm cache for the whole framework: the participation game
+		// builds a separate evaluator per sub-federation, and under the
+		// ApproxEvaluator ownership rule sharing warmth across them must be
+		// explicit — the warmKey's chain length keeps sub-federations of
+		// different sizes apart, and a mismatched seed only costs iterations,
+		// never accuracy.
+		opts.Approx.Warm = approx.NewWarmCache()
+	}
+	mkEval := func(fed cloud.Federation) market.Evaluator {
+		ev, err := market.NewEvaluator(kind, fed, opts)
+		if err != nil {
+			// Unreachable: kind was validated above, and that is the only way
+			// NewEvaluator fails. Surface the error at evaluation time rather
+			// than panicking.
+			return market.EvaluatorFunc(func([]int, int) (cloud.Metrics, error) {
+				return cloud.Metrics{}, err
+			})
+		}
+		return ev
 	}
 	if cfg.AllowFreeRiding {
 		f.eval = market.Memoize(mkEval(cfg.Federation))

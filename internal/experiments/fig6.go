@@ -62,12 +62,12 @@ func Fig6TwoSC(opts Fig6TwoSCOptions) ([]Figure, error) {
 			YLabel: "VMs",
 		}
 		series := map[string]*Series{
-			"exact I-bar":   {Name: "exact I-bar"},
-			"approx I-bar":  {Name: "approx I-bar"},
-			"exact O-bar":   {Name: "exact O-bar"},
-			"approx O-bar":  {Name: "approx O-bar"},
-			"exact P-bar":   {Name: "exact P-bar"},
-			"approx P-bar":  {Name: "approx P-bar"},
+			"exact I-bar":  {Name: "exact I-bar"},
+			"approx I-bar": {Name: "approx I-bar"},
+			"exact O-bar":  {Name: "exact O-bar"},
+			"approx O-bar": {Name: "approx O-bar"},
+			"exact P-bar":  {Name: "exact P-bar"},
+			"approx P-bar": {Name: "approx P-bar"},
 		}
 		for _, lambda := range opts.TargetLambdas {
 			fed := cloud.Federation{
@@ -84,8 +84,7 @@ func Fig6TwoSC(opts Fig6TwoSCOptions) ([]Figure, error) {
 			acfg := opts.Approx
 			acfg.Federation = fed
 			acfg.Shares = shares
-			acfg.Target = 1
-			am, err := approx.Solve(acfg)
+			am, err := approx.Solve(acfg, 1)
 			if err != nil {
 				return nil, fmt.Errorf("fig6 2sc: %w", err)
 			}
@@ -197,8 +196,7 @@ func Fig6TenSC(opts Fig6TenSCOptions) ([]Figure, error) {
 			acfg := opts.Approx
 			acfg.Federation = fed
 			acfg.Shares = shares
-			acfg.Target = target
-			am, err := approx.Solve(acfg)
+			am, err := approx.Solve(acfg, target)
 			if err != nil {
 				return nil, fmt.Errorf("fig6 10sc: %w", err)
 			}
@@ -288,8 +286,7 @@ func Fig6Large(opts Fig6LargeOptions) ([]Figure, error) {
 			acfg := opts.Approx
 			acfg.Federation = fed
 			acfg.Shares = shares
-			acfg.Target = 1
-			am, err := approx.Solve(acfg)
+			am, err := approx.Solve(acfg, 1)
 			if err != nil {
 				return nil, fmt.Errorf("fig6 large: %w", err)
 			}

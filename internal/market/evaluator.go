@@ -9,6 +9,7 @@ import (
 	"scshare/internal/approx"
 	"scshare/internal/cloud"
 	"scshare/internal/exact"
+	"scshare/internal/fluid"
 )
 
 // Evaluator produces the performance metrics of one SC under a sharing
@@ -18,12 +19,15 @@ type Evaluator interface {
 	Evaluate(shares []int, target int) (cloud.Metrics, error)
 }
 
-// AllEvaluator is implemented by evaluators whose underlying solve yields
-// every SC's metrics at once (the discrete-event simulator, the fluid fixed
-// point). Memoize exploits it to cache per share vector instead of per
-// (shares, target): the K per-target lookups the game issues for one vector
-// collapse into a single solve.
+// AllEvaluator is an Evaluator whose underlying solve yields every SC's
+// metrics at once — one hierarchy/fixed-point/simulation run per share
+// vector instead of one per (shares, target). Every evaluator NewEvaluator
+// returns implements it; Memoize exploits it to cache per share vector, so
+// the K per-target lookups the game issues for one vector collapse into a
+// single solve, and the participation probe and welfare planner take their
+// whole-vector fast paths.
 type AllEvaluator interface {
+	Evaluator
 	EvaluateAll(shares []int) ([]cloud.Metrics, error)
 }
 
@@ -35,42 +39,189 @@ func (f EvaluatorFunc) Evaluate(shares []int, target int) (cloud.Metrics, error)
 	return f(shares, target)
 }
 
+// Kind selects the performance model backing an evaluator.
+type Kind int
+
+// The evaluator kinds NewEvaluator accepts. The zero Kind is invalid so an
+// unset model field fails loudly instead of silently picking a default.
+const (
+	KindApprox Kind = iota + 1
+	KindExact
+	KindSim
+	KindFluid
+)
+
+// Valid reports whether k names a known model kind.
+func (k Kind) Valid() bool {
+	return k >= KindApprox && k <= KindFluid
+}
+
+// String returns the parseable name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindApprox:
+		return "approx"
+	case KindExact:
+		return "exact"
+	case KindSim:
+		return "sim"
+	case KindFluid:
+		return "fluid"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// ParseKind maps a model name ("approx", "exact", "sim", "fluid") to its
+// Kind. It is the single source of truth for model-name validation: the
+// CLI and the serve front-end both delegate here.
+func ParseKind(name string) (Kind, error) {
+	switch name {
+	case "approx":
+		return KindApprox, nil
+	case "exact":
+		return KindExact, nil
+	case "sim":
+		return KindSim, nil
+	case "fluid":
+		return KindFluid, nil
+	default:
+		return 0, fmt.Errorf("market: unknown model %q (want approx, exact, sim, or fluid)", name)
+	}
+}
+
+// Default simulation parameters used when EvaluatorOptions leaves them
+// zero: the horizon is long enough for the Fig. 5 workloads to mix, and the
+// warmup discards the leading transient.
+const (
+	defaultSimHorizon       = 20000
+	defaultSimWarmupDivisor = 20
+)
+
+// EvaluatorOptions carries the per-model tuning of NewEvaluator. Only the
+// fields of the selected kind are read; the zero value is a usable default
+// for every model.
+type EvaluatorOptions struct {
+	// Approx configures the hierarchical approximation (KindApprox). Its
+	// Federation and Shares fields are overwritten per evaluation; Warm
+	// follows the ApproxEvaluator ownership rule (nil means an
+	// evaluator-private cache).
+	Approx approx.Config
+	// QueueCap overrides the per-SC queue truncation of the detailed CTMC
+	// (KindExact).
+	QueueCap []int
+	// SimHorizon, SimWarmup, and SimSeed configure the discrete-event
+	// simulator (KindSim); zero horizon and warmup pick the package
+	// defaults.
+	SimHorizon float64
+	SimWarmup  float64
+	SimSeed    int64
+	// Fluid configures the fluid fixed point (KindFluid).
+	Fluid fluid.Options
+}
+
+// NewEvaluator is the single construction surface for the performance
+// models: it returns a whole-vector evaluator for the given kind, so
+// callers (core.Framework, scserve, the CLIs) no longer switch on the model
+// to pick a constructor. The result is safe for concurrent use but not yet
+// memoized — wrap it in Memoize (and WithParticipation) as needed.
+func NewEvaluator(kind Kind, fed cloud.Federation, opts EvaluatorOptions) (AllEvaluator, error) {
+	switch kind {
+	case KindApprox:
+		return ApproxEvaluator(fed, opts.Approx), nil
+	case KindExact:
+		return ExactEvaluator(fed, opts.QueueCap), nil
+	case KindSim:
+		horizon := opts.SimHorizon
+		if horizon <= 0 {
+			horizon = defaultSimHorizon
+		}
+		warmup := opts.SimWarmup
+		if warmup <= 0 {
+			warmup = horizon / defaultSimWarmupDivisor
+		}
+		return SimEvaluator(fed, horizon, warmup, opts.SimSeed), nil
+	case KindFluid:
+		return fluid.NewEvaluator(fed, opts.Fluid), nil
+	default:
+		return nil, fmt.Errorf("market: invalid evaluator kind %v", kind)
+	}
+}
+
+// approxEvaluator backs ApproxEvaluator; cfg carries the resolved warm
+// cache, so the struct itself is immutable and safe for concurrent use.
+type approxEvaluator struct {
+	cfg approx.Config
+}
+
 // ApproxEvaluator evaluates sharing decisions with the hierarchical
 // approximate model — the configuration the paper uses for its market
-// experiments. Successive solves share a warm-start cache: the steady state
-// of each hierarchy level seeds the matching level of the next solve, so
-// the neighboring share vectors of a Tabu sweep converge in a fraction of
-// the cold-start iterations.
-func ApproxEvaluator(fed cloud.Federation, cfg approx.Config) Evaluator {
-	warm := cfg.Warm
-	if warm == nil {
-		warm = approx.NewWarmCache()
+// experiments. Per-target probes run approx.Solve; whole-vector
+// evaluations run approx.SolveAll, which amortizes the K per-target
+// hierarchies into one shared spine plus readout levels.
+//
+// Warm-cache ownership: when cfg.Warm is nil the evaluator allocates a
+// private cache, so successive solves warm each other but nothing outside
+// this evaluator does. Callers who want warmth shared across evaluators —
+// e.g. the per-sub-federation evaluators of a participation game — must
+// pass the same non-nil cfg.Warm to every constructor call; the cache
+// remains caller-owned and is never reset by the evaluator.
+func ApproxEvaluator(fed cloud.Federation, cfg approx.Config) AllEvaluator {
+	cfg.Federation = fed
+	if cfg.Warm == nil {
+		cfg.Warm = approx.NewWarmCache()
 	}
-	return EvaluatorFunc(func(shares []int, target int) (cloud.Metrics, error) {
-		c := cfg
-		c.Federation = fed
-		c.Shares = shares
-		c.Target = target
-		c.Order = nil
-		c.Warm = warm
-		m, err := approx.Solve(c)
-		if err != nil {
-			return cloud.Metrics{}, err
-		}
-		return m.Metrics(), nil
-	})
+	return approxEvaluator{cfg: cfg}
+}
+
+// Evaluate implements Evaluator with a per-target hierarchy solve.
+func (ae approxEvaluator) Evaluate(shares []int, target int) (cloud.Metrics, error) {
+	c := ae.cfg
+	c.Shares = shares
+	m, err := approx.Solve(c, target)
+	if err != nil {
+		return cloud.Metrics{}, err
+	}
+	return m.Metrics(), nil
+}
+
+// EvaluateAll implements AllEvaluator with one shared-spine SolveAll.
+func (ae approxEvaluator) EvaluateAll(shares []int) ([]cloud.Metrics, error) {
+	c := ae.cfg
+	c.Shares = shares
+	return approx.SolveAll(c)
+}
+
+// exactEvaluator backs ExactEvaluator.
+type exactEvaluator struct {
+	fed      cloud.Federation
+	queueCap []int
 }
 
 // ExactEvaluator evaluates sharing decisions with the detailed CTMC; it is
-// only practical for very small federations.
-func ExactEvaluator(fed cloud.Federation, queueCap []int) Evaluator {
-	return EvaluatorFunc(func(shares []int, target int) (cloud.Metrics, error) {
-		m, err := exact.Solve(exact.Config{Federation: fed, Shares: shares, QueueCap: queueCap})
-		if err != nil {
-			return cloud.Metrics{}, err
-		}
-		return m.Metrics(target), nil
-	})
+// only practical for very small federations. One solve yields every SC's
+// metrics, so it implements AllEvaluator natively.
+func ExactEvaluator(fed cloud.Federation, queueCap []int) AllEvaluator {
+	return exactEvaluator{fed: fed, queueCap: queueCap}
+}
+
+// Evaluate implements Evaluator.
+func (ee exactEvaluator) Evaluate(shares []int, target int) (cloud.Metrics, error) {
+	m, err := exact.Solve(exact.Config{Federation: ee.fed, Shares: shares, QueueCap: ee.queueCap})
+	if err != nil {
+		return cloud.Metrics{}, err
+	}
+	return m.Metrics(target), nil
+}
+
+// EvaluateAll implements AllEvaluator: the detailed chain is solved once
+// and every SC's metrics are read from the same stationary distribution.
+func (ee exactEvaluator) EvaluateAll(shares []int) ([]cloud.Metrics, error) {
+	m, err := exact.Solve(exact.Config{Federation: ee.fed, Shares: shares, QueueCap: ee.queueCap})
+	if err != nil {
+		return nil, err
+	}
+	return m.AllMetrics(), nil
 }
 
 // memoEntry is one cached evaluation result: either a single SC's metrics
@@ -143,15 +294,21 @@ type memoEvaluator struct {
 	all    AllEvaluator
 	shards [memoShardCount]memoShard
 	// hits counts lookups served from the cache (including joins of an
-	// in-flight solve); misses counts lookups that ran the model.
-	hits, misses atomic.Uint64
+	// in-flight solve); misses counts lookups that ran the model, split by
+	// path into allSolves (whole-vector) and targetSolves (per-target).
+	hits, misses            atomic.Uint64
+	allSolves, targetSolves atomic.Uint64
 }
 
 // CacheStats summarizes a memoized evaluator's lookup history. A hit is a
 // lookup answered without running the performance model — either from the
 // cache or by joining another caller's in-flight solve of the same key.
+// Misses split by solve path: AllSolves counts whole-vector model runs
+// (EvaluateAll on an AllEvaluator) and TargetSolves counts per-target runs;
+// AllSolves+TargetSolves == Misses.
 type CacheStats struct {
-	Hits, Misses uint64
+	Hits, Misses            uint64
+	AllSolves, TargetSolves uint64
 }
 
 // HitRatio returns Hits/(Hits+Misses), or 0 before any lookup.
@@ -164,22 +321,34 @@ func (s CacheStats) HitRatio() float64 {
 }
 
 // CacheStatsReporter is implemented by the evaluators Memoize returns; the
-// scserve /metrics endpoint reads it to report the cross-request hit ratio.
+// scserve /metrics endpoint reads it to report the cross-request hit ratio
+// and the whole-vector/per-target solve split.
 type CacheStatsReporter interface {
 	Stats() CacheStats
 }
 
 // Stats implements CacheStatsReporter.
 func (me *memoEvaluator) Stats() CacheStats {
-	return CacheStats{Hits: me.hits.Load(), Misses: me.misses.Load()}
+	return CacheStats{
+		Hits:         me.hits.Load(),
+		Misses:       me.misses.Load(),
+		AllSolves:    me.allSolves.Load(),
+		TargetSolves: me.targetSolves.Load(),
+	}
 }
 
-// count records one lookup's hit/miss outcome.
-func (me *memoEvaluator) count(hit bool) {
+// count records one lookup's hit/miss outcome; a miss also lands on the
+// whole-vector or per-target solve counter.
+func (me *memoEvaluator) count(hit, wholeVector bool) {
 	if hit {
 		me.hits.Add(1)
+		return
+	}
+	me.misses.Add(1)
+	if wholeVector {
+		me.allSolves.Add(1)
 	} else {
-		me.misses.Add(1)
+		me.targetSolves.Add(1)
 	}
 }
 
@@ -245,7 +414,7 @@ func (me *memoEvaluator) allEntry(shares []int) memoEntry {
 		all, err := me.all.EvaluateAll(shares)
 		return memoEntry{all: all, err: err}
 	})
-	me.count(hit)
+	me.count(hit, true)
 	return e
 }
 
@@ -258,7 +427,7 @@ func (me *memoEvaluator) Evaluate(shares []int, target int) (cloud.Metrics, erro
 			m, err := me.inner.Evaluate(shares, target)
 			return memoEntry{m: m, err: err}
 		})
-		me.count(hit)
+		me.count(hit, false)
 		return e.m, e.err
 	}
 	e := me.allEntry(shares)

@@ -35,7 +35,7 @@ type simEvaluator struct {
 
 // SimEvaluator evaluates sharing decisions by discrete-event simulation.
 // It is safe for concurrent use.
-func SimEvaluator(fed cloud.Federation, horizon, warmup float64, seed int64) Evaluator {
+func SimEvaluator(fed cloud.Federation, horizon, warmup float64, seed int64) AllEvaluator {
 	return &simEvaluator{
 		fed:      fed,
 		horizon:  horizon,

@@ -1,0 +1,143 @@
+package market
+
+import (
+	"testing"
+
+	"scshare/internal/approx"
+	"scshare/internal/cloud"
+)
+
+func evalFed() cloud.Federation {
+	return cloud.Federation{
+		SCs: []cloud.SC{
+			{Name: "a", VMs: 4, ArrivalRate: 3, ServiceRate: 1, SLA: 0.2, PublicPrice: 1},
+			{Name: "b", VMs: 4, ArrivalRate: 2, ServiceRate: 1, SLA: 0.2, PublicPrice: 1},
+		},
+		FederationPrice: 0.5,
+	}
+}
+
+func TestParseKindRoundTrip(t *testing.T) {
+	for _, name := range []string{"approx", "exact", "sim", "fluid"} {
+		k, err := ParseKind(name)
+		if err != nil {
+			t.Fatalf("ParseKind(%q): %v", name, err)
+		}
+		if !k.Valid() {
+			t.Errorf("ParseKind(%q) = %v, not valid", name, k)
+		}
+		if k.String() != name {
+			t.Errorf("ParseKind(%q).String() = %q", name, k.String())
+		}
+	}
+	if _, err := ParseKind("nope"); err == nil {
+		t.Error("ParseKind accepted an unknown model name")
+	}
+	if Kind(0).Valid() {
+		t.Error("zero Kind reports valid")
+	}
+}
+
+// NewEvaluator must return a working whole-vector evaluator for every kind
+// — the single construction surface core.Framework and scserve rely on.
+func TestNewEvaluatorDispatch(t *testing.T) {
+	fed := evalFed()
+	for _, kind := range []Kind{KindApprox, KindExact, KindSim, KindFluid} {
+		ev, err := NewEvaluator(kind, fed, EvaluatorOptions{SimHorizon: 200})
+		if err != nil {
+			t.Fatalf("NewEvaluator(%v): %v", kind, err)
+		}
+		ms, err := ev.EvaluateAll([]int{2, 2})
+		if err != nil {
+			t.Fatalf("%v EvaluateAll: %v", kind, err)
+		}
+		if len(ms) != 2 {
+			t.Errorf("%v EvaluateAll returned %d metrics, want 2", kind, len(ms))
+		}
+	}
+	if _, err := NewEvaluator(Kind(0), fed, EvaluatorOptions{}); err == nil {
+		t.Error("NewEvaluator accepted an invalid kind")
+	}
+}
+
+// coreStack mirrors core.Framework's evaluator composition for the approx
+// model: Memoize(WithParticipation(fed, NewEvaluator per sub-federation)).
+func coreStack(t *testing.T, fed cloud.Federation) Evaluator {
+	t.Helper()
+	warm := approx.NewWarmCache()
+	mkEval := func(sub cloud.Federation) Evaluator {
+		ev, err := NewEvaluator(KindApprox, sub, EvaluatorOptions{Approx: approx.Config{Warm: warm}})
+		if err != nil {
+			t.Fatalf("NewEvaluator: %v", err)
+		}
+		return ev
+	}
+	return Memoize(WithParticipation(fed, mkEval))
+}
+
+// The participation probe must detect the approx model's whole-vector
+// support, so a memoized EvaluateAll is answered by one SolveAll — counted
+// as an AllSolve — instead of degrading to K per-target probes.
+func TestParticipationApproxWholeVector(t *testing.T) {
+	mem := coreStack(t, evalFed())
+	all, ok := mem.(AllEvaluator)
+	if !ok {
+		t.Fatal("memoized participation stack over approx is not an AllEvaluator")
+	}
+	if _, err := all.EvaluateAll([]int{2, 2}); err != nil {
+		t.Fatal(err)
+	}
+	st := mem.(CacheStatsReporter).Stats()
+	if st.AllSolves < 1 || st.TargetSolves != 0 {
+		t.Errorf("EvaluateAll took the per-target path: %+v", st)
+	}
+	// A per-target probe of the same vector must be served from the cached
+	// whole-vector entry, not a new solve.
+	if _, err := mem.Evaluate([]int{2, 2}, 0); err != nil {
+		t.Fatal(err)
+	}
+	after := mem.(CacheStatsReporter).Stats()
+	if after.Misses != st.Misses || after.Hits != st.Hits+1 {
+		t.Errorf("per-target probe after EvaluateAll missed the cache: %+v -> %+v", st, after)
+	}
+}
+
+// The welfare planner must ride the same whole-vector fast path.
+func TestWelfarePlannerWholeVector(t *testing.T) {
+	fed := evalFed()
+	mem := coreStack(t, fed)
+	we, err := NewWelfareEvaluator(fed, mem, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := we.Utilities([]int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	st := mem.(CacheStatsReporter).Stats()
+	if st.AllSolves < 1 || st.TargetSolves != 0 {
+		t.Errorf("planner took the per-target path: %+v", st)
+	}
+}
+
+// A caller-provided WarmCache must be shared across evaluators (the
+// documented non-nil ownership rule), so one evaluator's solves warm
+// another's.
+func TestApproxEvaluatorSharedWarmCache(t *testing.T) {
+	fed := evalFed()
+	warm := approx.NewWarmCache()
+	a := ApproxEvaluator(fed, approx.Config{Warm: warm})
+	b := ApproxEvaluator(fed, approx.Config{Warm: warm})
+	if _, err := a.EvaluateAll([]int{2, 2}); err != nil {
+		t.Fatal(err)
+	}
+	st := warm.Stats()
+	if st.Stores == 0 {
+		t.Fatalf("first evaluator stored nothing: %+v", st)
+	}
+	if _, err := b.Evaluate([]int{2, 2}, 0); err != nil {
+		t.Fatal(err)
+	}
+	if after := warm.Stats(); after.Hits <= st.Hits {
+		t.Errorf("second evaluator got no warm hits: %+v -> %+v", st, after)
+	}
+}

@@ -100,12 +100,11 @@ func (sp *federationSpec) normalize() error {
 			sc.PublicPrice = 1
 		}
 	}
-	switch sp.Model {
-	case "":
+	if sp.Model == "" {
 		sp.Model = "approx"
-	case "approx", "exact", "sim", "fluid":
-	default:
-		return fmt.Errorf("unknown model %q (want approx, exact, sim, or fluid)", sp.Model)
+	}
+	if _, err := market.ParseKind(sp.Model); err != nil {
+		return err
 	}
 	// Price-independent validation: run the cloud checks at price 0 so a
 	// bad federation fails the request with 400 instead of a solve error.
@@ -143,16 +142,10 @@ func (sp *federationSpec) config() core.Config {
 		SimHorizon:   sp.SimHorizon,
 		SimSeed:      sp.SimSeed,
 	}
-	switch sp.Model {
-	case "exact":
-		cfg.Model = core.ModelExact
-	case "sim":
-		cfg.Model = core.ModelSim
-	case "fluid":
-		cfg.Model = core.ModelFluid
-	default:
-		cfg.Model = core.ModelApprox
-	}
+	// normalize already validated the model name, so ParseKind cannot fail
+	// here; on the impossible miss the zero Kind falls back to core.New's
+	// ModelApprox default.
+	cfg.Model, _ = market.ParseKind(sp.Model)
 	if sp.Approx != nil {
 		cfg.Approx = approx.Config{
 			Passes:  sp.Approx.Passes,

@@ -44,11 +44,18 @@ type solverCounts struct {
 	SweepPoints int64 `json:"sweepPoints"`
 }
 
+// cacheStatsReport aggregates market.CacheStats across the cached
+// frameworks. WholeVectorSolves counts cache misses answered by one
+// whole-vector model run (AllEvaluator.EvaluateAll — since PR 5 the approx
+// model takes this path too); PerTargetSolves counts misses that ran the
+// model for a single (shares, target) pair.
 type cacheStatsReport struct {
-	Hits       uint64  `json:"hits"`
-	Misses     uint64  `json:"misses"`
-	HitRatio   float64 `json:"hitRatio"`
-	Frameworks int     `json:"frameworks"`
+	Hits              uint64  `json:"hits"`
+	Misses            uint64  `json:"misses"`
+	HitRatio          float64 `json:"hitRatio"`
+	WholeVectorSolves uint64  `json:"wholeVectorSolves"`
+	PerTargetSolves   uint64  `json:"perTargetSolves"`
+	Frameworks        int     `json:"frameworks"`
 }
 
 // snapshot collects all counters plus the cross-framework cache totals.
@@ -71,10 +78,12 @@ func (s *Server) snapshot(uptimeSeconds float64) metricsSnapshot {
 			SweepPoints: s.metrics.sweepPoints.Load(),
 		},
 		Cache: cacheStatsReport{
-			Hits:       stats.Hits,
-			Misses:     stats.Misses,
-			HitRatio:   stats.HitRatio(),
-			Frameworks: n,
+			Hits:              stats.Hits,
+			Misses:            stats.Misses,
+			HitRatio:          stats.HitRatio(),
+			WholeVectorSolves: stats.AllSolves,
+			PerTargetSolves:   stats.TargetSolves,
+			Frameworks:        n,
 		},
 	}
 }

@@ -135,6 +135,8 @@ func (s *Server) cacheStats() (market.CacheStats, int) {
 			st := rep.Stats()
 			total.Hits += st.Hits
 			total.Misses += st.Misses
+			total.AllSolves += st.AllSolves
+			total.TargetSolves += st.TargetSolves
 		}
 	}
 	return total, len(s.frameworks)

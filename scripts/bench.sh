@@ -201,3 +201,52 @@ END {
 }' "$SERVE_CURRENT" > "$SERVE_OUT"
 
 echo "bench: wrote ${SERVE_OUT}"
+
+SOLVEALL_CURRENT=results/BENCH_5_current.txt
+SOLVEALL_OUT=BENCH_5.json
+
+echo "==> go test . -bench AblationApprox(EvaluateAll|KTargets) (GOMAXPROCS=${GOMAXPROCS}, -benchtime=20x -benchmem)"
+go test -run '^$' \
+    -bench '^BenchmarkAblationApprox(EvaluateAll|KTargets)$' \
+    -benchtime=20x -benchmem -timeout 60m . | tee "$SOLVEALL_CURRENT"
+
+echo "==> writing ${SOLVEALL_OUT}"
+awk -v gomaxprocs="$GOMAXPROCS" -v numcpu="$NUM_CPU" '
+/^BenchmarkAblationApprox(EvaluateAll|KTargets)/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    mode = (name ~ /EvaluateAll/) ? "evaluate_all" : "k_targets"
+    for (i = 3; i <= NF; i++) {
+        if ($i !~ /\/op$/) continue
+        unit = substr($i, 1, length($i) - 3)
+        tbl[mode, unit] = $(i - 1)
+        if (!((mode, unit) in seen)) { units[mode] = units[mode] (units[mode] ? SUBSEP : "") unit; seen[mode, unit] = 1 }
+    }
+}
+function emit_mode(mode,    us, nu, j, sep2) {
+    printf "  \"%s\": {", mode
+    nu = split(units[mode], us, SUBSEP)
+    sep2 = ""
+    for (j = 1; j <= nu; j++) {
+        printf "%s\"%s/op\": %s", sep2, us[j], tbl[mode, us[j]]
+        sep2 = ", "
+    }
+    printf "}"
+}
+END {
+    printf "{\n"
+    printf "  \"suite\": \"BENCH_5\",\n"
+    printf "  \"benchmark\": \"approx.SolveAll shared-spine whole-vector solve vs K per-target hierarchies, 4-SC federation\",\n"
+    printf "  \"gomaxprocs\": %s,\n", gomaxprocs
+    printf "  \"num_cpu\": %s,\n", numcpu
+    printf "  \"benchtime\": \"20x\",\n"
+    emit_mode("evaluate_all"); printf ",\n"
+    emit_mode("k_targets"); printf ",\n"
+    if ((("evaluate_all", "ns") in tbl) && (("k_targets", "ns") in tbl) && tbl["evaluate_all", "ns"] + 0 != 0)
+        printf "  \"speedup_all_vs_k_targets\": %.3f\n", tbl["k_targets", "ns"] / tbl["evaluate_all", "ns"]
+    else
+        printf "  \"speedup_all_vs_k_targets\": null\n"
+    printf "}\n"
+}' "$SOLVEALL_CURRENT" > "$SOLVEALL_OUT"
+
+echo "bench: wrote ${SOLVEALL_OUT}"

@@ -22,8 +22,10 @@ go build ./...
 echo "==> go vet ./..."
 go vet ./...
 
+# The race-instrumented approx suite outgrew go test's default 10m
+# per-package timeout; give the full gate headroom.
 echo "==> go test -race ${short} ./..."
-go test -race ${short} ./...
+go test -race -timeout 30m ${short} ./...
 
 echo "==> go run ./cmd/scvet ./..."
 go run ./cmd/scvet ./...
@@ -44,7 +46,9 @@ if [[ "$missing" -ne 0 ]]; then
     exit 1
 fi
 
-echo "==> quick-bench smoke (BenchmarkAblationApprox, 1x)"
+# The unanchored pattern also picks up AblationApproxEvaluateAll/KTargets,
+# so the smoke run exercises the whole-vector SolveAll path.
+echo "==> quick-bench smoke (BenchmarkAblationApprox*, 1x)"
 go test -run '^$' -bench 'BenchmarkAblationApprox' -benchtime=1x .
 
 echo "verify: all checks passed"

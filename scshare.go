@@ -137,11 +137,18 @@ func NoSharing(sc SC) (Baseline, error) {
 // ApproxMetrics evaluates the hierarchical approximate model (Sect. III-C)
 // for one target SC under the given sharing decisions.
 func ApproxMetrics(fed Federation, shares []int, target int) (Metrics, error) {
-	m, err := approx.Solve(approx.Config{Federation: fed, Shares: shares, Target: target})
+	m, err := approx.Solve(approx.Config{Federation: fed, Shares: shares}, target)
 	if err != nil {
 		return Metrics{}, err
 	}
 	return m.Metrics(), nil
+}
+
+// ApproxAllMetrics evaluates the hierarchical approximate model for every
+// SC at once off one shared spine (approx.SolveAll): roughly the cost of a
+// single per-target solve instead of K of them.
+func ApproxAllMetrics(fed Federation, shares []int) ([]Metrics, error) {
+	return approx.SolveAll(approx.Config{Federation: fed, Shares: shares})
 }
 
 // ExactMetrics solves the detailed CTMC of Sect. III-B (Table I) and
