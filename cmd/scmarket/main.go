@@ -74,6 +74,7 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		printWarnings(core.DiagnoseAdvice(adv))
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(adv)
@@ -81,10 +82,22 @@ func run(args []string) error {
 	return runEquilibrium(fw, *price)
 }
 
+// printWarnings surfaces core.Diagnose findings on stderr, keeping stdout
+// clean for the machine-readable output.
+func printWarnings(warnings []string) {
+	for _, w := range warnings {
+		fmt.Fprintln(os.Stderr, "scmarket: warning:", w)
+	}
+}
+
 func runEquilibrium(fw *core.Framework, price float64) error {
 	out, err := fw.Equilibrium(nil, market.AlphaUtilitarian)
 	if err != nil {
 		return err
+	}
+	if !out.Converged {
+		printWarnings([]string{fmt.Sprintf(
+			"negotiation did not converge after %d rounds: the table below is the best terminal state, not an equilibrium", out.Rounds)})
 	}
 	fmt.Printf("equilibrium after %d rounds (%d model evaluations) at C^G=%v\n",
 		out.Rounds, out.Evals, price)
@@ -106,6 +119,7 @@ func runSweep(fw *core.Framework, spec string, opts core.SweepOptions) error {
 	if err != nil {
 		return err
 	}
+	printWarnings(core.Diagnose(pts))
 	fmt.Printf("%-8s %-14s %12s %12s %12s %8s\n",
 		"CG/CP", "shares", "utilitarian", "proportional", "max-min", "rounds")
 	for _, pt := range pts {

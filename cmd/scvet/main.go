@@ -1,17 +1,24 @@
 // Command scvet is the repository's custom static-analysis driver. It
 // loads every package of the enclosing module, runs the repo-specific
 // analyzers from internal/analysis (floatcmp, nanguard, lockfield,
-// panicfree, detrand, tolconst, ctxleak) and exits non-zero when any
-// finding survives the per-file //scvet:ignore suppressions.
+// panicfree, detrand, tolconst, ctxleak, rowsum, probvec) and exits
+// non-zero when any finding survives the per-file //scvet:ignore
+// suppressions.
 //
 // Usage:
 //
-//	scvet [-json] [-rules floatcmp,detrand] [-list] [packages]
+//	scvet [-json] [-rules floatcmp,rowsum] [-list] [-fixtures] [packages]
 //
 // Package arguments use go-tool patterns relative to the module root
 // ("./...", "./internal/market", "internal/market/..."); with none, the
-// whole module is analyzed. scvet is part of the tier-1 gate: run it via
-// scripts/verify.sh before every PR.
+// whole module is analyzed. -json emits the stable Finding schema (rule,
+// file, line, col, message, suppressed) and, unlike the text mode, also
+// includes suppressed findings so tooling can audit what the pragmas wave
+// through; the exit code counts only unsuppressed findings in both modes.
+// -fixtures runs the self-test instead: every analyzer over its golden
+// fixtures under internal/analysis/testdata, diffed against the WANT
+// markers. scvet is part of the tier-1 gate: run it via scripts/verify.sh
+// before every PR.
 package main
 
 import (
@@ -20,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 
 	"scshare/internal/analysis"
 )
@@ -31,9 +39,10 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("scvet", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	jsonOut := fs.Bool("json", false, "emit findings as a JSON array")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array (stable schema; includes suppressed findings)")
 	rules := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
 	list := fs.Bool("list", false, "list available rules and exit")
+	fixtures := fs.Bool("fixtures", false, "self-test: run every rule over its golden fixtures and diff against WANT markers")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -60,6 +69,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 2
 	}
+
+	if *fixtures {
+		return runFixtures(root, stdout, stderr)
+	}
+
 	pkgs, err := analysis.LoadModule(root)
 	if err != nil {
 		fmt.Fprintln(stderr, err)
@@ -77,10 +91,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 				kept = append(kept, p)
 			}
 		}
+		if len(kept) == 0 {
+			fmt.Fprintf(stderr, "scvet: patterns %v matched no packages in module %s\n", patterns, modPath)
+			return 2
+		}
 		pkgs = kept
 	}
 
-	findings := analysis.Run(pkgs, analyzers)
+	findings := analysis.RunWith(pkgs, analyzers, analysis.RunOptions{IncludeSuppressed: *jsonOut})
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
@@ -96,11 +114,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stdout, f)
 		}
 	}
-	if len(findings) > 0 {
+	if active := analysis.ActiveCount(findings); active > 0 {
 		if !*jsonOut {
-			fmt.Fprintf(stderr, "scvet: %d finding(s)\n", len(findings))
+			fmt.Fprintf(stderr, "scvet: %d finding(s)\n", active)
 		}
 		return 1
 	}
+	return 0
+}
+
+// runFixtures executes the golden-fixture self-test: every registered
+// fixture is loaded, its analyzer run, and the findings diffed against the
+// fixture's WANT markers. A drifted or silently broken analyzer fails here
+// before it can wave bad code through the module gate.
+func runFixtures(root string, stdout, stderr io.Writer) int {
+	testdata := filepath.Join(root, "internal", "analysis", "testdata")
+	if _, err := os.Stat(testdata); err != nil {
+		fmt.Fprintln(stderr, "scvet: fixtures:", err)
+		return 2
+	}
+	mismatches, err := analysis.CheckAllFixtures(testdata)
+	if err != nil {
+		fmt.Fprintln(stderr, "scvet: fixtures:", err)
+		return 2
+	}
+	if len(mismatches) > 0 {
+		for _, m := range mismatches {
+			fmt.Fprintln(stdout, m)
+		}
+		fmt.Fprintf(stderr, "scvet: fixtures: %d mismatch(es)\n", len(mismatches))
+		return 1
+	}
+	fmt.Fprintf(stdout, "scvet: fixtures: %d fixture(s) ok across %d rule(s)\n", len(analysis.Fixtures()), len(analysis.All()))
 	return 0
 }

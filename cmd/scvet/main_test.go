@@ -54,3 +54,35 @@ func TestSelfAnalysisJSON(t *testing.T) {
 		t.Fatalf("internal/analysis is not scvet-clean: %+v", findings)
 	}
 }
+
+// TestFixturesFlag: -fixtures must pass on the committed golden fixtures and
+// report the rule/fixture counts it covered.
+func TestFixturesFlag(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks every fixture directory")
+	}
+	var out, errOut bytes.Buffer
+	code := run([]string{"-fixtures"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("scvet -fixtures exited %d\nstdout: %s\nstderr: %s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "fixture(s) ok") {
+		t.Fatalf("-fixtures success output %q has no summary line", out.String())
+	}
+}
+
+// TestNoMatchingPackages: a pattern that selects nothing must be a loud
+// usage error, not a silent exit-0 "clean" run over zero packages.
+func TestNoMatchingPackages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and type-checks the module")
+	}
+	var out, errOut bytes.Buffer
+	code := run([]string{"./internal/nosuchpkg"}, &out, &errOut)
+	if code != 2 {
+		t.Fatalf("unmatched pattern exited %d, want 2 (stdout: %s)", code, out.String())
+	}
+	if !strings.Contains(errOut.String(), "matched no packages") {
+		t.Fatalf("stderr %q does not explain the empty match", errOut.String())
+	}
+}

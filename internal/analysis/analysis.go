@@ -28,9 +28,13 @@ import (
 	"strings"
 )
 
-// Finding is one diagnostic produced by an analyzer.
+// Finding is one diagnostic produced by an analyzer. The JSON field set —
+// rule, file, line, col, message, suppressed — is the stable schema consumed
+// by scvet -json; extend it, never rename it.
 type Finding struct {
-	// Rule names the analyzer that produced the finding.
+	// Rule names the analyzer that produced the finding. Driver-level
+	// diagnostics (e.g. an unknown rule name inside a //scvet:ignore
+	// pragma) carry the pseudo-rule "scvet".
 	Rule string `json:"rule"`
 	// File, Line and Col locate the offending expression (1-based).
 	File string `json:"file"`
@@ -38,11 +42,19 @@ type Finding struct {
 	Col  int    `json:"col"`
 	// Message explains the violation and the expected fix.
 	Message string `json:"message"`
+	// Suppressed marks a finding waved through by a //scvet:ignore pragma.
+	// Suppressed findings never affect the exit code; they appear only when
+	// RunOptions.IncludeSuppressed asked for them.
+	Suppressed bool `json:"suppressed"`
 }
 
 // String renders the finding in the conventional file:line:col style.
 func (f Finding) String() string {
-	return fmt.Sprintf("%s:%d:%d: %s: %s", f.File, f.Line, f.Col, f.Rule, f.Message)
+	note := ""
+	if f.Suppressed {
+		note = " (suppressed)"
+	}
+	return fmt.Sprintf("%s:%d:%d: %s: %s%s", f.File, f.Line, f.Col, f.Rule, f.Message, note)
 }
 
 // Analyzer is one checkable rule.
@@ -62,8 +74,9 @@ type Pass struct {
 	Fset     *token.FileSet
 	Pkg      *Package
 
-	findings *[]Finding
-	ignored  map[string]map[string]bool // filename -> suppressed rules
+	findings          *[]Finding
+	ignored           map[string]map[string]bool // filename -> suppressed rules
+	includeSuppressed bool
 }
 
 // Files returns the package's syntax trees.
@@ -76,20 +89,25 @@ func (p *Pass) TypesInfo() *types.Info { return p.Pkg.Info }
 func (p *Pass) TypesPkg() *types.Package { return p.Pkg.Types }
 
 // Reportf records a finding at pos unless the enclosing file suppresses the
-// rule with a //scvet:ignore pragma.
+// rule with a //scvet:ignore pragma. A suppressed finding is kept — marked
+// Suppressed — when the run asked for them (scvet -json reports suppression
+// status); it never affects the exit code either way.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	position := p.Fset.Position(pos)
+	suppressed := false
 	if rules, ok := p.ignored[position.Filename]; ok {
-		if rules[p.Analyzer.Name] || rules["all"] {
-			return
-		}
+		suppressed = rules[p.Analyzer.Name] || rules["all"]
+	}
+	if suppressed && !p.includeSuppressed {
+		return
 	}
 	*p.findings = append(*p.findings, Finding{
-		Rule:    p.Analyzer.Name,
-		File:    position.Filename,
-		Line:    position.Line,
-		Col:     position.Column,
-		Message: fmt.Sprintf(format, args...),
+		Rule:       p.Analyzer.Name,
+		File:       position.Filename,
+		Line:       position.Line,
+		Col:        position.Column,
+		Message:    fmt.Sprintf(format, args...),
+		Suppressed: suppressed,
 	})
 }
 
@@ -103,7 +121,29 @@ func All() []*Analyzer {
 		DetRand,
 		TolConst,
 		CtxLeak,
+		RowSum,
+		ProbVec,
 	}
+}
+
+// knownRules is the rule-name universe pragmas are validated against. It is
+// always built from All, regardless of any -rules subset in effect, so a
+// pragma naming a deselected rule is still legal.
+var knownRules = func() map[string]bool {
+	m := make(map[string]bool)
+	for _, a := range All() {
+		m[a.Name] = true
+	}
+	return m
+}()
+
+// ruleNames returns every rule name in ship order.
+func ruleNames() []string {
+	var names []string
+	for _, a := range All() {
+		names = append(names, a.Name)
+	}
+	return names
 }
 
 // Select resolves a comma-separated rule list against All; an empty list
@@ -131,9 +171,38 @@ func Select(rules string) ([]*Analyzer, error) {
 	return out, nil
 }
 
+// RunOptions tunes a driver run.
+type RunOptions struct {
+	// IncludeSuppressed keeps findings waved through by //scvet:ignore
+	// pragmas in the result, marked Finding.Suppressed. They never affect
+	// the exit-code decision (see ActiveCount).
+	IncludeSuppressed bool
+}
+
+// ActiveCount returns the number of findings that are not suppressed — the
+// count that decides scvet's exit code.
+func ActiveCount(findings []Finding) int {
+	n := 0
+	for _, f := range findings {
+		if !f.Suppressed {
+			n++
+		}
+	}
+	return n
+}
+
 // Run applies every analyzer to every package and returns the findings
-// sorted by position.
+// sorted by position. It is shorthand for RunWith with default options.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	return RunWith(pkgs, analyzers, RunOptions{})
+}
+
+// RunWith applies every analyzer to every package and returns the findings
+// sorted by position. Unknown rule names inside //scvet:ignore pragmas are
+// themselves reported, as pseudo-rule "scvet": a typoed pragma would
+// otherwise suppress nothing while looking like it did. Those driver-level
+// findings cannot be suppressed.
+func RunWith(pkgs []*Package, analyzers []*Analyzer, opts RunOptions) []Finding {
 	var findings []Finding
 	for _, pkg := range pkgs {
 		ignored := make(map[string]map[string]bool)
@@ -142,14 +211,28 @@ func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
 			if rules := ignoredRules(f); len(rules) > 0 {
 				ignored[name] = rules
 			}
+			for _, pr := range filePragmas(f) {
+				if pr.name == "all" || knownRules[pr.name] {
+					continue
+				}
+				position := pkg.Fset.Position(pr.pos)
+				findings = append(findings, Finding{
+					Rule:    "scvet",
+					File:    position.Filename,
+					Line:    position.Line,
+					Col:     position.Column,
+					Message: fmt.Sprintf("unknown rule %q in //scvet:ignore pragma; it suppresses nothing (known rules: %s)", pr.name, strings.Join(ruleNames(), ", ")),
+				})
+			}
 		}
 		for _, a := range analyzers {
 			pass := &Pass{
-				Analyzer: a,
-				Fset:     pkg.Fset,
-				Pkg:      pkg,
-				findings: &findings,
-				ignored:  ignored,
+				Analyzer:          a,
+				Fset:              pkg.Fset,
+				Pkg:               pkg,
+				findings:          &findings,
+				ignored:           ignored,
+				includeSuppressed: opts.IncludeSuppressed,
 			}
 			a.Run(pass)
 		}

@@ -1,139 +1,40 @@
 package analysis
 
 import (
-	"bufio"
-	"fmt"
-	"os"
 	"path/filepath"
-	"sort"
-	"strings"
 	"testing"
 )
 
-// want is one expected finding, at line granularity.
-type want struct {
-	file string // base name
-	line int
-	rule string
-}
-
-func (w want) String() string { return fmt.Sprintf("%s:%d %s", w.file, w.line, w.rule) }
-
-// wantsFromFixture scans every fixture file in dir for trailing
-// "// WANT rule[ rule...]" comments.
-func wantsFromFixture(t *testing.T, dir string) []want {
-	t.Helper()
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
-	var wants []want
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
-			continue
-		}
-		f, err := os.Open(filepath.Join(dir, e.Name()))
-		if err != nil {
-			t.Fatal(err)
-		}
-		sc := bufio.NewScanner(f)
-		line := 0
-		for sc.Scan() {
-			line++
-			_, marker, ok := strings.Cut(sc.Text(), "// WANT ")
-			if !ok {
-				continue
+// TestFixtures walks the golden-fixture registry — the same registry scvet
+// -fixtures runs — and fails on any diff between an analyzer's findings and
+// the fixture's WANT markers.
+func TestFixtures(t *testing.T) {
+	for _, fx := range Fixtures() {
+		fx := fx
+		t.Run(fx.Dir, func(t *testing.T) {
+			mismatches, err := CheckFixture("testdata", fx)
+			if err != nil {
+				t.Fatal(err)
 			}
-			for _, rule := range strings.Fields(marker) {
-				wants = append(wants, want{file: e.Name(), line: line, rule: rule})
+			for _, m := range mismatches {
+				t.Errorf("%s", m)
 			}
-		}
-		if err := sc.Err(); err != nil {
-			t.Fatal(err)
-		}
-		f.Close()
+		})
 	}
-	return wants
 }
 
-// checkFixture loads the fixture dir under importPath, runs the analyzer,
-// and compares the findings against the WANT markers position by position.
-func checkFixture(t *testing.T, a *Analyzer, fixture, importPath string) {
-	t.Helper()
-	dir := filepath.Join("testdata", "src", fixture)
-	pkg, err := LoadDir(dir, importPath)
-	if err != nil {
-		t.Fatalf("loading %s: %v", dir, err)
+// TestFixtureRegistryCoversAllRules keeps the registry honest: every shipped
+// analyzer must have at least one golden fixture.
+func TestFixtureRegistryCoversAllRules(t *testing.T) {
+	covered := make(map[string]bool)
+	for _, fx := range Fixtures() {
+		covered[fx.Rule] = true
 	}
-	findings := Run([]*Package{pkg}, []*Analyzer{a})
-
-	var got []want
-	for _, f := range findings {
-		if f.Col <= 0 {
-			t.Errorf("finding without a column: %s", f)
-		}
-		got = append(got, want{file: filepath.Base(f.File), line: f.Line, rule: f.Rule})
-	}
-	wants := wantsFromFixture(t, dir)
-
-	sortWants := func(ws []want) {
-		sort.Slice(ws, func(i, j int) bool { return ws[i].String() < ws[j].String() })
-	}
-	sortWants(got)
-	sortWants(wants)
-
-	for len(got) > 0 || len(wants) > 0 {
-		switch {
-		case len(got) == 0:
-			t.Errorf("missing finding: %s", wants[0])
-			wants = wants[1:]
-		case len(wants) == 0:
-			t.Errorf("unexpected finding: %s", got[0])
-			got = got[1:]
-		case got[0] == wants[0]:
-			got, wants = got[1:], wants[1:]
-		case got[0].String() < wants[0].String():
-			t.Errorf("unexpected finding: %s", got[0])
-			got = got[1:]
-		default:
-			t.Errorf("missing finding: %s", wants[0])
-			wants = wants[1:]
+	for _, a := range All() {
+		if !covered[a.Name] {
+			t.Errorf("analyzer %s has no golden fixture in Fixtures()", a.Name)
 		}
 	}
-}
-
-func TestFloatCmpFixture(t *testing.T) {
-	checkFixture(t, FloatCmp, "floatcmp", "fixture/floatcmp")
-}
-
-func TestNaNGuardFixture(t *testing.T) {
-	checkFixture(t, NaNGuard, "nanguard", "fixture/internal/numeric")
-}
-
-func TestLockFieldFixture(t *testing.T) {
-	checkFixture(t, LockField, "lockfield", "fixture/lockfield")
-}
-
-func TestPanicFreeFixture(t *testing.T) {
-	checkFixture(t, PanicFree, "panicfree", "fixture/internal/queueing")
-}
-
-func TestDetRandFixture(t *testing.T) {
-	checkFixture(t, DetRand, "detrand", "fixture/internal/sim")
-}
-
-func TestTolConstFixture(t *testing.T) {
-	checkFixture(t, TolConst, "tolconst", "fixture/tolconst")
-}
-
-func TestCtxLeakFixture(t *testing.T) {
-	checkFixture(t, CtxLeak, "ctxleak", "fixture/internal/serve")
-}
-
-// TestTolConstAllowsNumeric loads a known-bad file under the
-// internal/numeric scope, where inline tolerances are the point.
-func TestTolConstAllowsNumeric(t *testing.T) {
-	checkFixture(t, TolConst, "tolconst_numeric", "fixture/internal/numeric")
 }
 
 // TestScopedAnalyzersIgnoreForeignPackages loads the known-bad fixtures
@@ -147,6 +48,7 @@ func TestScopedAnalyzersIgnoreForeignPackages(t *testing.T) {
 		{PanicFree, "panicfree"},
 		{DetRand, "detrand"},
 		{CtxLeak, "ctxleak"},
+		{RowSum, "rowsum"},
 	}
 	for _, tc := range cases {
 		pkg, err := LoadDir(filepath.Join("testdata", "src", tc.fixture), "fixture/internal/unrelated")
@@ -208,6 +110,9 @@ func TestMatchesPatterns(t *testing.T) {
 		{"scshare", []string{"./..."}, true},
 		{"scshare/cmd/scvet", []string{"./internal/..."}, false},
 		{"scshare/cmd/scvet", []string{"./internal/...", "./cmd/..."}, true},
+		// Trailing slashes (shell tab-completion) must not defeat a match.
+		{"scshare/internal/market", []string{"./internal/market/"}, true},
+		{"scshare/internal/market", []string{"internal/market/"}, true},
 	}
 	for _, tc := range cases {
 		if got := MatchesPatterns(tc.path, mod, tc.patterns); got != tc.want {
@@ -219,10 +124,10 @@ func TestMatchesPatterns(t *testing.T) {
 // TestSelect checks rule-subset resolution.
 func TestSelect(t *testing.T) {
 	all, err := Select("")
-	if err != nil || len(all) != 7 {
-		t.Fatalf("Select(\"\") = %d analyzers, err %v; want 7, nil", len(all), err)
+	if err != nil || len(all) != 9 {
+		t.Fatalf("Select(\"\") = %d analyzers, err %v; want 9, nil", len(all), err)
 	}
-	two, err := Select("floatcmp, detrand")
+	two, err := Select("floatcmp, rowsum")
 	if err != nil || len(two) != 2 {
 		t.Fatalf("Select(subset) = %d analyzers, err %v; want 2, nil", len(two), err)
 	}

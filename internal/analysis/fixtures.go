@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Fixture is one golden-fixture package under testdata/src: a directory of
+// known-good and known-bad sources checked against one rule. The expected
+// findings are the golden data, written in the sources themselves as
+// trailing "// WANT rule" markers.
+type Fixture struct {
+	// Rule names the analyzer the fixture exercises.
+	Rule string
+	// Dir is the directory name under testdata/src.
+	Dir string
+	// ImportPath is the synthetic import path the fixture loads under;
+	// scoped analyzers key off its suffix.
+	ImportPath string
+}
+
+// Fixtures returns the registry of golden fixtures, one (or more) per rule.
+// scvet -fixtures and the analysis package's own tests both walk it, so a
+// broken analyzer fails fast in either harness.
+func Fixtures() []Fixture {
+	return []Fixture{
+		{Rule: "floatcmp", Dir: "floatcmp", ImportPath: "fixture/floatcmp"},
+		{Rule: "nanguard", Dir: "nanguard", ImportPath: "fixture/internal/numeric"},
+		{Rule: "lockfield", Dir: "lockfield", ImportPath: "fixture/lockfield"},
+		{Rule: "panicfree", Dir: "panicfree", ImportPath: "fixture/internal/queueing"},
+		{Rule: "detrand", Dir: "detrand", ImportPath: "fixture/internal/sim"},
+		{Rule: "tolconst", Dir: "tolconst", ImportPath: "fixture/tolconst"},
+		{Rule: "tolconst", Dir: "tolconst_numeric", ImportPath: "fixture/internal/numeric"},
+		{Rule: "ctxleak", Dir: "ctxleak", ImportPath: "fixture/internal/serve"},
+		{Rule: "rowsum", Dir: "rowsum", ImportPath: "fixture/internal/markov"},
+		{Rule: "probvec", Dir: "probvec", ImportPath: "fixture/probvec"},
+	}
+}
+
+// expected is one golden finding, at line granularity.
+type expected struct {
+	file string // base name
+	line int
+	rule string
+}
+
+func (e expected) String() string { return fmt.Sprintf("%s:%d %s", e.file, e.line, e.rule) }
+
+// fixtureWants scans every fixture file in dir for trailing
+// "// WANT rule[ rule...]" markers.
+func fixtureWants(dir string) ([]expected, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var wants []expected
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := os.Open(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		sc := bufio.NewScanner(f)
+		line := 0
+		for sc.Scan() {
+			line++
+			_, marker, ok := strings.Cut(sc.Text(), "// WANT ")
+			if !ok {
+				continue
+			}
+			for _, rule := range strings.Fields(marker) {
+				wants = append(wants, expected{file: e.Name(), line: line, rule: rule})
+			}
+		}
+		err = sc.Err()
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return wants, nil
+}
+
+// CheckFixture loads one fixture from the given testdata root (the
+// directory holding src/), runs its analyzer, and diffs the findings
+// against the golden WANT markers. It returns one human-readable line per
+// mismatch; an empty slice means the fixture passed.
+func CheckFixture(testdataDir string, fx Fixture) ([]string, error) {
+	var a *Analyzer
+	for _, cand := range All() {
+		if cand.Name == fx.Rule {
+			a = cand
+			break
+		}
+	}
+	if a == nil {
+		return nil, fmt.Errorf("scvet: fixture %s names unknown rule %q", fx.Dir, fx.Rule)
+	}
+	dir := filepath.Join(testdataDir, "src", fx.Dir)
+	pkg, err := LoadDir(dir, fx.ImportPath)
+	if err != nil {
+		return nil, fmt.Errorf("scvet: loading fixture %s: %w", dir, err)
+	}
+	findings := Run([]*Package{pkg}, []*Analyzer{a})
+
+	var mismatches []string
+	var got []expected
+	for _, f := range findings {
+		if f.Col <= 0 {
+			mismatches = append(mismatches, fmt.Sprintf("finding without a column: %s", f))
+		}
+		got = append(got, expected{file: filepath.Base(f.File), line: f.Line, rule: f.Rule})
+	}
+	wants, err := fixtureWants(dir)
+	if err != nil {
+		return nil, err
+	}
+
+	byKey := func(es []expected) {
+		sort.Slice(es, func(i, j int) bool { return es[i].String() < es[j].String() })
+	}
+	byKey(got)
+	byKey(wants)
+	for len(got) > 0 || len(wants) > 0 {
+		switch {
+		case len(got) == 0:
+			mismatches = append(mismatches, fmt.Sprintf("missing finding: %s", wants[0]))
+			wants = wants[1:]
+		case len(wants) == 0:
+			mismatches = append(mismatches, fmt.Sprintf("unexpected finding: %s", got[0]))
+			got = got[1:]
+		case got[0] == wants[0]:
+			got, wants = got[1:], wants[1:]
+		case got[0].String() < wants[0].String():
+			mismatches = append(mismatches, fmt.Sprintf("unexpected finding: %s", got[0]))
+			got = got[1:]
+		default:
+			mismatches = append(mismatches, fmt.Sprintf("missing finding: %s", wants[0]))
+			wants = wants[1:]
+		}
+	}
+	return mismatches, nil
+}
+
+// CheckAllFixtures runs every registered fixture against its rule and
+// returns all mismatches, prefixed with the fixture directory. It backs
+// scvet -fixtures, the self-test that catches a silently broken analyzer.
+func CheckAllFixtures(testdataDir string) ([]string, error) {
+	var all []string
+	for _, fx := range Fixtures() {
+		mismatches, err := CheckFixture(testdataDir, fx)
+		if err != nil {
+			return nil, err
+		}
+		for _, m := range mismatches {
+			all = append(all, fmt.Sprintf("%s [%s]: %s", fx.Dir, fx.Rule, m))
+		}
+	}
+	return all, nil
+}

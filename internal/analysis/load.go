@@ -275,6 +275,7 @@ func MatchesPatterns(pkgPath, modPath string, patterns []string) bool {
 	rel := strings.TrimPrefix(strings.TrimPrefix(pkgPath, modPath), "/")
 	for _, pat := range patterns {
 		pat = strings.TrimPrefix(pat, "./")
+		pat = strings.TrimSuffix(pat, "/")
 		if pat == "..." || pat == "" {
 			return true
 		}

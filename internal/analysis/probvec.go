@@ -1,0 +1,204 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ProbVec tracks probability vectors from their producers to their
+// consumers. A []float64 returned by a steady-state or transient solver
+// (markov.SteadyState, SteadyStateGaussSeidel, Transient, the queueing
+// models' StateDistribution) sums to one by contract; every readout in the
+// repository silently assumes it. Code that writes elements of such a
+// vector, slices it, or appends to it breaks that contract unless a
+// normalization or sum-to-1 assertion (numeric.Normalize, numeric.Sum,
+// numeric.CheckProbVec) follows before the vector is used further.
+//
+// The pass is function-local: within each function it taints variables
+// assigned from a pi-producing call (and aliases, including through
+// numeric.Clone), then flags
+//
+//   - element writes pi[i] = v, pi[i] += v, pi[i]++;
+//   - slicing pi[a:b], whose result no longer sums to one;
+//   - append(pi, ...), which extends the distribution with raw mass;
+//
+// with no later sanitizer call on the same variable in the same function.
+// Vectors carried through struct fields are out of function-local reach;
+// the runtime checks in the solvers and internal/diffcheck's fuzz harness
+// cover those paths.
+var ProbVec = &Analyzer{
+	Name: "probvec",
+	Doc:  "flags writes/slicing/appends on probability vectors with no later normalization or sum-to-1 assertion",
+	Run:  runProbVec,
+}
+
+// piProducers names the calls whose []float64 result is a probability
+// vector by contract.
+var piProducers = map[string]bool{
+	"SteadyState":            true,
+	"SteadyStateGaussSeidel": true,
+	"Transient":              true,
+	"StateDistribution":      true,
+}
+
+// piSanitizers names the calls that re-establish or assert the sum-to-1
+// contract for a vector passed as an argument.
+var piSanitizers = map[string]bool{
+	"Normalize":    true,
+	"Sum":          true,
+	"CheckProbVec": true,
+}
+
+// probVecViolation is one recorded contract break, pending the sanitizer
+// scan.
+type probVecViolation struct {
+	v    *types.Var
+	pos  token.Pos
+	what string
+}
+
+func runProbVec(p *Pass) {
+	forEachFunc(p, func(fd *ast.FuncDecl) {
+		tainted := collectTainted(p, fd)
+		if len(tainted) == 0 {
+			return
+		}
+
+		var violations []probVecViolation
+		sanitized := make(map[*types.Var][]token.Pos)
+		record := func(v *types.Var, pos token.Pos, what string) {
+			violations = append(violations, probVecViolation{v: v, pos: pos, what: what})
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, lhs := range n.Lhs {
+					if ix, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+						if v := taintedIdent(p, tainted, ix.X); v != nil {
+							record(v, lhs.Pos(), "element write to")
+						}
+					}
+				}
+			case *ast.IncDecStmt:
+				if ix, ok := ast.Unparen(n.X).(*ast.IndexExpr); ok {
+					if v := taintedIdent(p, tainted, ix.X); v != nil {
+						record(v, n.Pos(), "element write to")
+					}
+				}
+			case *ast.SliceExpr:
+				if v := taintedIdent(p, tainted, n.X); v != nil {
+					record(v, n.Pos(), "slicing of")
+				}
+			case *ast.CallExpr:
+				name := calleeName(n)
+				if name == "append" && len(n.Args) > 0 {
+					if v := taintedIdent(p, tainted, n.Args[0]); v != nil {
+						record(v, n.Pos(), "append to")
+					}
+				}
+				if piSanitizers[name] {
+					for _, arg := range n.Args {
+						if v := taintedIdent(p, tainted, arg); v != nil {
+							sanitized[v] = append(sanitized[v], n.Pos())
+						}
+					}
+				}
+			}
+			return true
+		})
+
+		for _, viol := range violations {
+			ok := false
+			for _, pos := range sanitized[viol.v] {
+				if pos > viol.pos {
+					ok = true
+					break
+				}
+			}
+			if !ok {
+				p.Reportf(viol.pos, "%s probability vector %q with no later normalization or sum-to-1 assertion in %s; the vector no longer sums to one for every consumer after this point", viol.what, viol.v.Name(), fd.Name.Name)
+			}
+		}
+	})
+}
+
+// collectTainted finds the function's probability-vector variables: those
+// assigned from a pi-producing call, plus aliases (x := pi, y := Clone(pi)),
+// iterated to a fixpoint so later-declared aliases of aliases are caught.
+func collectTainted(p *Pass, fd *ast.FuncDecl) map[*types.Var]bool {
+	tainted := make(map[*types.Var]bool)
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Rhs) != 1 {
+				return true
+			}
+			if !taintedSource(p, tainted, as.Rhs[0]) {
+				return true
+			}
+			// pi, err := Solver(...) taints the first variable only; the
+			// solvers return the vector first by convention.
+			if v := assignedVar(p, as.Lhs[0]); v != nil && !tainted[v] {
+				if sl, ok := v.Type().(*types.Slice); ok {
+					if basic, ok := sl.Elem().(*types.Basic); ok && basic.Kind() == types.Float64 {
+						tainted[v] = true
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return tainted
+}
+
+// taintedSource reports whether the RHS expression produces a probability
+// vector: a pi-producing call, a tainted identifier, or a Clone of either.
+func taintedSource(p *Pass, tainted map[*types.Var]bool, expr ast.Expr) bool {
+	expr = ast.Unparen(expr)
+	if taintedIdent(p, tainted, expr) != nil {
+		return true
+	}
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	name := calleeName(call)
+	if piProducers[name] {
+		return true
+	}
+	if name == "Clone" {
+		for _, arg := range call.Args {
+			if taintedIdent(p, tainted, arg) != nil {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// taintedIdent resolves expr to a tainted variable, or nil.
+func taintedIdent(p *Pass, tainted map[*types.Var]bool, expr ast.Expr) *types.Var {
+	id, ok := ast.Unparen(expr).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, ok := p.TypesInfo().Uses[id].(*types.Var)
+	if !ok || !tainted[v] {
+		return nil
+	}
+	return v
+}
+
+// calleeName returns the bare name of the called function or method.
+func calleeName(call *ast.CallExpr) string {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,183 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// RowSum guards the generator-assembly invariant behind every CTMC in the
+// repository: a generator row's off-diagonal rates must be matched by its
+// diagonal, which markov.Builder derives from the rates passed to Add. The
+// builder keeps that invariant by construction — but only for the rates it
+// actually receives. Add silently drops self-loops and non-positive rates,
+// so the failure mode is a call site that *thinks* it contributed a rate
+// while the builder saw nothing, leaving the row short and the chain's
+// steady state silently wrong. The rule checks every markov.Builder Add and
+// Build call site:
+//
+//   - a rate expression containing subtraction can go negative at runtime
+//     and be dropped without a trace (raw rate arithmetic belongs before the
+//     call, guarded, not inside it);
+//   - a rate that is a compile-time constant <= 0 is always dropped: the Add
+//     is dead code;
+//   - identical from/to expressions are a self-loop, which a CTMC does not
+//     have — the diagonal is derived, never added;
+//   - Build() on a locally created builder with no Add call anywhere in the
+//     same function produces an all-absorbing generator: every "row" is
+//     empty because every Add branch was missed. A builder handed to another
+//     function (as a call argument) escapes local reasoning and is exempt:
+//     the callee may Add on the caller's behalf.
+//
+// Deliberate exceptions carry a //scvet:ignore rowsum pragma naming the
+// reason. Path-sensitive gaps (an Add skipped on one conditional path) are
+// out of static reach; internal/diffcheck's fuzz harness covers them
+// dynamically.
+var RowSum = &Analyzer{
+	Name: "rowsum",
+	Doc:  "flags markov.Builder Add/Build call sites that can silently break the generator row-sum invariant",
+	Run:  runRowSum,
+}
+
+func runRowSum(p *Pass) {
+	forEachFunc(p, func(fd *ast.FuncDecl) {
+		adds := make(map[*types.Var]int)
+		builds := make(map[*types.Var][]token.Pos)
+		local := make(map[*types.Var]bool)
+		escaped := make(map[*types.Var]bool)
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				// A builder obtained by a call inside this function (e.g.
+				// markov.NewBuilder) is locally owned: Build with no Add is
+				// then provably a dead generator, not a handoff.
+				if len(n.Rhs) == 1 {
+					if call, ok := n.Rhs[0].(*ast.CallExpr); ok && isMarkovBuilder(p.TypesInfo().Types[call].Type) {
+						if v := assignedVar(p, n.Lhs[0]); v != nil {
+							local[v] = true
+						}
+					}
+				}
+			case *ast.CallExpr:
+				// A builder passed as a call argument escapes: the callee
+				// may Add transitions on the caller's behalf, so the
+				// no-Adds-at-Build check no longer holds locally.
+				for _, arg := range n.Args {
+					if isMarkovBuilder(p.TypesInfo().Types[arg].Type) {
+						if v := rootVar(p, arg); v != nil {
+							escaped[v] = true
+						}
+					}
+				}
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok || !isMarkovBuilder(p.TypesInfo().Types[sel.X].Type) {
+					return true
+				}
+				switch sel.Sel.Name {
+				case "Add":
+					if len(n.Args) == 3 {
+						checkRowSumAdd(p, n)
+					}
+					if v := rootVar(p, sel.X); v != nil {
+						adds[v]++
+					}
+				case "Build":
+					if v := rootVar(p, sel.X); v != nil {
+						builds[v] = append(builds[v], n.Pos())
+					}
+				}
+			}
+			return true
+		})
+		for v, positions := range builds {
+			if local[v] && !escaped[v] && adds[v] == 0 {
+				for _, pos := range positions {
+					p.Reportf(pos, "generator %s is built with no Add call in %s: every transition branch was missed, the chain is all-absorbing", v.Name(), fd.Name.Name)
+				}
+			}
+		}
+	})
+}
+
+// checkRowSumAdd inspects one Add(from, to, rate) call.
+func checkRowSumAdd(p *Pass, call *ast.CallExpr) {
+	from, to, rate := call.Args[0], call.Args[1], call.Args[2]
+	if types.ExprString(from) == types.ExprString(to) {
+		p.Reportf(call.Pos(), "self-loop rate Add(%s, %s, ...) is silently dropped: the diagonal is derived from the off-diagonal rates, never added", types.ExprString(from), types.ExprString(to))
+	}
+	tv := p.TypesInfo().Types[rate]
+	if tv.Value != nil {
+		// A constant rate is fully decided at compile time; <= 0 means the
+		// Add is dead code.
+		if v := constant.ToFloat(tv.Value); v.Kind() == constant.Float && constant.Sign(v) <= 0 {
+			p.Reportf(rate.Pos(), "constant rate %s is <= 0 and silently dropped by Add; delete the call or fix the rate", types.ExprString(rate))
+		}
+		return
+	}
+	if sub := findSubtraction(rate); sub != nil {
+		p.Reportf(sub.Pos(), "rate expression %s contains subtraction; a negative result is silently dropped by Add, leaving the generator row short — compute the rate non-negatively or guard it before the call", types.ExprString(rate))
+	}
+}
+
+// findSubtraction returns the first non-constant subtraction in expr, or
+// nil. Constant-folded differences (e.g. 3 - 1) are decided at compile time
+// and handled by the constant check instead.
+func findSubtraction(expr ast.Expr) *ast.BinaryExpr {
+	var found *ast.BinaryExpr
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if found != nil {
+			return false
+		}
+		if be, ok := n.(*ast.BinaryExpr); ok && be.Op == token.SUB {
+			found = be
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// isMarkovBuilder reports whether t (possibly behind a pointer) is the
+// Builder type of a package whose import path ends in "markov" — the real
+// scshare/internal/markov or a fixture stand-in.
+func isMarkovBuilder(t types.Type) bool {
+	named := namedFrom(t)
+	if named == nil || named.Obj().Pkg() == nil || named.Obj().Name() != "Builder" {
+		return false
+	}
+	path := named.Obj().Pkg().Path()
+	return path == "markov" || strings.HasSuffix(path, "/markov")
+}
+
+// assignedVar resolves the variable an assignment LHS defines or updates.
+func assignedVar(p *Pass, lhs ast.Expr) *types.Var {
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if v, ok := p.TypesInfo().Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := p.TypesInfo().Uses[id].(*types.Var)
+	return v
+}
+
+// rootVar resolves a builder expression (method receiver or call argument)
+// to its variable object, unwrapping parens, derefs and address-of.
+func rootVar(p *Pass, expr ast.Expr) *types.Var {
+	expr = ast.Unparen(expr)
+	if ue, ok := expr.(*ast.StarExpr); ok {
+		expr = ast.Unparen(ue.X)
+	}
+	if ue, ok := expr.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+		expr = ast.Unparen(ue.X)
+	}
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := p.TypesInfo().Uses[id].(*types.Var)
+	return v
+}

@@ -2,21 +2,30 @@ package analysis
 
 import (
 	"go/ast"
+	"go/token"
 	"strings"
 )
 
-// ignoredRules scans a file's comments for scvet suppression pragmas.
+// pragmaRule is one rule name appearing in a //scvet:ignore pragma,
+// with the position of the comment that carries it.
+type pragmaRule struct {
+	name string
+	pos  token.Pos
+}
+
+// filePragmas scans a file's comments for scvet suppression pragmas.
 //
 // Syntax:
 //
-//	//scvet:ignore rule[,rule...] [-- reason]
+//	//scvet:ignore [rule[,rule...]] [-- reason]
 //	//scvet:ignore all [-- reason]
 //
 // A pragma anywhere in a file suppresses the listed rules for that entire
-// file. The optional "-- reason" trailer is for human readers and is not
+// file; the bare form (no rule list) and the "all" form suppress every
+// rule. The optional "-- reason" trailer is for human readers and is not
 // interpreted.
-func ignoredRules(f *ast.File) map[string]bool {
-	var rules map[string]bool
+func filePragmas(f *ast.File) []pragmaRule {
+	var rules []pragmaRule
 	for _, cg := range f.Comments {
 		for _, c := range cg.List {
 			text := strings.TrimPrefix(c.Text, "//")
@@ -28,15 +37,29 @@ func ignoredRules(f *ast.File) map[string]bool {
 			if reason := strings.Index(rest, "--"); reason >= 0 {
 				rest = rest[:reason]
 			}
-			for _, r := range strings.FieldsFunc(rest, func(r rune) bool {
+			names := strings.FieldsFunc(rest, func(r rune) bool {
 				return r == ',' || r == ' ' || r == '\t'
-			}) {
-				if rules == nil {
-					rules = make(map[string]bool)
-				}
-				rules[r] = true
+			})
+			if len(names) == 0 {
+				// Bare //scvet:ignore suppresses everything.
+				names = []string{"all"}
+			}
+			for _, r := range names {
+				rules = append(rules, pragmaRule{name: r, pos: c.Pos()})
 			}
 		}
+	}
+	return rules
+}
+
+// ignoredRules reduces a file's pragmas to the suppressed-rule set.
+func ignoredRules(f *ast.File) map[string]bool {
+	var rules map[string]bool
+	for _, pr := range filePragmas(f) {
+		if rules == nil {
+			rules = make(map[string]bool)
+		}
+		rules[pr.name] = true
 	}
 	return rules
 }

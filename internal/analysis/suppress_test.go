@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// primaryFixtures returns one findings-bearing fixture per rule (the
+// tolconst_numeric scope fixture carries no findings, so it is skipped).
+func primaryFixtures(t *testing.T) []Fixture {
+	t.Helper()
+	seen := make(map[string]bool)
+	var out []Fixture
+	for _, fx := range Fixtures() {
+		if seen[fx.Rule] {
+			continue
+		}
+		seen[fx.Rule] = true
+		out = append(out, fx)
+	}
+	if len(out) != len(All()) {
+		t.Fatalf("primaryFixtures covers %d rules, want %d", len(out), len(All()))
+	}
+	return out
+}
+
+// copyFixtureWithPragma copies a fixture package into a temp dir, injecting
+// the given pragma line above every file's package clause, and loads it.
+func copyFixtureWithPragma(t *testing.T, fx Fixture, pragma string) *Package {
+	t.Helper()
+	src := filepath.Join("testdata", "src", fx.Dir)
+	dst := t.TempDir()
+	entries, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		body, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		withPragma := append([]byte(pragma+"\n"), body...)
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), withPragma, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pkg, err := LoadDir(dst, fx.ImportPath)
+	if err != nil {
+		t.Fatalf("loading pragma-injected copy of %s: %v", fx.Dir, err)
+	}
+	return pkg
+}
+
+func analyzerByName(t *testing.T, name string) *Analyzer {
+	t.Helper()
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	t.Fatalf("no analyzer named %q", name)
+	return nil
+}
+
+// TestSuppressionsAcrossAllRules proves, for every shipped rule, that both
+// pragma forms silence the rule's fixture findings, that the suppressed
+// findings stay visible (marked) under IncludeSuppressed, and that an
+// unknown rule name in the pragma suppresses nothing and is itself flagged.
+func TestSuppressionsAcrossAllRules(t *testing.T) {
+	for _, fx := range primaryFixtures(t) {
+		fx := fx
+		t.Run(fx.Rule, func(t *testing.T) {
+			a := analyzerByName(t, fx.Rule)
+
+			base, err := LoadDir(filepath.Join("testdata", "src", fx.Dir), fx.ImportPath)
+			if err != nil {
+				t.Fatal(err)
+			}
+			baseline := Run([]*Package{base}, []*Analyzer{a})
+			if len(baseline) == 0 {
+				t.Fatalf("fixture %s yields no findings to suppress", fx.Dir)
+			}
+			// The full set includes findings the fixture's own suppressed.go
+			// already waves through; pragma-injected copies must keep exactly
+			// this many under IncludeSuppressed.
+			baselineAll := RunWith([]*Package{base}, []*Analyzer{a}, RunOptions{IncludeSuppressed: true})
+
+			for _, pragma := range []string{
+				"//scvet:ignore",
+				"//scvet:ignore " + fx.Rule,
+				"//scvet:ignore " + fx.Rule + " -- suppression test",
+			} {
+				pkg := copyFixtureWithPragma(t, fx, pragma)
+				if got := Run([]*Package{pkg}, []*Analyzer{a}); len(got) != 0 {
+					t.Errorf("pragma %q left %d active finding(s), e.g. %s", pragma, len(got), got[0])
+				}
+				kept := RunWith([]*Package{pkg}, []*Analyzer{a}, RunOptions{IncludeSuppressed: true})
+				if len(kept) != len(baselineAll) {
+					t.Errorf("pragma %q: IncludeSuppressed kept %d finding(s), want %d", pragma, len(kept), len(baselineAll))
+				}
+				for _, f := range kept {
+					if !f.Suppressed {
+						t.Errorf("pragma %q: finding not marked suppressed: %s", pragma, f)
+					}
+				}
+				if n := ActiveCount(kept); n != 0 {
+					t.Errorf("pragma %q: ActiveCount = %d, want 0", pragma, n)
+				}
+			}
+
+			// An unknown rule name must not suppress anything, and the typo
+			// itself must surface as an unsuppressable "scvet" finding per
+			// injected pragma (one per file).
+			pkg := copyFixtureWithPragma(t, fx, "//scvet:ignore nosuchrule")
+			got := Run([]*Package{pkg}, []*Analyzer{a})
+			var scvetFindings, ruleFindings int
+			for _, f := range got {
+				switch f.Rule {
+				case "scvet":
+					scvetFindings++
+				case fx.Rule:
+					ruleFindings++
+				}
+			}
+			if ruleFindings != len(baseline) {
+				t.Errorf("unknown-rule pragma suppressed findings: got %d %s finding(s), want %d", ruleFindings, fx.Rule, len(baseline))
+			}
+			if scvetFindings == 0 {
+				t.Errorf("unknown-rule pragma was not flagged; findings: %v", got)
+			}
+			for _, f := range got {
+				if f.Rule == "scvet" && !strings.Contains(f.Message, "nosuchrule") {
+					t.Errorf("scvet finding does not name the bad rule: %s", f)
+				}
+			}
+		})
+	}
+}
+
+// TestUnknownPragmaRuleCannotBeSuppressed: a file that tries to ignore the
+// "scvet" pseudo-rule still gets its unknown-name pragma reported.
+func TestUnknownPragmaRuleCannotBeSuppressed(t *testing.T) {
+	fx := Fixture{Rule: "floatcmp", Dir: "floatcmp", ImportPath: "fixture/floatcmp"}
+	pkg := copyFixtureWithPragma(t, fx, "//scvet:ignore scvet, nosuchrule")
+	var scvetFindings int
+	for _, f := range Run([]*Package{pkg}, []*Analyzer{analyzerByName(t, "floatcmp")}) {
+		if f.Rule == "scvet" {
+			scvetFindings++
+		}
+	}
+	if scvetFindings == 0 {
+		t.Error("unknown rule in pragma went unreported despite //scvet:ignore scvet")
+	}
+}

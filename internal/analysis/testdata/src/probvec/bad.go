@@ -1,0 +1,94 @@
+// Package probvec is the probvec fixture: stand-ins for the pi-producing
+// solver calls and the numeric sanitizers, exercising the writes, slices
+// and appends the rule must flag.
+package probvec
+
+// Chain mimics a solved Markov chain.
+type Chain struct{ n int }
+
+// SteadyState returns the stationary distribution.
+func (c *Chain) SteadyState() ([]float64, error) {
+	pi := make([]float64, c.n)
+	for i := range pi {
+		pi[i] = 1 / float64(c.n)
+	}
+	return pi, nil
+}
+
+// SteadyStateGaussSeidel is the alternative solver.
+func (c *Chain) SteadyStateGaussSeidel() ([]float64, error) { return c.SteadyState() }
+
+// Transient returns the distribution at time t.
+func Transient(p0 []float64, t float64) []float64 { return Clone(p0) }
+
+// Normalize rescales v to sum to one.
+func Normalize(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	if s != 0 {
+		for i := range v {
+			v[i] /= s
+		}
+	}
+	return s
+}
+
+// Sum returns the sum of v.
+func Sum(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// CheckProbVec asserts the sum-to-1 contract.
+func CheckProbVec(v []float64, tol float64) error { return nil }
+
+// Clone copies v.
+func Clone(v []float64) []float64 {
+	c := make([]float64, len(v))
+	copy(c, v)
+	return c
+}
+
+// rawWrite edits a steady-state vector and hands it on un-normalized.
+func rawWrite(c *Chain) ([]float64, error) {
+	pi, err := c.SteadyState()
+	if err != nil {
+		return nil, err
+	}
+	pi[0] = 0.5 // WANT probvec
+	return pi, nil
+}
+
+// rawSlice truncates the distribution: the tail no longer sums to one.
+func rawSlice(c *Chain) []float64 {
+	pi, _ := c.SteadyStateGaussSeidel()
+	return pi[1:] // WANT probvec
+}
+
+// rawAppend grafts extra mass onto the distribution.
+func rawAppend(c *Chain) []float64 {
+	pi, _ := c.SteadyState()
+	return append(pi, 0.1) // WANT probvec
+}
+
+// aliasWrite reaches the vector through a Clone alias; taint must follow.
+func aliasWrite(c *Chain, t float64) []float64 {
+	pi, _ := c.SteadyState()
+	cur := Clone(pi)
+	step := Transient(cur, t)
+	step[2] += 0.25 // WANT probvec
+	return step
+}
+
+// sanitizedTooEarly asserts before the write, not after: still broken.
+func sanitizedTooEarly(c *Chain) []float64 {
+	pi, _ := c.SteadyState()
+	_ = Sum(pi)
+	pi[1] = 0 // WANT probvec
+	return pi
+}

@@ -1,0 +1,50 @@
+package probvec
+
+// renormalizedWrite restores the contract after conditioning the vector.
+func renormalizedWrite(c *Chain) ([]float64, error) {
+	pi, err := c.SteadyState()
+	if err != nil {
+		return nil, err
+	}
+	pi[0] = 0
+	Normalize(pi)
+	return pi, nil
+}
+
+// assertedWrite proves the sum still holds after an exact mass transfer.
+func assertedWrite(c *Chain) ([]float64, error) {
+	pi, err := c.SteadyState()
+	if err != nil {
+		return nil, err
+	}
+	pi[0], pi[1] = pi[1], pi[0]
+	if err := CheckProbVec(pi, 1e-9); err != nil {
+		return nil, err
+	}
+	return pi, nil
+}
+
+// summedSlice renormalizes the conditional tail before returning it.
+func summedSlice(c *Chain) []float64 {
+	pi, _ := c.SteadyState()
+	tail := pi[1:]
+	Normalize(pi)
+	return tail
+}
+
+// readsOnly indexes and folds without mutating: nothing to flag.
+func readsOnly(c *Chain) float64 {
+	pi, _ := c.SteadyState()
+	s := 0.0
+	for i := range pi {
+		s += pi[i] * float64(i)
+	}
+	return s
+}
+
+// untracked vectors (built locally, not from a solver) are out of scope.
+func untracked(n int) []float64 {
+	w := make([]float64, n)
+	w[0] = 1
+	return w[:n]
+}

@@ -1,0 +1,9 @@
+//scvet:ignore probvec -- fixture: the pragma must silence the rule
+package probvec
+
+// suppressedWrite is a known-bad edit the pragma waves through.
+func suppressedWrite(c *Chain) []float64 {
+	pi, _ := c.SteadyState()
+	pi[0] = 1
+	return pi
+}

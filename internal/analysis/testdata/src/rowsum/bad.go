@@ -1,0 +1,61 @@
+// Package markov is the rowsum fixture: a stand-in for the real
+// scshare/internal/markov Builder (the rule matches any Builder type in a
+// package path ending in "markov"), exercising every call-site pattern the
+// rule must flag.
+package markov
+
+// Builder mimics the real generator builder: Add silently drops self-loops
+// and non-positive rates.
+type Builder struct {
+	n     int
+	rates []float64
+}
+
+// NewBuilder returns a builder for an n-state chain.
+func NewBuilder(n int) *Builder { return &Builder{n: n, rates: make([]float64, n*n)} }
+
+// Add accumulates one off-diagonal rate.
+func (b *Builder) Add(from, to int, rate float64) {
+	if rate <= 0 || from == to {
+		return
+	}
+	b.rates[from*b.n+to] += rate
+}
+
+// Build produces the chain.
+func (b *Builder) Build() (*CTMC, error) { return &CTMC{n: b.n}, nil }
+
+// CTMC is the built chain.
+type CTMC struct{ n int }
+
+// subtractedRate passes raw rate arithmetic into Add: the difference can go
+// negative and vanish without a trace.
+func subtractedRate(total, reserved float64) (*CTMC, error) {
+	b := NewBuilder(3)
+	b.Add(0, 1, total-reserved) // WANT rowsum
+	b.Add(1, 2, 2*(total-reserved*0.5)) // WANT rowsum
+	return b.Build()
+}
+
+// deadConstant adds a rate that is dropped at every execution.
+func deadConstant() (*CTMC, error) {
+	b := NewBuilder(2)
+	b.Add(0, 1, 0.0) // WANT rowsum
+	b.Add(1, 0, -1.5) // WANT rowsum
+	b.Add(0, 1, 1.0)
+	return b.Build()
+}
+
+// selfLoop adds a diagonal entry the builder derives itself.
+func selfLoop(state int, rate float64) (*CTMC, error) {
+	b := NewBuilder(4)
+	b.Add(state, state, rate) // WANT rowsum
+	b.Add(state, state+1, rate)
+	return b.Build()
+}
+
+// noAdds builds a generator whose every transition branch was missed.
+func noAdds() (*CTMC, error) {
+	b := NewBuilder(5)
+	return b.Build() // WANT rowsum
+}

@@ -1,0 +1,9 @@
+//scvet:ignore rowsum -- fixture: the pragma must silence the rule
+package markov
+
+// suppressedSubtraction is a known-bad rate the pragma waves through.
+func suppressedSubtraction(a, c float64) (*CTMC, error) {
+	b := NewBuilder(2)
+	b.Add(0, 1, a-c)
+	return b.Build()
+}

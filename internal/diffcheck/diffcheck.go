@@ -1,0 +1,296 @@
+// Package diffcheck is the differential fuzz harness that enforces the
+// paper's error envelope dynamically. The static rules in internal/analysis
+// (rowsum, probvec) prove what they can about generator assembly and
+// probability-vector discipline; everything path-sensitive that they cannot
+// see — an Add skipped on one conditional branch, a denormalized vector
+// flowing through a model — surfaces here instead, as a divergence between
+// independent implementations of the same quantity.
+//
+// Three fuzz targets (in fuzz_test.go) generate random small federations
+// (K <= 3, bounded rates, loads and prices) and cross-check:
+//
+//   - FuzzSolveAllVsSolve: the whole-vector approximate solve against K
+//     per-target solves (the two code paths share the spine, so they must
+//     agree tightly);
+//   - FuzzApproxVsExact: the hierarchical approximation against the
+//     detailed CTMC, within the paper's reported accuracy (Sect. VI);
+//   - FuzzApproxVsSim: the approximation against the discrete-event
+//     simulator at a smoke-test horizon, where estimator noise dominates.
+//
+// Every target also asserts structural invariants that hold regardless of
+// model error: metrics are finite and non-negative, utilizations and
+// forwarding probabilities are probabilities, the exact model conserves
+// lent/borrowed flow, generator rows balance their diagonal, and steady
+// states are probability vectors under both solvers.
+package diffcheck
+
+import (
+	"fmt"
+	"math"
+
+	"scshare/internal/cloud"
+	"scshare/internal/markov"
+	"scshare/internal/numeric"
+)
+
+// Error envelopes, calibrated by fuzzing the generator's whole domain until
+// the bound holds with margin (the near-boundary federations the calibration
+// found are committed under testdata/fuzz as regression entries). They are
+// intentionally the *worst case* over that domain — wider than the paper's
+// headline numbers (Sect. VI reports rate errors up to ~25%, but on 10-VM
+// SCs at moderate coupling, not the adversarial 2-4-VM federations fuzzed
+// here). A silent failure — a dropped transition class, a denormalized
+// distribution, a sign error — moves the metrics by several hundred percent
+// or out of [0, 1] entirely, which still lands far outside every envelope.
+const (
+	// ParityRateTol bounds |SolveAll - Solve| on lend/borrow/public rates.
+	// The two paths share the spine but run different fixed-point
+	// schedules (joint versus per-target), and on strongly coupled small
+	// federations the schedules settle up to ~0.1 VMs/s apart.
+	ParityRateTol = 0.15
+	// ParityUtilTol bounds the utilization divergence of the two paths.
+	ParityUtilTol = 0.05
+	// ParityFwdTol bounds the forwarding-probability divergence.
+	ParityFwdTol = 0.05
+
+	// ExactRateRelTol bounds the relative error of approximate
+	// lend/borrow/public rates against the exact CTMC, with RateFloor
+	// guarding the denominator. Calibration keeps finding legitimate
+	// divergences just past any tighter bound, all the same shape: an
+	// overloaded SC exchanging flow with a small partner, where the
+	// approximation mis-estimates the coupled lend/borrow rate by up to
+	// ~1.8x (entries 897acb3534e3b166, 6264e23664babbb2 in the corpus)
+	// while exact and sim agree to a few percent. Rate agreement is
+	// simply weak in that regime; the sharp exact-model checks are flow
+	// conservation, the utilization/forwarding bounds below, and the
+	// structural invariants — implementation faults break those, or land
+	// at several hundred percent.
+	ExactRateRelTol = 0.90
+	// ExactUtilTol and ExactFwdTol bound the absolute error of the
+	// utilization and forwarding probability against the exact CTMC. The
+	// worst case is the same coupled regime as the rate bound: a fully
+	// shared small SC whose own utilization the approximation
+	// underestimates by ~0.1.
+	ExactUtilTol = 0.15
+	ExactFwdTol  = 0.15
+
+	// SimRateRelTol, SimUtilTol and SimFwdTol play the same roles against
+	// the simulator, widened twice over: for sampling noise at the smoke
+	// horizon, and because the generator's domain still includes strongly
+	// coupled federations (an overloaded partner borrowing most of a
+	// small lender's pool) where the approximation is at its documented
+	// worst.
+	SimRateRelTol = 0.90
+	SimUtilTol    = 0.20
+	SimFwdTol     = 0.18
+
+	// RateFloor is the relative-error denominator floor: below it a rate is
+	// "small" and the comparison is effectively absolute, bounded by
+	// relTol * RateFloor (0.14 VMs/s for the exact envelope, 0.30 for the
+	// sim one). Small borrow/lend rates are where relative error is
+	// twitchiest — a 0.1 VMs/s disagreement on a 0.15 VMs/s flow is fine
+	// approximation behavior — so the floor sits at a quarter VM/s,
+	// well under the ~1-10 VMs/s total rates the generator produces.
+	RateFloor = 0.25
+)
+
+// probTol is the slack allowed when asserting that a quantity is a
+// probability or that probability mass sums to one.
+const probTol = 1e-7
+
+// flowTol bounds the exact model's lend/borrow conservation residual: every
+// VM some SC borrows is a VM some other SC lends, so the sums must agree up
+// to solver tolerance.
+const flowTol = 1e-6
+
+// chainAgreeTol bounds the L-infinity disagreement of the power-iteration
+// and Gauss-Seidel steady states of one chain.
+const chainAgreeTol = 1e-6
+
+// CheckMetrics asserts the structural invariants every performance model
+// must satisfy regardless of accuracy: finite, non-negative rates;
+// utilization and forwarding probability in [0, 1].
+func CheckMetrics(label string, ms []cloud.Metrics) error {
+	for i, m := range ms {
+		for _, q := range []struct {
+			name string
+			v    float64
+		}{
+			{"public rate", m.PublicRate},
+			{"borrow rate", m.BorrowRate},
+			{"lend rate", m.LendRate},
+			{"utilization", m.Utilization},
+			{"forward prob", m.ForwardProb},
+		} {
+			if math.IsNaN(q.v) || math.IsInf(q.v, 0) {
+				return fmt.Errorf("%s: SC %d %s is non-finite (%v)", label, i, q.name, q.v)
+			}
+			if q.v < -probTol {
+				return fmt.Errorf("%s: SC %d %s is negative (%g)", label, i, q.name, q.v)
+			}
+		}
+		if m.Utilization > 1+probTol {
+			return fmt.Errorf("%s: SC %d utilization %g exceeds 1", label, i, m.Utilization)
+		}
+		if m.ForwardProb > 1+probTol {
+			return fmt.Errorf("%s: SC %d forward probability %g exceeds 1", label, i, m.ForwardProb)
+		}
+	}
+	return nil
+}
+
+// CheckFlowConservation asserts that the federation-wide lending and
+// borrowing rates balance: a VM borrowed by one SC is lent by another, so
+// the two sums are the same quantity measured from the two sides. Only the
+// exact model owes this identity exactly; approximate models break it by
+// their error envelope.
+func CheckFlowConservation(label string, ms []cloud.Metrics, tol float64) error {
+	lend, borrow := 0.0, 0.0
+	for _, m := range ms {
+		lend += m.LendRate
+		borrow += m.BorrowRate
+	}
+	if d := math.Abs(lend - borrow); d > tol {
+		return fmt.Errorf("%s: federation lends %g VMs/s but borrows %g (|Δ|=%g > %g)", label, lend, borrow, d, tol)
+	}
+	return nil
+}
+
+// RateClose reports whether two rates agree within relTol relative error,
+// flooring the denominator at RateFloor (absolute agreement for near-zero
+// rates).
+func RateClose(got, want, relTol float64) bool {
+	return numeric.RelErr(got, want, RateFloor) <= relTol
+}
+
+// CompareMetricsAbs diffs two per-SC metric vectors under an absolute
+// envelope — the right comparison for the SolveAll/Solve parity check,
+// where both paths share the spine and diverge by bounded absolute amounts.
+// It returns a description of the first violation, or "" on agreement.
+func CompareMetricsAbs(got, want []cloud.Metrics, rateTol, utilTol, fwdTol float64) string {
+	if len(got) != len(want) {
+		return fmt.Sprintf("metric vectors have %d and %d SCs", len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		for _, q := range []struct {
+			name     string
+			got, ref float64
+		}{
+			{"lend rate", g.LendRate, w.LendRate},
+			{"borrow rate", g.BorrowRate, w.BorrowRate},
+			{"public rate", g.PublicRate, w.PublicRate},
+		} {
+			if d := math.Abs(q.got - q.ref); d > rateTol {
+				return fmt.Sprintf("SC %d %s: got %.5f want %.5f (|Δ|=%.4f > %v)", i, q.name, q.got, q.ref, d, rateTol)
+			}
+		}
+		if d := math.Abs(g.Utilization - w.Utilization); d > utilTol {
+			return fmt.Sprintf("SC %d utilization: got %.5f want %.5f (|Δ|=%.4f > %v)", i, g.Utilization, w.Utilization, d, utilTol)
+		}
+		if d := math.Abs(g.ForwardProb - w.ForwardProb); d > fwdTol {
+			return fmt.Sprintf("SC %d forward prob: got %.5f want %.5f (|Δ|=%.4f > %v)", i, g.ForwardProb, w.ForwardProb, d, fwdTol)
+		}
+	}
+	return ""
+}
+
+// CompareMetrics diffs two per-SC metric vectors under the given envelope
+// and returns a description of the first violation, or "" when the vectors
+// agree. Rates compare relatively (floored); utilization and forwarding
+// probability compare absolutely.
+func CompareMetrics(got, want []cloud.Metrics, rateRelTol, utilTol, fwdTol float64) string {
+	if len(got) != len(want) {
+		return fmt.Sprintf("metric vectors have %d and %d SCs", len(got), len(want))
+	}
+	for i := range got {
+		g, w := got[i], want[i]
+		for _, q := range []struct {
+			name     string
+			got, ref float64
+		}{
+			{"lend rate", g.LendRate, w.LendRate},
+			{"borrow rate", g.BorrowRate, w.BorrowRate},
+			{"public rate", g.PublicRate, w.PublicRate},
+		} {
+			if !RateClose(q.got, q.ref, rateRelTol) {
+				return fmt.Sprintf("SC %d %s: got %.5f want %.5f (rel err %.3f > %.3f)",
+					i, q.name, q.got, q.ref, numeric.RelErr(q.got, q.ref, RateFloor), rateRelTol)
+			}
+		}
+		if d := math.Abs(g.Utilization - w.Utilization); d > utilTol {
+			return fmt.Sprintf("SC %d utilization: got %.5f want %.5f (|Δ|=%.4f > %v)", i, g.Utilization, w.Utilization, d, utilTol)
+		}
+		if d := math.Abs(g.ForwardProb - w.ForwardProb); d > fwdTol {
+			return fmt.Sprintf("SC %d forward prob: got %.5f want %.5f (|Δ|=%.4f > %v)", i, g.ForwardProb, w.ForwardProb, d, fwdTol)
+		}
+	}
+	return ""
+}
+
+// CheckChainInvariants builds the M/M/N/N+q birth-death chain of one SC
+// through markov.Builder and asserts the row-sum and probability-vector
+// invariants the static rules guard, dynamically: the derived diagonal
+// balances each row, uniformization yields stochastic rows, and the two
+// steady-state solvers return agreeing probability vectors.
+func CheckChainInvariants(sc cloud.SC, queue int) error {
+	n := sc.VMs + queue + 1
+	b := markov.NewBuilder(n)
+	for q := 0; q+1 < n; q++ {
+		b.Add(q, q+1, sc.ArrivalRate)
+		served := q + 1
+		if served > sc.VMs {
+			served = sc.VMs
+		}
+		b.Add(q+1, q, float64(served)*sc.ServiceRate)
+	}
+	c, err := b.Build()
+	if err != nil {
+		return fmt.Errorf("diffcheck: chain build: %w", err)
+	}
+
+	// Row sums: the exit rate must equal the off-diagonal row mass the
+	// builder accumulated, i.e. Q's rows sum to ~0 with the derived
+	// diagonal.
+	for r := 0; r < n; r++ {
+		row := 0.0
+		for col := 0; col < n; col++ {
+			row += c.Rate(r, col)
+		}
+		if d := math.Abs(row - c.ExitRate(r)); d > probTol {
+			return fmt.Errorf("diffcheck: row %d off-diagonal mass %g != exit rate %g", r, row, c.ExitRate(r))
+		}
+	}
+
+	// Uniformized rows are probability distributions.
+	dt, _ := c.Uniformized(1.0)
+	for r := 0; r < n; r++ {
+		row := 0.0
+		for col := 0; col < n; col++ {
+			row += dt.Prob(r, col)
+		}
+		if math.Abs(row-1) > probTol {
+			return fmt.Errorf("diffcheck: uniformized row %d sums to %g", r, row)
+		}
+	}
+
+	// Both solvers return probability vectors, and the same one.
+	power, err := c.SteadyState(markov.SteadyStateOptions{})
+	if err != nil {
+		return fmt.Errorf("diffcheck: power iteration: %w", err)
+	}
+	gs, err := c.SteadyStateGaussSeidel(markov.SteadyStateOptions{})
+	if err != nil {
+		return fmt.Errorf("diffcheck: gauss-seidel: %w", err)
+	}
+	if err := numeric.CheckProbVec(power, probTol); err != nil {
+		return fmt.Errorf("diffcheck: power iteration: %w", err)
+	}
+	if err := numeric.CheckProbVec(gs, probTol); err != nil {
+		return fmt.Errorf("diffcheck: gauss-seidel: %w", err)
+	}
+	if d := numeric.MaxAbsDiff(power, gs); d > chainAgreeTol {
+		return fmt.Errorf("diffcheck: solvers disagree by %g (> %g)", d, chainAgreeTol)
+	}
+	return nil
+}

@@ -1,0 +1,200 @@
+package diffcheck
+
+import (
+	"testing"
+
+	"scshare/internal/approx"
+	"scshare/internal/cloud"
+	"scshare/internal/core"
+	"scshare/internal/exact"
+	"scshare/internal/market"
+	"scshare/internal/sim"
+)
+
+// maxExactStates caps the joint state space a fuzz execution will solve
+// exactly; larger decoded federations are skipped, not failed.
+const maxExactStates = 3000
+
+// Simulation smoke horizon: long enough for the estimators to settle inside
+// the (wide) sim envelope, short enough to keep one execution in the low
+// milliseconds.
+const (
+	simHorizon = 1500
+	simWarmup  = 150
+)
+
+// simSeed derives a deterministic simulation seed from the fuzz input, so a
+// corpus entry reproduces its run exactly (FNV-1a over the input bytes).
+func simSeed(data []byte) int64 {
+	h := uint64(14695981039346656037)
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return int64(h >> 1)
+}
+
+func addSeeds(f *testing.F) {
+	f.Helper()
+	for _, s := range SeedInputs() {
+		f.Add(s)
+	}
+}
+
+// FuzzSolveAllVsSolve cross-checks the whole-vector approximate solve
+// against K independent per-target solves. The two paths share the spine,
+// so they must agree within the tight parity envelope; the target also
+// asserts the chain-level structural invariants on every SC's birth-death
+// skeleton.
+func FuzzSolveAllVsSolve(f *testing.F) {
+	addSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fed, shares, ok := GenFederation(data)
+		if !ok {
+			t.Skip("input does not decode to a valid federation")
+		}
+		cfg := approx.Config{Federation: fed, Shares: shares}
+		all, err := approx.SolveAll(cfg)
+		if err != nil {
+			t.Fatalf("SolveAll: %v", err)
+		}
+		if err := CheckMetrics("SolveAll", all); err != nil {
+			t.Error(err)
+		}
+		for i := range fed.SCs {
+			m, err := approx.Solve(cfg, i)
+			if err != nil {
+				t.Fatalf("Solve(%d): %v", i, err)
+			}
+			per := []cloud.Metrics{m.Metrics()}
+			if err := CheckMetrics("Solve", per); err != nil {
+				t.Error(err)
+			}
+			if d := CompareMetricsAbs([]cloud.Metrics{all[i]}, per, ParityRateTol, ParityUtilTol, ParityFwdTol); d != "" {
+				t.Errorf("SolveAll vs Solve(%d): %s", i, d)
+			}
+		}
+		for _, sc := range fed.SCs {
+			if err := CheckChainInvariants(sc, 2*sc.VMs); err != nil {
+				t.Error(err)
+			}
+		}
+	})
+}
+
+// FuzzApproxVsExact cross-checks the hierarchical approximation against the
+// detailed CTMC within the paper's error envelope, and holds the exact
+// model to the invariants only it owes exactly (flow conservation).
+func FuzzApproxVsExact(f *testing.F) {
+	addSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fed, shares, ok := GenFederation(data)
+		if !ok {
+			t.Skip("input does not decode to a valid federation")
+		}
+		if exact.StateSpaceSize(fed, shares) > maxExactStates {
+			t.Skip("joint state space too large for the exact model")
+		}
+		ex, err := exact.Solve(exact.Config{Federation: fed, Shares: shares})
+		if err != nil {
+			t.Fatalf("exact: %v", err)
+		}
+		exMetrics := ex.AllMetrics()
+		if err := CheckMetrics("exact", exMetrics); err != nil {
+			t.Error(err)
+		}
+		if err := CheckFlowConservation("exact", exMetrics, flowTol); err != nil {
+			t.Error(err)
+		}
+		all, err := approx.SolveAll(approx.Config{Federation: fed, Shares: shares})
+		if err != nil {
+			t.Fatalf("SolveAll: %v", err)
+		}
+		if err := CheckMetrics("approx", all); err != nil {
+			t.Error(err)
+		}
+		if d := CompareMetrics(all, exMetrics, ExactRateRelTol, ExactUtilTol, ExactFwdTol); d != "" {
+			t.Errorf("approx vs exact: %s", d)
+		}
+	})
+}
+
+// FuzzApproxVsSim cross-checks the approximation against the discrete-event
+// simulator at a smoke horizon. The envelope is wide — it absorbs both the
+// model error and the estimator noise — but it still catches the silent
+// failures this harness exists for: a dropped transition class or a
+// denormalized distribution moves the metrics far outside it.
+func FuzzApproxVsSim(f *testing.F) {
+	addSeeds(f)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fed, shares, ok := GenFederation(data)
+		if !ok {
+			t.Skip("input does not decode to a valid federation")
+		}
+		res, err := sim.Run(sim.Config{
+			Federation: fed,
+			Shares:     shares,
+			Horizon:    simHorizon,
+			Warmup:     simWarmup,
+			Seed:       simSeed(data),
+		})
+		if err != nil {
+			t.Fatalf("sim: %v", err)
+		}
+		if err := CheckMetrics("sim", res.Metrics); err != nil {
+			t.Error(err)
+		}
+		all, err := approx.SolveAll(approx.Config{Federation: fed, Shares: shares})
+		if err != nil {
+			t.Fatalf("SolveAll: %v", err)
+		}
+		if err := CheckMetrics("approx", all); err != nil {
+			t.Error(err)
+		}
+		if d := CompareMetrics(all, res.Metrics, SimRateRelTol, SimUtilTol, SimFwdTol); d != "" {
+			t.Errorf("approx vs sim: %s", d)
+		}
+	})
+}
+
+// TestMonotoneParticipationInPrice asserts the market-level structural
+// invariant of the repeated game: performance metrics are independent of
+// prices, so raising the federation price C^G only scales the lending
+// income term of Eq. (1) — sharing pays strictly more at a higher price,
+// and total equilibrium participation must not shrink as the price ratio
+// rises (monotone non-decreasing participation in price).
+func TestMonotoneParticipationInPrice(t *testing.T) {
+	fed := cloud.Federation{
+		SCs: []cloud.SC{
+			{Name: "hot", VMs: 3, ArrivalRate: 2.6, ServiceRate: 1, SLA: 0.2, PublicPrice: 1},
+			{Name: "cold", VMs: 3, ArrivalRate: 1.2, ServiceRate: 1, SLA: 0.2, PublicPrice: 1},
+		},
+	}
+	fw, err := core.New(core.Config{
+		Federation: fed,
+		Model:      core.ModelFluid,
+		Gamma:      market.UF0,
+		MaxShares:  []int{3, 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratios := []float64{0.05, 0.5, 0.95}
+	pts, err := fw.SweepPrices(ratios, []float64{market.AlphaProportional}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := func(pt core.SweepPoint) int {
+		n := 0
+		for _, s := range pt.Shares {
+			n += s
+		}
+		return n
+	}
+	for i := 1; i < len(pts); i++ {
+		if total(pts[i]) < total(pts[i-1]) {
+			t.Errorf("participation shrank as price rose: %d shared VMs at ratio %v, %d at ratio %v",
+				total(pts[i-1]), ratios[i-1], total(pts[i]), ratios[i])
+		}
+	}
+}

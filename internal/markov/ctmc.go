@@ -9,6 +9,7 @@ package markov
 import (
 	"errors"
 	"fmt"
+	"math"
 
 	"scshare/internal/numeric"
 	"scshare/internal/sparse"
@@ -22,10 +23,16 @@ var (
 	ErrEmptyChain = errors.New("markov: chain has no states")
 )
 
+// probVecTol bounds the acceptable drift of a solved distribution from unit
+// mass (and from entrywise non-negativity) before it is handed to callers;
+// every steady-state solver asserts its output against it.
+const probVecTol = 1e-9
+
 // Builder assembles a CTMC generator from individual transition rates.
 type Builder struct {
-	n int
-	b *sparse.Builder
+	n   int
+	b   *sparse.Builder
+	err error
 }
 
 // NewBuilder returns a builder for a CTMC with n states.
@@ -35,17 +42,29 @@ func NewBuilder(n int) *Builder {
 
 // Add accumulates a transition at the given rate. Self-loops and
 // non-positive rates are ignored (a CTMC has no self-transitions, and a
-// zero rate is the absence of a transition).
+// zero rate is the absence of a transition). A NaN or infinite rate is a
+// model-assembly bug — `rate <= 0` is false for NaN, so without an explicit
+// check it would silently poison the row sums; the builder records the
+// first such rate and Build reports it.
 func (bl *Builder) Add(from, to int, rate float64) {
+	if math.IsNaN(rate) || math.IsInf(rate, 0) {
+		if bl.err == nil {
+			bl.err = fmt.Errorf("markov: non-finite rate %v for transition %d->%d", rate, from, to)
+		}
+		return
+	}
 	if rate <= 0 || from == to {
 		return
 	}
 	bl.b.Add(from, to, rate)
 }
 
-// Build produces the CTMC. It never fails for n > 0; duplicate (from, to)
-// rates have been summed.
+// Build produces the CTMC. It fails for empty chains and when any Add was
+// handed a non-finite rate; duplicate (from, to) rates have been summed.
 func (bl *Builder) Build() (*CTMC, error) {
+	if bl.err != nil {
+		return nil, bl.err
+	}
 	if bl.n == 0 {
 		return nil, ErrEmptyChain
 	}
@@ -220,6 +239,9 @@ func (c *CTMC) SteadyStateGaussSeidel(opts SteadyStateOptions) ([]float64, error
 		}
 		if numeric.L1Diff(pi, prev) < opts.Tol {
 			opts.record(iter + 1)
+			if err := numeric.CheckProbVec(pi, probVecTol); err != nil {
+				return nil, err
+			}
 			return pi, nil
 		}
 	}
@@ -267,7 +289,12 @@ func (c *CTMC) Transient(p0 []float64, t float64, opts TransientOptions) ([]floa
 			}
 		}
 	}
-	numeric.Normalize(out)
+	// A zero-mass result means the Fox-Glynn window and the stepped vectors
+	// disagree — returning the all-zero vector would silently zero every
+	// downstream expectation.
+	if numeric.Normalize(out) == 0 {
+		return nil, fmt.Errorf("markov: transient distribution at t=%g lost all probability mass (gamma=%g)", t, gamma)
+	}
 	return out, nil
 }
 

@@ -222,3 +222,14 @@ func TestTransientWrongSize(t *testing.T) {
 		t.Error("expected error for wrong-sized p0")
 	}
 }
+
+func TestBuilderRejectsNonFiniteRate(t *testing.T) {
+	for _, rate := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		b := NewBuilder(3)
+		b.Add(0, 1, 2)
+		b.Add(1, 2, rate)
+		if _, err := b.Build(); err == nil {
+			t.Errorf("Build accepted a generator containing rate %v", rate)
+		}
+	}
+}

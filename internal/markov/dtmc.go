@@ -65,6 +65,9 @@ func (d *DTMC) SteadyState(opts SteadyStateOptions) ([]float64, error) {
 		numeric.Normalize(next)
 		if numeric.L1Diff(next, cur) < opts.Tol {
 			opts.record(iter + 1)
+			if err := numeric.CheckProbVec(next, probVecTol); err != nil {
+				return nil, err
+			}
 			return next, nil
 		}
 		cur, next = next, cur

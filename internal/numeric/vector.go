@@ -1,6 +1,10 @@
 package numeric
 
-import "math"
+import (
+	"errors"
+	"fmt"
+	"math"
+)
 
 // Sum returns the sum of the elements of v.
 func Sum(v []float64) float64 {
@@ -68,6 +72,31 @@ func Fill(v []float64, x float64) {
 	for i := range v {
 		v[i] = x
 	}
+}
+
+// CheckProbVec verifies that v is a probability vector: non-empty, every
+// entry finite and non-negative (with -tol slack for rounding), and total
+// mass within tol of 1. Solvers assert their output with it before handing
+// a distribution to metric computations, so a silently denormalized vector
+// surfaces as an error instead of as a subtly wrong expectation.
+func CheckProbVec(v []float64, tol float64) error {
+	if len(v) == 0 {
+		return errors.New("numeric: empty probability vector")
+	}
+	s := 0.0
+	for i, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return fmt.Errorf("numeric: probability vector entry %d is non-finite (%v)", i, x)
+		}
+		if x < -tol {
+			return fmt.Errorf("numeric: probability vector entry %d is negative (%g)", i, x)
+		}
+		s += x
+	}
+	if math.Abs(s-1) > tol {
+		return fmt.Errorf("numeric: probability vector mass %g is not within %g of 1", s, tol)
+	}
+	return nil
 }
 
 // RelErr returns |got-want| / max(|want|, floor); floor guards against

@@ -98,3 +98,29 @@ func TestNormalizePropertySumsToOne(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestCheckProbVec(t *testing.T) {
+	cases := []struct {
+		name string
+		v    []float64
+		ok   bool
+	}{
+		{"valid", []float64{0.25, 0.75}, true},
+		{"valid within tol", []float64{0.5, 0.5 + 5e-10}, true},
+		{"empty", nil, false},
+		{"nan entry", []float64{math.NaN(), 1}, false},
+		{"inf entry", []float64{math.Inf(1), 0}, false},
+		{"negative entry", []float64{-0.1, 1.1}, false},
+		{"mass too low", []float64{0.3, 0.3}, false},
+		{"mass too high", []float64{0.8, 0.8}, false},
+	}
+	for _, tc := range cases {
+		err := CheckProbVec(tc.v, 1e-9)
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: error expected, got nil", tc.name)
+		}
+	}
+}

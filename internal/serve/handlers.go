@@ -28,6 +28,10 @@ type adviseResponse struct {
 	Evaluations     int                `json:"evaluations"`
 	Converged       bool               `json:"converged"`
 	SCs             []scAdviceResponse `json:"scs"`
+	// Warnings carries core.DiagnoseAdvice's findings: conditions under
+	// which the advice is technically well-formed but operationally
+	// suspect (non-converged negotiation, a federation nobody joins).
+	Warnings []string `json:"warnings,omitempty"`
 }
 
 type scAdviceResponse struct {
@@ -64,11 +68,15 @@ type sweepLine struct {
 }
 
 // sweepTrailer is the final NDJSON line: either the whole grid finished
-// (Done true) or the sweep failed after zero or more streamed points.
+// (Done true) or the sweep failed after zero or more streamed points. On
+// success, Warnings carries core.Diagnose's findings over the whole grid
+// (dead markets, nothing converged, nobody ever shares) — the conditions a
+// client scanning only per-point lines would otherwise miss.
 type sweepTrailer struct {
-	Done   bool   `json:"done"`
-	Points int    `json:"points,omitempty"`
-	Error  string `json:"error,omitempty"`
+	Done     bool     `json:"done"`
+	Points   int      `json:"points,omitempty"`
+	Error    string   `json:"error,omitempty"`
+	Warnings []string `json:"warnings,omitempty"`
 }
 
 // errorResponse is the body of every non-streaming error reply.
@@ -199,6 +207,7 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		Rounds:          adv.Rounds,
 		Evaluations:     adv.Evaluations,
 		Converged:       adv.Converged,
+		Warnings:        core.DiagnoseAdvice(adv),
 	}
 	for _, sc := range adv.SCs {
 		resp.SCs = append(resp.SCs, scAdviceResponse{
@@ -308,7 +317,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeLine(sweepTrailer{Error: msg})
 		return
 	}
-	writeLine(sweepTrailer{Done: true, Points: len(pts)})
+	writeLine(sweepTrailer{Done: true, Points: len(pts), Warnings: core.Diagnose(pts)})
 }
 
 // handleHealthz answers liveness probes.

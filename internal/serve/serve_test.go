@@ -402,3 +402,70 @@ func TestClientDisconnectCancelsSolve(t *testing.T) {
 		return runtime.NumGoroutine() <= before+8
 	})
 }
+
+// TestResponsesCarryDiagnostics: the advise response and the sweep trailer
+// must surface core.Diagnose's warnings. A single-SC federation is the
+// deterministic trigger: it converges to an indifference point (a share with
+// zero saving), which both diagnostics flag end to end.
+func TestResponsesCarryDiagnostics(t *testing.T) {
+	soloSpec := federationSpec{
+		SCs:   []scSpec{{VMs: 10, ArrivalRate: 5.8}},
+		Model: "fluid",
+	}
+	s := New(Options{})
+
+	rec := postJSON(t, s, "/v1/advise", adviseRequest{federationSpec: soloSpec, Price: 0.5})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("advise = %d: %s", rec.Code, rec.Body)
+	}
+	var adv adviseResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &adv); err != nil {
+		t.Fatal(err)
+	}
+	if len(adv.Warnings) == 0 {
+		t.Fatal("advise response for a single-SC federation carries no warnings")
+	}
+	if !strings.Contains(strings.Join(adv.Warnings, "\n"), "none saves") {
+		t.Fatalf("advise warnings %q do not flag the indifference point", adv.Warnings)
+	}
+
+	rec = postJSON(t, s, "/v1/sweep", sweepRequest{
+		federationSpec: soloSpec,
+		Ratios:         []float64{0.2, 0.6},
+		Workers:        1,
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("sweep = %d: %s", rec.Code, rec.Body)
+	}
+	var trailer sweepTrailer
+	sc := bufio.NewScanner(bytes.NewReader(rec.Body.Bytes()))
+	for sc.Scan() {
+		if bytes.Contains(sc.Bytes(), []byte(`"done"`)) {
+			if err := json.Unmarshal(sc.Bytes(), &trailer); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if !trailer.Done {
+		t.Fatalf("trailer = %+v", trailer)
+	}
+	if len(trailer.Warnings) == 0 {
+		t.Fatal("sweep trailer for a single-SC federation carries no warnings")
+	}
+	if !strings.Contains(strings.Join(trailer.Warnings, "\n"), "indifference") {
+		t.Fatalf("sweep warnings %q do not flag the indifference grid", trailer.Warnings)
+	}
+
+	// A healthy two-SC federation must stay warning-free on both paths.
+	rec = postJSON(t, s, "/v1/advise", adviseRequest{federationSpec: testSpec(), Price: 0.5})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("healthy advise = %d: %s", rec.Code, rec.Body)
+	}
+	var healthy adviseResponse
+	if err := json.Unmarshal(rec.Body.Bytes(), &healthy); err != nil {
+		t.Fatal(err)
+	}
+	if len(healthy.Warnings) != 0 {
+		t.Fatalf("healthy federation advise carries warnings %q", healthy.Warnings)
+	}
+}

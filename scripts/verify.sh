@@ -30,6 +30,17 @@ go test -race -timeout 30m ${short} ./...
 echo "==> go run ./cmd/scvet ./..."
 go run ./cmd/scvet ./...
 
+echo "==> scvet fixture self-test"
+go run ./cmd/scvet -fixtures
+
+# Differential fuzz smoke: 30s per target over the committed corpus plus
+# fresh coverage-guided inputs. A genuine envelope violation reproduces from
+# the corpus entry the fuzzer writes under internal/diffcheck/testdata/fuzz.
+for target in FuzzSolveAllVsSolve FuzzApproxVsExact FuzzApproxVsSim; do
+    echo "==> go test -fuzz ${target} (30s)"
+    go test ./internal/diffcheck/ -run '^$' -fuzz "^${target}\$" -fuzztime 30s
+done
+
 echo "==> godoc audit: every internal package declares a package comment"
 missing=0
 for dir in $(find internal -type d -not -path '*/testdata*'); do
