@@ -1,15 +1,24 @@
 // Command scserve runs the SC-Share advice service: a long-running HTTP
 // server answering federation-sharing queries (POST /v1/advise), streaming
-// Fig. 7-style price sweeps as NDJSON (POST /v1/sweep), and exposing
-// liveness (GET /healthz) and expvar-style counters (GET /metrics).
-// Frameworks — and their evaluation caches — persist across requests per
-// federation configuration, so repeated queries at drifting prices are
-// answered warm; see DESIGN.md §11.
+// Fig. 7-style price sweeps as NDJSON (POST /v1/sweep), following drifting
+// price schedules with warm re-equilibration (POST /v1/track, NDJSON or
+// SSE), and exposing liveness (GET /healthz) and expvar-style counters
+// (GET /metrics). Frameworks — and their evaluation caches — persist
+// across requests per federation configuration, so repeated queries at
+// drifting prices are answered warm; see DESIGN.md §11 and §14.
 //
 // Usage:
 //
 //	scserve -addr :8080
 //	scserve -addr :8080 -solve-timeout 30s -drain 5s
+//	scserve -addr :8080 -max-inflight 4 -queue-wait 500ms
+//	scserve -addr :8080 -snapshot /var/lib/scserve/warm.json
+//
+// With -max-inflight the admission layer bounds concurrent solves and
+// sheds the excess with 429 + Retry-After priced from observed solve
+// latency. With -snapshot the server restores the warm-cache spine from
+// the given file on boot and saves it back on graceful shutdown, so a
+// restarted replica answers its first repeat queries from cache.
 //
 // The server drains gracefully on SIGINT/SIGTERM: the listener closes, the
 // drain window lets in-flight solves finish, and anything still running is
@@ -50,6 +59,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	solveTimeout := fs.Duration("solve-timeout", 0, "per-request solve cap (0 = only the client's disconnect cancels)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown window for in-flight requests")
 	maxFrameworks := fs.Int("max-frameworks", 0, "cached frameworks across federation configurations (0 = default)")
+	maxInflight := fs.Int("max-inflight", 0, "concurrent solves before shedding with 429 (0 = unbounded)")
+	queueWait := fs.Duration("queue-wait", 0, "how long a request may queue for a solve slot before shedding (0 = shed immediately)")
+	snapshotPath := fs.String("snapshot", "", "warm-cache snapshot file: restored on boot, saved on graceful shutdown")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -58,11 +70,23 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
+	handler := serve.New(serve.Options{
+		SolveTimeout:  *solveTimeout,
+		MaxFrameworks: *maxFrameworks,
+		MaxInflight:   *maxInflight,
+		QueueWait:     *queueWait,
+	})
+	if *snapshotPath != "" {
+		n, err := handler.LoadSnapshotFile(*snapshotPath)
+		if err != nil {
+			// A bad snapshot must not keep the service down: log and serve cold.
+			fmt.Fprintf(stdout, "scserve: ignoring snapshot %s: %v\n", *snapshotPath, err)
+		} else if n > 0 {
+			fmt.Fprintf(stdout, "scserve: restored %d warm-cache entries from %s\n", n, *snapshotPath)
+		}
+	}
 	srv := &http.Server{
-		Handler: serve.New(serve.Options{
-			SolveTimeout:  *solveTimeout,
-			MaxFrameworks: *maxFrameworks,
-		}),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	fmt.Fprintf(stdout, "scserve: listening on %s\n", ln.Addr())
@@ -86,6 +110,15 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	}
 	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	if *snapshotPath != "" {
+		// Save after the drain so the snapshot includes everything the last
+		// in-flight solves cached.
+		if err := handler.SaveSnapshotFile(*snapshotPath); err != nil {
+			fmt.Fprintf(stdout, "scserve: saving snapshot %s: %v\n", *snapshotPath, err)
+		} else {
+			fmt.Fprintf(stdout, "scserve: saved warm-cache snapshot to %s\n", *snapshotPath)
+		}
 	}
 	fmt.Fprintln(stdout, "scserve: bye")
 	return nil

@@ -30,3 +30,25 @@ func nestedBad(ctx context.Context, urls []string) {
 		go log.Println(u) // WANT ctxleak
 	}
 }
+
+// streamBad pushes a price-following stream from a goroutine that never
+// watches the request: the track session keeps re-solving and writing to a
+// dead connection after the client hangs up.
+func streamBad(w http.ResponseWriter, r *http.Request, prices []float64) {
+	go func() { // WANT ctxleak
+		for _, p := range prices {
+			log.Println(p)
+			w.Write(nil)
+		}
+	}()
+}
+
+// paceBad paces stream steps with a bare timer; sleeping between steps is
+// not a cancellation path.
+func paceBad(ctx context.Context, steps chan<- int, total int) {
+	go func() { // WANT ctxleak
+		for i := 0; i < total; i++ {
+			steps <- i
+		}
+	}()
+}

@@ -56,3 +56,18 @@ func notRequestScoped(n int) {
 func noCapture(ctx context.Context) {
 	go func() {}()
 }
+
+// streamClean pushes a stream but checks the request context every step,
+// so a disconnect ends the session.
+func streamClean(w http.ResponseWriter, r *http.Request, prices []float64) {
+	go func() {
+		for range prices {
+			select {
+			case <-r.Context().Done():
+				return
+			default:
+			}
+			w.Write(nil)
+		}
+	}()
+}

@@ -1,0 +1,100 @@
+package approx
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// WarmDumpVersion is the schema version of WarmDump; Import rejects any
+// other version so a stale snapshot cannot seed solvers with start vectors
+// whose keying drifted.
+const WarmDumpVersion = 1
+
+// WarmDump is the serializable image of a WarmCache: one entry per cached
+// level steady state, keyed exactly like the live cache (chain length,
+// hierarchy target, level SC, state count). A restored replica seeds its
+// solvers with these priors, so its first solves start near the previous
+// process's fixed points instead of from the uniform vector — the same
+// economics as the Tabu-neighbor warm starts, carried across a restart.
+type WarmDump struct {
+	Version int         `json:"version"`
+	Entries []WarmEntry `json:"entries,omitempty"`
+}
+
+// WarmEntry is one level steady state.
+type WarmEntry struct {
+	K      int       `json:"k"`
+	Target int       `json:"target"`
+	SC     int       `json:"sc"`
+	States int       `json:"states"`
+	Pi     []float64 `json:"pi"`
+}
+
+// Export snapshots the cache's steady states, sorted by key so equal caches
+// dump byte-identical snapshots. A nil cache exports an empty dump.
+func (w *WarmCache) Export() WarmDump {
+	d := WarmDump{Version: WarmDumpVersion}
+	if w == nil {
+		return d
+	}
+	w.mu.Lock()
+	for key, pi := range w.pis {
+		d.Entries = append(d.Entries, WarmEntry{
+			K: key.k, Target: key.target, SC: key.sc, States: key.states, Pi: pi,
+		})
+	}
+	w.mu.Unlock()
+	sort.Slice(d.Entries, func(i, j int) bool {
+		a, b := d.Entries[i], d.Entries[j]
+		if a.K != b.K {
+			return a.K < b.K
+		}
+		if a.Target != b.Target {
+			return a.Target < b.Target
+		}
+		if a.SC != b.SC {
+			return a.SC < b.SC
+		}
+		return a.States < b.States
+	})
+	return d
+}
+
+// Import merges a dump into the cache without overwriting live entries and
+// returns how many entries were adopted. It fails on a version mismatch and
+// skips malformed entries — dimension mismatches, non-finite or negative
+// probabilities — because a warm start is an optimization: a dropped entry
+// only costs iterations, a corrupted one would poison solves.
+func (w *WarmCache) Import(d WarmDump) (int, error) {
+	if d.Version != WarmDumpVersion {
+		return 0, fmt.Errorf("approx: warm dump version %d, want %d", d.Version, WarmDumpVersion)
+	}
+	if w == nil {
+		return 0, nil
+	}
+	adopted := 0
+	for _, e := range d.Entries {
+		if e.States <= 0 || len(e.Pi) != e.States {
+			continue
+		}
+		ok := true
+		for _, p := range e.Pi {
+			if math.IsNaN(p) || math.IsInf(p, 0) || p < 0 {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		key := warmKey{k: e.K, target: e.Target, sc: e.SC, states: e.States}
+		w.mu.Lock()
+		if _, exists := w.pis[key]; !exists {
+			w.pis[key] = e.Pi
+			adopted++
+		}
+		w.mu.Unlock()
+	}
+	return adopted, nil
+}

@@ -64,6 +64,10 @@ type Config struct {
 type Framework struct {
 	cfg  Config
 	eval market.Evaluator
+	// warm is the framework-wide approx warm-start cache (shared by every
+	// sub-federation evaluator); kept on the struct so Snapshot can export
+	// it and Restore can seed it.
+	warm *approx.WarmCache
 }
 
 // Baseline describes one SC outside the federation.
@@ -79,7 +83,9 @@ func New(cfg Config) (*Framework, error) {
 	if err := cfg.Federation.Validate(); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
-	if cfg.Gamma < 0 || cfg.Gamma > 1 {
+	// The negated-range form also rejects NaN, which would otherwise slip
+	// through both one-sided comparisons into the Eq. (2) exponent.
+	if !(cfg.Gamma >= 0 && cfg.Gamma <= 1) {
 		return nil, market.ErrBadGamma
 	}
 	f := &Framework{cfg: cfg}
@@ -105,6 +111,7 @@ func New(cfg Config) (*Framework, error) {
 		// never accuracy.
 		opts.Approx.Warm = approx.NewWarmCache()
 	}
+	f.warm = opts.Approx.Warm
 	mkEval := func(fed cloud.Federation) market.Evaluator {
 		ev, err := market.NewEvaluator(kind, fed, opts)
 		if err != nil {

@@ -92,7 +92,7 @@ func (g *Game) RunContext(ctx context.Context, initial []int) (*Outcome, error) 
 	if g.Evaluator == nil {
 		return nil, errors.New("market: game needs an evaluator")
 	}
-	if g.Gamma < 0 || g.Gamma > 1 {
+	if !(g.Gamma >= 0 && g.Gamma <= 1) { // negated range: rejects NaN too
 		return nil, ErrBadGamma
 	}
 	maxShares := g.MaxShares

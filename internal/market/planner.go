@@ -38,7 +38,7 @@ func NewWelfareEvaluator(fed cloud.Federation, ev Evaluator, gamma float64) (*We
 	if err := fed.Validate(); err != nil {
 		return nil, fmt.Errorf("market: %w", err)
 	}
-	if gamma < 0 || gamma > 1 {
+	if !(gamma >= 0 && gamma <= 1) { // negated range: rejects NaN too
 		return nil, ErrBadGamma
 	}
 	we := &WelfareEvaluator{

@@ -30,7 +30,9 @@ const utilizationFloor = 1e-6
 // gamma = 0 is the pure cost-reduction utility UF0; gamma = 1 weighs the
 // marginal cost reduction per unit of utilization increase, UF1.
 func Utility(baseCost, cost, baseUtil, util, gamma float64) (float64, error) {
-	if gamma < 0 || gamma > 1 {
+	// The negated-range form also rejects NaN, which both one-sided
+	// comparisons would wave through into the exponent.
+	if !(gamma >= 0 && gamma <= 1) {
 		return 0, ErrBadGamma
 	}
 	gain := baseCost - cost

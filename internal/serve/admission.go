@@ -1,0 +1,112 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// latencyEWMADivisor is the exponential moving average weight for observed
+// solve latency: each new sample moves the average by 1/4 of the gap. Heavy
+// enough to converge within a few requests after a workload shift, light
+// enough that one outlier solve does not triple every Retry-After.
+const latencyEWMADivisor = 4
+
+// admission is the solve-admission layer: a semaphore bounding concurrent
+// solves, an optional bounded queue wait, and an EWMA of observed solve
+// latency that prices the Retry-After header on shed requests. One
+// admission guards all solving endpoints (advise, sweep, track) — they
+// compete for the same CPUs, so they share one budget.
+type admission struct {
+	// slots is the semaphore; nil means unbounded admission (the default),
+	// where acquire always succeeds immediately.
+	slots chan struct{}
+	// queueWait bounds how long an arriving request may wait for a slot
+	// before being shed; 0 sheds immediately on a full server.
+	queueWait time.Duration
+	// avgSolveNs is the latency EWMA in nanoseconds; 0 until the first
+	// observation.
+	avgSolveNs atomic.Int64
+}
+
+// newAdmission builds the layer; maxInflight <= 0 means unbounded.
+func newAdmission(maxInflight int, queueWait time.Duration) *admission {
+	a := &admission{queueWait: queueWait}
+	if maxInflight > 0 {
+		a.slots = make(chan struct{}, maxInflight)
+	}
+	return a
+}
+
+// capacity reports the configured bound (0 = unbounded).
+func (a *admission) capacity() int {
+	if a.slots == nil {
+		return 0
+	}
+	return cap(a.slots)
+}
+
+// acquire admits the request into the solve pool, waiting up to queueWait
+// for a slot. It returns an idempotent release and true, or false when the
+// request must be shed (server full past the wait, or the client gone while
+// queued). Counters land on m: admitted/shed, plus the time an admitted
+// request spent queued.
+func (a *admission) acquire(ctx context.Context, m *counters) (release func(), ok bool) {
+	if a.slots == nil {
+		m.admitted.Add(1)
+		return func() {}, true
+	}
+	start := time.Now()
+	select {
+	case a.slots <- struct{}{}:
+	default:
+		if a.queueWait <= 0 {
+			m.shed.Add(1)
+			return nil, false
+		}
+		timer := time.NewTimer(a.queueWait)
+		defer timer.Stop()
+		select {
+		case a.slots <- struct{}{}:
+		case <-timer.C:
+			m.shed.Add(1)
+			return nil, false
+		case <-ctx.Done():
+			m.shed.Add(1)
+			return nil, false
+		}
+	}
+	m.admitted.Add(1)
+	m.queueWaitNs.Add(time.Since(start).Nanoseconds())
+	var once sync.Once
+	return func() { once.Do(func() { <-a.slots }) }, true
+}
+
+// observe folds one solve's duration into the latency EWMA.
+func (a *admission) observe(d time.Duration) {
+	ns := d.Nanoseconds()
+	for {
+		old := a.avgSolveNs.Load()
+		next := ns
+		if old != 0 {
+			next = old + (ns-old)/latencyEWMADivisor
+		}
+		if a.avgSolveNs.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// retryAfterSeconds prices the Retry-After header on a shed request: the
+// observed mean solve latency rounded up to whole seconds — by then a slot
+// has likely turned over — and at least 1, the header's smallest useful
+// value, when the server has no latency history yet.
+func (a *admission) retryAfterSeconds() int {
+	ns := a.avgSolveNs.Load()
+	secs := int((time.Duration(ns) + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}

@@ -63,6 +63,9 @@ type adviseRequest struct {
 	Alpha string `json:"alpha,omitempty"`
 	// Initial optionally seeds the negotiation's share vector.
 	Initial []int `json:"initial,omitempty"`
+	// DeadlineMs optionally shortens the server's solve timeout for this
+	// request (milliseconds); it can never extend it.
+	DeadlineMs int64 `json:"deadlineMs,omitempty"`
 }
 
 // sweepRequest is the body of POST /v1/sweep.
@@ -77,6 +80,17 @@ type sweepRequest struct {
 	Workers int `json:"workers,omitempty"`
 	// ColdStart disables warm-starting each point from its grid neighbor.
 	ColdStart bool `json:"coldStart,omitempty"`
+	// DeadlineMs optionally shortens the server's solve timeout for this
+	// request (milliseconds); it can never extend it.
+	DeadlineMs int64 `json:"deadlineMs,omitempty"`
+}
+
+// finite reports whether v is an ordinary number — the guard the spec
+// validation uses before any default or range check, because NaN slides
+// through every one-sided comparison (NaN <= 0 is false) and would
+// otherwise flow into the solvers.
+func finite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
 }
 
 // normalize applies defaults and validates everything that can be checked
@@ -90,6 +104,22 @@ func (sp *federationSpec) normalize() error {
 		if sc.Name == "" {
 			sc.Name = "sc" + strconv.Itoa(i)
 		}
+		// Finiteness comes before the <= 0 default checks: a NaN rate
+		// fails both `<= 0` (so it is not defaulted) and every later
+		// validation comparison, so without this it would reach the
+		// solvers untouched.
+		if !finite(sc.ArrivalRate) {
+			return fmt.Errorf("SC %d (%s): arrivalRate %v is not a finite number", i, sc.Name, sc.ArrivalRate)
+		}
+		if !finite(sc.ServiceRate) {
+			return fmt.Errorf("SC %d (%s): serviceRate %v is not a finite number", i, sc.Name, sc.ServiceRate)
+		}
+		if !finite(sc.SLA) {
+			return fmt.Errorf("SC %d (%s): sla %v is not a finite number", i, sc.Name, sc.SLA)
+		}
+		if !finite(sc.PublicPrice) {
+			return fmt.Errorf("SC %d (%s): publicPrice %v is not a finite number", i, sc.Name, sc.PublicPrice)
+		}
 		if sc.ServiceRate <= 0 {
 			sc.ServiceRate = 1
 		}
@@ -99,6 +129,17 @@ func (sp *federationSpec) normalize() error {
 		if sc.PublicPrice <= 0 {
 			sc.PublicPrice = 1
 		}
+	}
+	// Gamma is Eq. (2)'s exponent: it must be a real number in [0, 1].
+	// The negated-range form also rejects NaN.
+	if !(sp.Gamma >= 0 && sp.Gamma <= 1) {
+		return fmt.Errorf("bad gamma %v: want a finite exponent in [0, 1]", sp.Gamma)
+	}
+	if !finite(sp.SimHorizon) {
+		return fmt.Errorf("bad simHorizon %v: want a finite horizon", sp.SimHorizon)
+	}
+	if sp.Approx != nil && !finite(sp.Approx.Prune) {
+		return fmt.Errorf("bad approx.prune %v: want a finite threshold", sp.Approx.Prune)
 	}
 	if sp.Model == "" {
 		sp.Model = "approx"

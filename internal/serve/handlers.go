@@ -8,6 +8,7 @@ import (
 	"io"
 	"math"
 	"net/http"
+	"strconv"
 	"time"
 
 	"scshare/internal/core"
@@ -118,6 +119,16 @@ func (s *Server) fail(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, errorResponse{Error: err.Error()})
 }
 
+// shed answers a request the admission layer rejected: 429 with a
+// Retry-After priced from the observed solve latency. Shed requests are
+// counted by acquire, not as errors — load shedding is the server working
+// as configured, not failing.
+func (s *Server) shed(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.adm.retryAfterSeconds()))
+	writeJSON(w, http.StatusTooManyRequests,
+		errorResponse{Error: "server is at its max-inflight solve capacity; retry after the indicated delay"})
+}
+
 // decodeJSON strictly decodes the request body into v: unknown fields and
 // trailing garbage are errors, so typos in a spec fail loudly instead of
 // silently running a default configuration.
@@ -135,12 +146,41 @@ func decodeJSON(w http.ResponseWriter, r *http.Request, v any) error {
 
 // solveContext derives the context a solve runs under: the request context
 // (so a client disconnect cancels the worker-pool rounds) capped by the
-// configured solve timeout, if any.
-func (s *Server) solveContext(r *http.Request) (context.Context, context.CancelFunc) {
-	if s.solveTimeout > 0 {
-		return context.WithTimeout(r.Context(), s.solveTimeout)
+// effective timeout — the server's solve timeout, shortened (never
+// extended) by the request's deadlineMs override. The effective timeout is
+// returned for error messages; 0 means uncapped.
+func (s *Server) solveContext(r *http.Request, deadlineMs int64) (context.Context, context.CancelFunc, time.Duration) {
+	timeout := s.solveTimeout
+	if deadlineMs > 0 {
+		if d := time.Duration(deadlineMs) * time.Millisecond; timeout == 0 || d < timeout {
+			timeout = d
+		}
 	}
-	return context.WithCancel(r.Context())
+	if timeout > 0 {
+		ctx, cancel := context.WithTimeout(r.Context(), timeout)
+		return ctx, cancel, timeout
+	}
+	ctx, cancel := context.WithCancel(r.Context())
+	return ctx, cancel, 0
+}
+
+// validDeadline rejects a negative deadlineMs before it silently disables
+// the server cap (solveContext only applies positive overrides).
+func validDeadline(deadlineMs int64) error {
+	if deadlineMs < 0 {
+		return fmt.Errorf("bad deadlineMs %d: want a duration in milliseconds >= 0", deadlineMs)
+	}
+	return nil
+}
+
+// validPrice admits the federation prices a solve can digest: finite and
+// non-negative. NaN and ±Inf would otherwise flow straight into AdviseAt
+// and poison every downstream comparison.
+func validPrice(price float64) error {
+	if math.IsNaN(price) || math.IsInf(price, 0) || price < 0 {
+		return fmt.Errorf("bad price %v: want a finite price >= 0", price)
+	}
+	return nil
 }
 
 // clientGone reports whether a solve error is due to the client
@@ -158,6 +198,14 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := req.normalize(); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := validPrice(req.Price); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := validDeadline(req.DeadlineMs); err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
@@ -181,18 +229,28 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	ctx, cancel := s.solveContext(r)
+	release, ok := s.adm.acquire(r.Context(), &s.metrics)
+	if !ok {
+		s.shed(w)
+		return
+	}
+	defer release()
+	ctx, cancel, timeout := s.solveContext(r, req.DeadlineMs)
 	defer cancel()
+	// Both gauge updates are deferred: a panicking solve must not wedge
+	// inFlight (admission and monitoring key off it) or leak its slot.
 	s.metrics.inFlight.Add(1)
+	defer s.metrics.inFlight.Add(-1)
+	solveStart := time.Now()
 	adv, err := fw.AdviseAt(ctx, req.Price, initials, alpha)
-	s.metrics.inFlight.Add(-1)
+	s.adm.observe(time.Since(solveStart))
 	if err != nil {
 		switch {
 		case clientGone(r, err):
 			s.metrics.canceled.Add(1)
 		case errors.Is(err, context.DeadlineExceeded):
 			s.fail(w, http.StatusGatewayTimeout,
-				fmt.Errorf("solve exceeded the server's %v timeout", s.solveTimeout))
+				fmt.Errorf("solve exceeded the effective %v timeout", timeout))
 		default:
 			s.fail(w, http.StatusUnprocessableEntity, err)
 		}
@@ -248,10 +306,15 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	for _, ratio := range req.Ratios {
-		if math.IsNaN(ratio) || ratio < 0 {
-			s.fail(w, http.StatusBadRequest, fmt.Errorf("bad ratio %v", ratio))
+		// Non-finite covers +Inf too, which the old IsNaN||<0 check admitted.
+		if math.IsNaN(ratio) || math.IsInf(ratio, 0) || ratio < 0 {
+			s.fail(w, http.StatusBadRequest, fmt.Errorf("bad ratio %v: want a finite ratio >= 0", ratio))
 			return
 		}
+	}
+	if err := validDeadline(req.DeadlineMs); err != nil {
+		s.fail(w, http.StatusBadRequest, err)
+		return
 	}
 	alphaVals, alphaNames, err := parseAlphas(req.Alphas)
 	if err != nil {
@@ -264,16 +327,33 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	ctx, cancel := s.solveContext(r)
+	release, ok := s.adm.acquire(r.Context(), &s.metrics)
+	if !ok {
+		s.shed(w)
+		return
+	}
+	defer release()
+	ctx, cancel, timeout := s.solveContext(r, req.DeadlineMs)
 	defer cancel()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	// writeLine runs either inside the sweep's OnPoint callback — which the
 	// driver serializes — or after SweepContext has returned; the two never
-	// overlap, so the ResponseWriter sees one writer at a time.
+	// overlap, so the ResponseWriter sees one writer at a time. The first
+	// encoder/write error cancels the solve context: the client is gone, so
+	// burning CPU streaming the rest of the grid to a dead connection would
+	// be pure waste.
+	var writeErr error
 	writeLine := func(v any) {
-		enc.Encode(v)
+		if writeErr != nil {
+			return
+		}
+		if err := enc.Encode(v); err != nil {
+			writeErr = err
+			cancel()
+			return
+		}
 		if flusher != nil {
 			flusher.Flush()
 		}
@@ -281,6 +361,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 
 	total := len(req.Ratios)
 	s.metrics.inFlight.Add(1)
+	defer s.metrics.inFlight.Add(-1) // deferred: a panicking solve must not wedge the gauge
+	solveStart := time.Now()
 	pts, err := fw.SweepContext(ctx, req.Ratios, alphaVals, nil, core.SweepOptions{
 		Workers:   req.Workers,
 		WarmStart: !req.ColdStart,
@@ -302,9 +384,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			})
 		},
 	})
-	s.metrics.inFlight.Add(-1)
+	s.adm.observe(time.Since(solveStart))
 	if err != nil {
-		if clientGone(r, err) {
+		if writeErr != nil || clientGone(r, err) {
 			// Nobody is listening; just unwind.
 			s.metrics.canceled.Add(1)
 			return
@@ -312,7 +394,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.metrics.errors.Add(1)
 		msg := err.Error()
 		if errors.Is(err, context.DeadlineExceeded) {
-			msg = fmt.Sprintf("sweep exceeded the server's %v timeout", s.solveTimeout)
+			msg = fmt.Sprintf("sweep exceeded the effective %v timeout", timeout)
 		}
 		writeLine(sweepTrailer{Error: msg})
 		return

@@ -8,16 +8,20 @@ import "sync/atomic"
 // needed for monitoring).
 type counters struct {
 	// Per-endpoint request counts.
-	advise, sweep, healthz, metricsReqs atomic.Int64
+	advise, sweep, track, healthz, metricsReqs atomic.Int64
 	// errors counts requests answered with an error (bad input, solve
 	// failure, or timeout); canceled counts solves abandoned because the
-	// client disconnected.
+	// client disconnected (or stopped reading a stream).
 	errors, canceled atomic.Int64
 	// inFlight is the number of solves currently running.
 	inFlight atomic.Int64
-	// Cumulative solver work: game rounds, model evaluations, and
-	// streamed sweep points.
-	solveRounds, solveEvals, sweepPoints atomic.Int64
+	// Admission control: requests admitted into the solve pool, requests
+	// shed with 429, and the cumulative time admitted requests spent
+	// queued waiting for a slot.
+	admitted, shed, queueWaitNs atomic.Int64
+	// Cumulative solver work: game rounds, model evaluations, streamed
+	// sweep points, and streamed track steps.
+	solveRounds, solveEvals, sweepPoints, trackSteps atomic.Int64
 }
 
 // metricsSnapshot is the GET /metrics payload.
@@ -27,6 +31,7 @@ type metricsSnapshot struct {
 	Errors        int64            `json:"errors"`
 	Canceled      int64            `json:"canceled"`
 	InFlight      int64            `json:"inFlightSolves"`
+	Admission     admissionReport  `json:"admission"`
 	Solver        solverCounts     `json:"solver"`
 	Cache         cacheStatsReport `json:"cache"`
 }
@@ -34,14 +39,28 @@ type metricsSnapshot struct {
 type requestCounts struct {
 	Advise  int64 `json:"advise"`
 	Sweep   int64 `json:"sweep"`
+	Track   int64 `json:"track"`
 	Healthz int64 `json:"healthz"`
 	Metrics int64 `json:"metrics"`
+}
+
+// admissionReport is the admission-control section of /metrics: the
+// configured bound (0 = unbounded), how many solves were admitted or shed,
+// the cumulative queue wait of admitted solves, and the latency EWMA
+// currently pricing Retry-After.
+type admissionReport struct {
+	MaxInflight      int     `json:"maxInflight"`
+	Admitted         int64   `json:"admitted"`
+	Shed             int64   `json:"shed"`
+	QueueWaitSeconds float64 `json:"queueWaitSeconds"`
+	AvgSolveSeconds  float64 `json:"avgSolveSeconds"`
 }
 
 type solverCounts struct {
 	Rounds      int64 `json:"rounds"`
 	Evaluations int64 `json:"evaluations"`
 	SweepPoints int64 `json:"sweepPoints"`
+	TrackSteps  int64 `json:"trackSteps"`
 }
 
 // cacheStatsReport aggregates market.CacheStats across the cached
@@ -66,16 +85,25 @@ func (s *Server) snapshot(uptimeSeconds float64) metricsSnapshot {
 		Requests: requestCounts{
 			Advise:  s.metrics.advise.Load(),
 			Sweep:   s.metrics.sweep.Load(),
+			Track:   s.metrics.track.Load(),
 			Healthz: s.metrics.healthz.Load(),
 			Metrics: s.metrics.metricsReqs.Load(),
 		},
 		Errors:   s.metrics.errors.Load(),
 		Canceled: s.metrics.canceled.Load(),
 		InFlight: s.metrics.inFlight.Load(),
+		Admission: admissionReport{
+			MaxInflight:      s.adm.capacity(),
+			Admitted:         s.metrics.admitted.Load(),
+			Shed:             s.metrics.shed.Load(),
+			QueueWaitSeconds: float64(s.metrics.queueWaitNs.Load()) / 1e9,
+			AvgSolveSeconds:  float64(s.adm.avgSolveNs.Load()) / 1e9,
+		},
 		Solver: solverCounts{
 			Rounds:      s.metrics.solveRounds.Load(),
 			Evaluations: s.metrics.solveEvals.Load(),
 			SweepPoints: s.metrics.sweepPoints.Load(),
+			TrackSteps:  s.metrics.trackSteps.Load(),
 		},
 		Cache: cacheStatsReport{
 			Hits:              stats.Hits,

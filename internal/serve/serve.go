@@ -5,13 +5,21 @@
 // figures. It wraps the core.Framework equilibrium search behind a
 // stdlib-only net/http JSON API — POST /v1/advise (one equilibrium solve),
 // POST /v1/sweep (the Fig. 7-style price-grid sweep, streamed as NDJSON),
-// GET /healthz, and GET /metrics (expvar-style counters) — and keeps one
-// framework per distinct federation configuration alive across requests, so
-// repeated queries at drifting prices are answered from the sharded
-// evaluation cache and the approximate model's warm-start caches instead of
-// from cold solves. Every solve is request-scoped: the request context is
-// threaded through the game loop, so client disconnects and the configured
-// solve timeout cancel in-flight worker-pool rounds and sweep points.
+// POST /v1/track (a streamed price-following session: each step of a
+// drifting price schedule re-equilibrates warm off the previous step's
+// equilibrium), GET /healthz, and GET /metrics (expvar-style counters) —
+// and keeps one framework per distinct federation configuration alive
+// across requests, so repeated queries at drifting prices are answered from
+// the sharded evaluation cache and the approximate model's warm-start
+// caches instead of from cold solves. Production hardening rides on top:
+// an admission layer bounds concurrent solves (excess load is shed with
+// 429 + Retry-After priced from observed solve latency), requests may
+// shorten the server's solve timeout per call (deadlineMs), and the warm
+// cache spine can be snapshotted on drain and restored on boot so a
+// restarted replica starts hot. Every solve is request-scoped: the request
+// context is threaded through the game loop, so client disconnects and the
+// configured solve timeout cancel in-flight worker-pool rounds and sweep
+// points.
 package serve
 
 import (
@@ -31,13 +39,22 @@ const defaultMaxFrameworks = 32
 // Options configures a Server.
 type Options struct {
 	// SolveTimeout caps the solving time of one request (advise: the whole
-	// negotiation; sweep: the whole grid). 0 means no cap: the request is
-	// bounded only by the client's patience, since its disconnect cancels
-	// the solve.
+	// negotiation; sweep: the whole grid; track: the whole schedule). 0
+	// means no cap: the request is bounded only by the client's patience,
+	// since its disconnect cancels the solve. A request's deadlineMs may
+	// shorten — never extend — this cap.
 	SolveTimeout time.Duration
 	// MaxFrameworks bounds the framework cache (default 32); the oldest
 	// configuration is evicted first.
 	MaxFrameworks int
+	// MaxInflight bounds how many solves (advise, sweep, and track
+	// combined) run concurrently; excess requests are shed with 429 and a
+	// Retry-After priced from observed solve latency. 0 means unbounded.
+	MaxInflight int
+	// QueueWait bounds how long a request may wait for a solve slot before
+	// being shed (only meaningful with MaxInflight > 0); 0 sheds
+	// immediately when the server is full.
+	QueueWait time.Duration
 }
 
 // Server is the advice service. Create it with New; it implements
@@ -60,6 +77,7 @@ type Server struct {
 	start         time.Time
 	mux           *http.ServeMux
 	metrics       counters
+	adm           *admission
 
 	mu sync.Mutex
 	// frameworks and order are guarded by mu: the cache of live
@@ -76,6 +94,7 @@ func New(opts Options) *Server {
 		maxFrameworks: opts.MaxFrameworks,
 		start:         time.Now(),
 		frameworks:    make(map[string]*core.Framework),
+		adm:           newAdmission(opts.MaxInflight, opts.QueueWait),
 	}
 	if s.maxFrameworks <= 0 {
 		s.maxFrameworks = defaultMaxFrameworks
@@ -83,6 +102,7 @@ func New(opts Options) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/advise", s.handleAdvise)
 	s.mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("POST /v1/track", s.handleTrack)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s

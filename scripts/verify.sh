@@ -33,6 +33,11 @@ go run ./cmd/scvet ./...
 echo "==> scvet fixture self-test"
 go run ./cmd/scvet -fixtures
 
+# Warm-cache snapshot smoke: the serve-level round trip plus the real
+# drain/boot cycle through cmd/scserve -snapshot.
+echo "==> snapshot round-trip smoke"
+go test -count=1 -run 'Snapshot' ./internal/serve/ ./cmd/scserve/
+
 # Differential fuzz smoke: 30s per target over the committed corpus plus
 # fresh coverage-guided inputs. A genuine envelope violation reproduces from
 # the corpus entry the fuzzer writes under internal/diffcheck/testdata/fuzz.
