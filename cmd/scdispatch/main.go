@@ -1,0 +1,111 @@
+// Command scdispatch runs the sweep-fleet coordinator: the HTTP service
+// scworkd workers register with and pull leased point-batch jobs from, and
+// the place submitters (scserve -dispatch, or any client of the wire
+// protocol in docs/FLEET_PROTOCOL.md) queue whole price-grid sweeps.
+// Results merge by grid index, so a fanned-out sweep is bit-identical to a
+// single-process Framework.Sweep no matter how many workers serve it or
+// how many leases expire along the way; see DESIGN.md §15.
+//
+// Usage:
+//
+//	scdispatch -addr :8081
+//	scdispatch -addr :8081 -lease-ttl 10s -batch 1 -max-attempts 5
+//	scdispatch -addr :8081 -snapshot /var/lib/scshare/warm.json
+//
+// A leased job whose worker neither heartbeats nor reports within
+// -lease-ttl is requeued (at its original grid position) and retried, up
+// to -max-attempts times before the whole sweep fails. With -snapshot the
+// dispatcher serves the given warm-cache snapshot file to registering
+// workers so a fresh fleet boots hot.
+//
+// The dispatcher drains gracefully on SIGINT/SIGTERM: the listener closes
+// and in-flight HTTP exchanges get the drain window to finish. Queue state
+// is in-memory only — submitters must resubmit sweeps lost to a restart.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"scshare/internal/fleet"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "scdispatch:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until ctx is canceled (a signal arrives), then drains. It is
+// split from main, with the listener bound before the first request is
+// served, so the end-to-end test can run the real command loop on ":0".
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("scdispatch", flag.ContinueOnError)
+	addr := fs.String("addr", ":8081", "listen address")
+	leaseTTL := fs.Duration("lease-ttl", 10*time.Second, "job lease duration: a silent worker's job requeues after this")
+	poll := fs.Duration("poll", 500*time.Millisecond, "idle-worker poll interval advertised at registration")
+	batch := fs.Int("batch", 1, "grid points per job (1 = finest-grained, most parallel)")
+	maxAttempts := fs.Int("max-attempts", 5, "tries per job before its sweep fails")
+	snapshotPath := fs.String("snapshot", "", "warm-cache snapshot file served to registering workers")
+	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown window for in-flight requests")
+	quiet := fs.Bool("quiet", false, "suppress per-job log lines")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	logf := log.New(stdout, "", log.LstdFlags).Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	handler := fleet.NewDispatcher(fleet.Options{
+		LeaseTTL:     *leaseTTL,
+		Poll:         *poll,
+		Batch:        *batch,
+		MaxAttempts:  *maxAttempts,
+		SnapshotPath: *snapshotPath,
+		Logf:         logf,
+	})
+	srv := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Fprintf(stdout, "scdispatch: listening on %s\n", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(stdout, "scdispatch: draining for up to %v\n", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		srv.Close()
+		return fmt.Errorf("drain window expired: %w", err)
+	}
+	if err := <-errc; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(stdout, "scdispatch: bye")
+	return nil
+}

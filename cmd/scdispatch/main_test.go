@@ -1,0 +1,153 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"scshare/internal/core"
+	"scshare/internal/fleet"
+	"scshare/internal/market"
+	"scshare/internal/spec"
+)
+
+// syncBuffer lets the test read the dispatcher's stdout while run is
+// writing it from another goroutine.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestFleetEndToEnd boots the real scdispatch command loop on an ephemeral
+// port, attaches two in-process workers, runs a sweep through the wire
+// protocol, pins the merged result against the local ground truth, and
+// shuts down through the same path a SIGTERM takes.
+func TestFleetEndToEnd(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-drain", "5s", "-poll", "5ms", "-batch", "2", "-quiet"}, &out)
+	}()
+
+	addrRE := regexp.MustCompile(`listening on (\S+)`)
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for addr == "" {
+		if m := addrRE.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		select {
+		case err := <-done:
+			t.Fatalf("dispatcher exited before listening: %v\n%s", err, out.String())
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no listen line within deadline:\n%s", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	url := "http://" + addr
+
+	// The local ground truth: serial, cold, single process.
+	sp := spec.Federation{
+		SCs: []spec.SC{
+			{VMs: 10, ArrivalRate: 5.8},
+			{VMs: 10, ArrivalRate: 8.4},
+		},
+		Model:    "fluid",
+		MaxShare: 4,
+	}
+	raw, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratios := []float64{0.25, 0.5, 0.75, 1.0}
+	alphas := []float64{market.AlphaUtilitarian, market.AlphaMaxMin}
+	if err := sp.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	fw, err := core.New(sp.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fw.Sweep(ratios, alphas, nil, core.SweepOptions{Workers: 1, WarmStart: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Two in-process workers against the real binary's listener.
+	workerCtx, stopWorkers := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for range 2 {
+		w := fleet.NewWorker(fleet.WorkerOptions{URL: url, Poll: 5 * time.Millisecond})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = w.Run(workerCtx)
+		}()
+	}
+	defer func() {
+		stopWorkers()
+		wg.Wait()
+	}()
+
+	wfRatios := make([]fleet.WF, len(ratios))
+	for i, r := range ratios {
+		wfRatios[i] = fleet.WF(r)
+	}
+	wfAlphas := make([]fleet.WF, len(alphas))
+	for i, a := range alphas {
+		wfAlphas[i] = fleet.WF(a)
+	}
+	got, err := fleet.NewClient(url, nil).RunSweep(context.Background(),
+		fleet.SubmitRequest{Spec: raw, Ratios: wfRatios, Alphas: wfAlphas}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("fleet returned %d points, local sweep %d", len(got), len(want))
+	}
+	for i, wp := range got {
+		if wp.Index != i || !reflect.DeepEqual(wp.Point(), want[i]) {
+			t.Fatalf("point %d differs:\nfleet: %+v\nlocal: %+v", i, wp.Point(), want[i])
+		}
+	}
+
+	cancel() // stands in for SIGTERM: same NotifyContext path
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("graceful shutdown failed: %v\n%s", err, out.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("dispatcher did not drain:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "scdispatch: bye") {
+		t.Fatalf("missing drain log:\n%s", out.String())
+	}
+
+	// A bad flag must fail fast, not serve.
+	if err := run(context.Background(), []string{"-addr"}, &out); err == nil {
+		t.Fatal("run accepted a broken flag line")
+	}
+}

@@ -13,12 +13,16 @@
 //	scserve -addr :8080 -solve-timeout 30s -drain 5s
 //	scserve -addr :8080 -max-inflight 4 -queue-wait 500ms
 //	scserve -addr :8080 -snapshot /var/lib/scserve/warm.json
+//	scserve -addr :8080 -dispatch http://dispatcher:8081
 //
 // With -max-inflight the admission layer bounds concurrent solves and
 // sheds the excess with 429 + Retry-After priced from observed solve
 // latency. With -snapshot the server restores the warm-cache spine from
 // the given file on boot and saves it back on graceful shutdown, so a
-// restarted replica answers its first repeat queries from cache.
+// restarted replica answers its first repeat queries from cache. With
+// -dispatch, POST /v1/sweep fans its grid across a scdispatch fleet
+// instead of the local worker pool (docs/OPERATIONS.md, "Fleet
+// quickstart"); advise and track always solve locally.
 //
 // The server drains gracefully on SIGINT/SIGTERM: the listener closes, the
 // drain window lets in-flight solves finish, and anything still running is
@@ -62,6 +66,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	maxInflight := fs.Int("max-inflight", 0, "concurrent solves before shedding with 429 (0 = unbounded)")
 	queueWait := fs.Duration("queue-wait", 0, "how long a request may queue for a solve slot before shedding (0 = shed immediately)")
 	snapshotPath := fs.String("snapshot", "", "warm-cache snapshot file: restored on boot, saved on graceful shutdown")
+	dispatchURL := fs.String("dispatch", "", "scdispatch base URL: fan /v1/sweep across the fleet instead of solving locally")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -75,7 +80,11 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		MaxFrameworks: *maxFrameworks,
 		MaxInflight:   *maxInflight,
 		QueueWait:     *queueWait,
+		DispatchURL:   *dispatchURL,
 	})
+	if *dispatchURL != "" {
+		fmt.Fprintf(stdout, "scserve: dispatching sweeps to %s\n", *dispatchURL)
+	}
 	if *snapshotPath != "" {
 		n, err := handler.LoadSnapshotFile(*snapshotPath)
 		if err != nil {

@@ -1,0 +1,94 @@
+// Command scworkd runs one sweep-fleet worker: it registers with a
+// scdispatch coordinator, optionally boots its framework cache warm from
+// the dispatcher-served snapshot, then leases point-batch jobs, solves
+// them through the same core.Framework spine the local sweep driver uses
+// (every point cold — the fleet's determinism contract), streams each
+// finished point back, and heartbeats while it works. Kill it at any time:
+// unreported work is requeued by the dispatcher when the lease expires;
+// see DESIGN.md §15 and docs/FLEET_PROTOCOL.md.
+//
+// Usage:
+//
+//	scworkd -dispatch http://dispatcher:8081
+//	scworkd -dispatch http://dispatcher:8081 -procs 4 -name rack7-a
+//	scworkd -dispatch http://dispatcher:8081 -no-snapshot
+//
+// The worker exits cleanly on SIGINT/SIGTERM, abandoning in-flight jobs
+// to lease expiry — the same path a crash takes, so killing workers is
+// always safe.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"syscall"
+	"time"
+
+	"scshare/internal/fleet"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "scworkd:", err)
+		os.Exit(1)
+	}
+}
+
+// run drives the worker loop until ctx is canceled (a signal arrives). It
+// is split from main so the end-to-end test can run the real command loop
+// against an httptest dispatcher.
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("scworkd", flag.ContinueOnError)
+	dispatch := fs.String("dispatch", "", "scdispatch base URL (required)")
+	name := fs.String("name", "", "worker label in dispatcher logs (default host-pid)")
+	procs := fs.Int("procs", 0, "per-job point parallelism (0 = GOMAXPROCS, 1 = serial)")
+	maxFrameworks := fs.Int("max-frameworks", 0, "cached frameworks across federation configurations (0 = default)")
+	poll := fs.Duration("poll", 0, "idle poll interval (0 = dispatcher-advertised)")
+	noSnapshot := fs.Bool("no-snapshot", false, "skip booting warm from the dispatcher-served snapshot")
+	quiet := fs.Bool("quiet", false, "suppress per-job log lines")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dispatch == "" {
+		return errors.New("-dispatch is required")
+	}
+	if *name == "" {
+		host, _ := os.Hostname()
+		*name = host + "-" + strconv.Itoa(os.Getpid())
+	}
+	logf := log.New(stdout, "", log.LstdFlags).Printf
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+	w := fleet.NewWorker(fleet.WorkerOptions{
+		URL:             *dispatch,
+		Name:            *name,
+		Procs:           *procs,
+		MaxFrameworks:   *maxFrameworks,
+		Poll:            *poll,
+		DisableSnapshot: *noSnapshot,
+		Logf:            logf,
+	})
+	effective := *procs
+	if effective <= 0 {
+		effective = runtime.GOMAXPROCS(0)
+	}
+	fmt.Fprintf(stdout, "scworkd: %s solving for %s with %d procs\n", *name, *dispatch, effective)
+	start := time.Now()
+	err := w.Run(ctx)
+	if errors.Is(err, context.Canceled) {
+		fmt.Fprintf(stdout, "scworkd: bye after %v\n", time.Since(start).Round(time.Second))
+		return nil
+	}
+	return err
+}

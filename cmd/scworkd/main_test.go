@@ -1,0 +1,93 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"scshare/internal/fleet"
+	"scshare/internal/spec"
+)
+
+// syncBuffer lets the test read the worker's stdout while run is writing
+// it from another goroutine.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// TestWorkerEndToEnd runs the real scworkd command loop against an
+// in-process dispatcher, watches it solve a sweep, and kills it through
+// the same path a SIGTERM takes.
+func TestWorkerEndToEnd(t *testing.T) {
+	srv := httptest.NewServer(fleet.NewDispatcher(fleet.Options{Poll: 5 * time.Millisecond, Batch: 2}))
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out syncBuffer
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{"-dispatch", srv.URL, "-name", "e2e", "-procs", "1", "-poll", "5ms", "-quiet"}, &out)
+	}()
+
+	sp := spec.Federation{
+		SCs:      []spec.SC{{VMs: 10, ArrivalRate: 5.8}, {VMs: 10, ArrivalRate: 8.4}},
+		Model:    "fluid",
+		MaxShare: 4,
+	}
+	raw, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fleet.NewClient(srv.URL, nil).RunSweep(context.Background(), fleet.SubmitRequest{
+		Spec:   raw,
+		Ratios: []fleet.WF{0.3, 0.6, 0.9},
+		Alphas: []fleet.WF{0},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("sweep returned %d points, want 3", len(got))
+	}
+	for i, wp := range got {
+		if wp.Index != i || !wp.Converged {
+			t.Fatalf("point %d = %+v, want converged point at index %d", i, wp, i)
+		}
+	}
+
+	cancel() // stands in for SIGTERM: same NotifyContext path
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("worker did not exit cleanly: %v\n%s", err, out.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("worker did not stop:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "scworkd: bye") {
+		t.Fatalf("missing exit log:\n%s", out.String())
+	}
+
+	// Refusing to start without a dispatcher is part of the contract.
+	if err := run(context.Background(), nil, &out); err == nil {
+		t.Fatal("run accepted an empty -dispatch")
+	}
+}

@@ -6,8 +6,8 @@ import (
 	"go/types"
 )
 
-// CtxLeak guards the serving layer (internal/serve) against goroutines
-// that outlive their request. A handler-spawned goroutine capturing
+// CtxLeak guards the serving layers (internal/serve and internal/fleet)
+// against goroutines that outlive their request. A handler-spawned goroutine capturing
 // request-scoped state — anything declared in a function that receives a
 // context.Context or *http.Request — keeps solving after the client is
 // gone unless it can observe cancellation. The rule flags every `go`
@@ -22,7 +22,7 @@ var CtxLeak = &Analyzer{
 }
 
 func runCtxLeak(p *Pass) {
-	if !inScope(p, "internal/serve") {
+	if !inScope(p, "internal/serve", "internal/fleet") {
 		return
 	}
 	forEachFunc(p, func(fd *ast.FuncDecl) {

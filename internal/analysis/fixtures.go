@@ -36,6 +36,7 @@ func Fixtures() []Fixture {
 		{Rule: "tolconst", Dir: "tolconst", ImportPath: "fixture/tolconst"},
 		{Rule: "tolconst", Dir: "tolconst_numeric", ImportPath: "fixture/internal/numeric"},
 		{Rule: "ctxleak", Dir: "ctxleak", ImportPath: "fixture/internal/serve"},
+		{Rule: "ctxleak", Dir: "ctxleak_fleet", ImportPath: "fixture/internal/fleet"},
 		{Rule: "rowsum", Dir: "rowsum", ImportPath: "fixture/internal/markov"},
 		{Rule: "probvec", Dir: "probvec", ImportPath: "fixture/probvec"},
 	}

@@ -1,0 +1,60 @@
+// Package fleet is the ctxleak fixture for the dispatcher/worker layer:
+// fleet-shaped goroutines — heartbeats, pollers, result streamers — with
+// and without a cancellation path.
+package fleet
+
+import (
+	"context"
+	"log"
+	"time"
+)
+
+type lease struct{ jobID string }
+
+// heartbeatBad pings the dispatcher forever: killing the worker's context
+// never stops it, so a dead job keeps renewing its lease.
+func heartbeatBad(ctx context.Context, l *lease) {
+	go func() { // WANT ctxleak
+		for {
+			log.Println("heartbeat", l.jobID)
+			time.Sleep(time.Second)
+		}
+	}()
+}
+
+// resultBad streams finished points from a goroutine that cannot observe
+// the job being revoked.
+func resultBad(ctx context.Context, points []int) {
+	go func() { // WANT ctxleak
+		for _, p := range points {
+			log.Println("point", p)
+		}
+	}()
+}
+
+// heartbeatClean is the shipped shape: a ticker loop whose every iteration
+// selects on the job context, so cancellation stops the pings.
+func heartbeatClean(ctx context.Context, l *lease) {
+	go func() {
+		tick := time.NewTicker(time.Second)
+		defer tick.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+			}
+			log.Println("heartbeat", l.jobID)
+		}
+	}()
+}
+
+// pollClean waits out the idle interval under the worker context.
+func pollClean(ctx context.Context, wake chan struct{}) {
+	go func() {
+		select {
+		case <-ctx.Done():
+		case <-wake:
+		}
+	}()
+}

@@ -1,0 +1,200 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client speaks the worker and submitter sides of the fleet wire protocol
+// against one dispatcher. It is the reference protocol implementation: the
+// Worker loop, the scserve -dispatch front door, and the fleet tests all go
+// through it, so every endpoint documented in docs/FLEET_PROTOCOL.md is
+// exercised here.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient builds a client for the dispatcher at base (scheme://host:port;
+// any trailing slash is trimmed). A nil hc uses a client with a timeout
+// sized for the long-poll watch window.
+func NewClient(base string, hc *http.Client) *Client {
+	if hc == nil {
+		hc = &http.Client{Timeout: watchWindow + 10*time.Second}
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: hc}
+}
+
+// post sends one JSON request and decodes the JSON answer into out.
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+// get sends one GET and decodes the JSON answer into out.
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+// errConflict marks HTTP 409 answers so callers can map them to their
+// endpoint-specific meaning (on lease: ErrUnknownWorker).
+var errConflict = errors.New("fleet: conflict")
+
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body := io.LimitReader(resp.Body, maxBodyBytes)
+	if resp.StatusCode != http.StatusOK {
+		var eb errorBody
+		if resp.StatusCode == http.StatusConflict {
+			return fmt.Errorf("%w: %s %s", errConflict, req.Method, req.URL.Path)
+		}
+		if json.NewDecoder(body).Decode(&eb) == nil && eb.Error != "" {
+			return fmt.Errorf("fleet: %s %s: %s (HTTP %d)", req.Method, req.URL.Path, eb.Error, resp.StatusCode)
+		}
+		return fmt.Errorf("fleet: %s %s: HTTP %d", req.Method, req.URL.Path, resp.StatusCode)
+	}
+	if out == nil {
+		_, err := io.Copy(io.Discard, body)
+		return err
+	}
+	if err := json.NewDecoder(body).Decode(out); err != nil {
+		return fmt.Errorf("fleet: decoding %s response: %w", req.URL.Path, err)
+	}
+	return nil
+}
+
+// Register announces a worker and returns its assigned identity.
+func (c *Client) Register(ctx context.Context, req RegisterRequest) (RegisterResponse, error) {
+	var resp RegisterResponse
+	err := c.post(ctx, "/fleet/v1/register", req, &resp)
+	return resp, err
+}
+
+// ErrUnknownWorker reports that the dispatcher does not recognize the
+// worker's ID — it restarted since registration. The worker must register
+// again before leasing.
+var ErrUnknownWorker = errors.New("fleet: unknown worker; re-register")
+
+// Lease asks for one job; the response's Job is nil when the queue is idle.
+// A dispatcher that no longer knows the worker (it restarted) answers 409,
+// surfaced as ErrUnknownWorker.
+func (c *Client) Lease(ctx context.Context, workerID string) (*JobLease, error) {
+	var resp LeaseResponse
+	if err := c.post(ctx, "/fleet/v1/lease", LeaseRequest{WorkerID: workerID}, &resp); err != nil {
+		if errors.Is(err, errConflict) {
+			return nil, ErrUnknownWorker
+		}
+		return nil, err
+	}
+	return resp.Job, nil
+}
+
+// Heartbeat extends the worker's leases and returns jobs to abandon.
+func (c *Client) Heartbeat(ctx context.Context, workerID string, jobIDs []string) (HeartbeatResponse, error) {
+	var resp HeartbeatResponse
+	err := c.post(ctx, "/fleet/v1/heartbeat", HeartbeatRequest{WorkerID: workerID, JobIDs: jobIDs}, &resp)
+	return resp, err
+}
+
+// Result reports finished points (and optionally closes the job). The
+// returned OK mirrors ResultResponse.OK: false means the lease was lost and
+// the worker should stop solving this job.
+func (c *Client) Result(ctx context.Context, req ResultRequest) (bool, error) {
+	var resp ResultResponse
+	if err := c.post(ctx, "/fleet/v1/result", req, &resp); err != nil {
+		return false, err
+	}
+	return resp.OK, nil
+}
+
+// Snapshot fetches the dispatcher-served warm-cache snapshot stream. The
+// caller must Close the reader.
+func (c *Client) Snapshot(ctx context.Context) (io.ReadCloser, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/fleet/v1/snapshot", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return nil, fmt.Errorf("fleet: GET /fleet/v1/snapshot: HTTP %d", resp.StatusCode)
+	}
+	return resp.Body, nil
+}
+
+// SubmitSweep queues a sweep on the dispatcher.
+func (c *Client) SubmitSweep(ctx context.Context, req SubmitRequest) (SubmitResponse, error) {
+	var resp SubmitResponse
+	err := c.post(ctx, "/fleet/v1/sweeps", req, &resp)
+	return resp, err
+}
+
+// Watch long-polls a sweep for completed points from grid index `from`.
+// An answer with no points and Done false just means the poll window
+// lapsed; call again with the same `from`.
+func (c *Client) Watch(ctx context.Context, sweepID string, from int) (SweepStatus, error) {
+	var resp SweepStatus
+	err := c.get(ctx, "/fleet/v1/sweeps/"+sweepID+"?from="+strconv.Itoa(from), &resp)
+	return resp, err
+}
+
+// RunSweep is the submitter's whole client flow: submit the sweep, drain
+// completed points in grid order through onPoint (when non-nil), and
+// return the full merged grid. It is how scserve -dispatch fans /v1/sweep
+// across the fleet, and what the parity tests run against the local sweep.
+func (c *Client) RunSweep(ctx context.Context, req SubmitRequest, onPoint func(WirePoint)) ([]WirePoint, error) {
+	sub, err := c.SubmitSweep(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]WirePoint, 0, sub.Total)
+	for len(points) < sub.Total {
+		st, err := c.Watch(ctx, sub.SweepID, len(points))
+		if err != nil {
+			return nil, err
+		}
+		for _, wp := range st.Points {
+			if wp.Index != len(points) {
+				return nil, fmt.Errorf("fleet: watch returned index %d, want %d", wp.Index, len(points))
+			}
+			points = append(points, wp)
+			if onPoint != nil {
+				onPoint(wp)
+			}
+		}
+		if st.Error != "" {
+			return nil, fmt.Errorf("fleet: sweep %s failed: %s", sub.SweepID, st.Error)
+		}
+		if st.Done && len(points) < sub.Total {
+			return nil, fmt.Errorf("fleet: sweep %s done with %d of %d points", sub.SweepID, len(points), sub.Total)
+		}
+	}
+	return points, nil
+}

@@ -1,0 +1,312 @@
+// Package fleet is the distributed sweep fleet behind scdispatch and
+// scworkd: a coordinator (Dispatcher) that splits Fig. 7-style price-grid
+// sweeps into leased point-batch jobs, a worker loop (Worker) that pulls
+// jobs over HTTP and solves them through the same core.Framework spine the
+// local sweep driver uses, and the wire protocol between them (documented
+// for non-Go implementations in docs/FLEET_PROTOCOL.md). The design target
+// is bit-identical distribution: a sweep fanned across N workers — with
+// leases expiring and jobs requeued along the way — must merge to exactly
+// the bytes a single-process Framework.Sweep produces. Three properties
+// carry that guarantee (DESIGN.md §15): every point is solved cold
+// (warm-starting would couple a point to its grid neighbor's schedule),
+// point solves are key-deterministic no matter which worker's caches serve
+// them (the repo's established evaluator contract), and the dispatcher
+// merges results by grid index, so arrival order — and therefore worker
+// count, scheduling, and requeue history — cannot leak into the output.
+// Floats cross the wire through the WF codec, which round-trips every
+// float64 bit pattern JSON cannot natively carry (±Inf from dead markets,
+// and full precision via shortest-round-trip formatting).
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"strconv"
+
+	"scshare/internal/core"
+)
+
+// ProtocolVersion is the dispatcher↔worker wire protocol version. A worker
+// sends its version in RegisterRequest and the dispatcher refuses
+// mismatches, so mixed fleets fail loudly at registration instead of
+// corrupting sweeps mid-grid. Bump it on any incompatible change to the
+// endpoints or types in this file (docs/FLEET_PROTOCOL.md, "Versioning").
+const ProtocolVersion = 1
+
+// WF is a float64 with an exact JSON wire form. Finite values marshal as
+// JSON numbers in Go's shortest round-trip formatting (strconv 'g', -1),
+// which ParseFloat maps back to the identical bit pattern; the non-finite
+// values JSON cannot represent — dead markets report -Inf welfare — travel
+// as the quoted strings "Inf", "-Inf", and "NaN". This is what lets the
+// fleet promise bit-identical merges with the local sweep: the wire never
+// rounds.
+type WF float64
+
+// MarshalJSON implements json.Marshaler.
+func (f WF) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	switch {
+	case math.IsInf(v, 1):
+		return []byte(`"Inf"`), nil
+	case math.IsInf(v, -1):
+		return []byte(`"-Inf"`), nil
+	case math.IsNaN(v):
+		return []byte(`"NaN"`), nil
+	}
+	return strconv.AppendFloat(nil, v, 'g', -1, 64), nil
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *WF) UnmarshalJSON(b []byte) error {
+	if len(b) > 0 && b[0] == '"' {
+		var s string
+		if err := json.Unmarshal(b, &s); err != nil {
+			return err
+		}
+		switch s {
+		case "Inf", "+Inf":
+			*f = WF(math.Inf(1))
+		case "-Inf":
+			*f = WF(math.Inf(-1))
+		case "NaN":
+			*f = WF(math.NaN())
+		default:
+			return fmt.Errorf("fleet: bad wire float %q", s)
+		}
+		return nil
+	}
+	v, err := strconv.ParseFloat(string(b), 64)
+	if err != nil {
+		return fmt.Errorf("fleet: bad wire float %s: %w", b, err)
+	}
+	*f = WF(v)
+	return nil
+}
+
+// wfs converts a float slice to its wire form, preserving nil-ness (a nil
+// slice must unmarshal back to nil so merged points compare deep-equal to
+// local ones).
+func wfs(vs []float64) []WF {
+	if vs == nil {
+		return nil
+	}
+	out := make([]WF, len(vs))
+	for i, v := range vs {
+		out[i] = WF(v)
+	}
+	return out
+}
+
+// floats is the inverse of wfs, again preserving nil-ness.
+func floats(vs []WF) []float64 {
+	if vs == nil {
+		return nil
+	}
+	out := make([]float64, len(vs))
+	for i, v := range vs {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+// RegisterRequest is the body of POST /fleet/v1/register: a worker
+// announcing itself before its first lease.
+type RegisterRequest struct {
+	// Version is the worker's ProtocolVersion; mismatches are refused.
+	Version int `json:"version"`
+	// Name labels the worker in dispatcher logs and metrics (hostname-pid
+	// style); it need not be unique — identity is the returned WorkerID.
+	Name string `json:"name,omitempty"`
+	// Procs reports the worker's per-job parallelism, for operator
+	// visibility only.
+	Procs int `json:"procs,omitempty"`
+}
+
+// RegisterResponse assigns the worker its identity and cadence.
+type RegisterResponse struct {
+	// Version echoes the dispatcher's ProtocolVersion.
+	Version int `json:"version"`
+	// WorkerID is the handle the worker presents on every later call.
+	WorkerID string `json:"workerId"`
+	// LeaseTTLMs is the lease duration: a leased job whose worker neither
+	// heartbeats nor reports within this window is requeued.
+	LeaseTTLMs int64 `json:"leaseTtlMs"`
+	// PollMs is how long an idle worker should wait before leasing again.
+	PollMs int64 `json:"pollMs"`
+	// Snapshot reports whether GET /fleet/v1/snapshot serves a warm-cache
+	// snapshot the worker can boot from.
+	Snapshot bool `json:"snapshot"`
+}
+
+// LeaseRequest is the body of POST /fleet/v1/lease.
+type LeaseRequest struct {
+	WorkerID string `json:"workerId"`
+}
+
+// LeaseResponse carries at most one job; Job is null when the queue has
+// nothing runnable and the worker should poll again after PollMs.
+type LeaseResponse struct {
+	Job *JobLease `json:"job,omitempty"`
+}
+
+// JobLease is one leased unit of work: a batch of grid points from one
+// sweep, all sharing the sweep's spec, alphas, and multi-start seeds.
+type JobLease struct {
+	// JobID names this job on heartbeat and result calls.
+	JobID string `json:"jobId"`
+	// SweepID names the sweep the job belongs to.
+	SweepID string `json:"sweepId"`
+	// Spec is the canonical normalized spec.Federation JSON — exactly the
+	// framework-cache key, so a worker's cache keys match the front door's.
+	Spec json.RawMessage `json:"spec"`
+	// Alphas are the welfare regimes scored per point.
+	Alphas []WF `json:"alphas"`
+	// Points are the grid points still owed on this job, each carrying its
+	// index into the sweep's ratio grid. On a requeued job this is the
+	// unreported remainder — points the previous holder already reported
+	// are not re-solved.
+	Points []JobPoint `json:"points"`
+	// Initials are the sweep's multi-start seed share vectors, applied to
+	// every point (empty means the solver's default start set).
+	Initials [][]int `json:"initials,omitempty"`
+	// LeaseTTLMs echoes the lease duration for this job.
+	LeaseTTLMs int64 `json:"leaseTtlMs"`
+}
+
+// JobPoint is one grid point of a job.
+type JobPoint struct {
+	// Index is the point's position in the sweep's ratio grid — the merge
+	// key that makes result order irrelevant.
+	Index int `json:"index"`
+	// Ratio is the C^G/C^P price ratio to solve at.
+	Ratio WF `json:"ratio"`
+}
+
+// HeartbeatRequest is the body of POST /fleet/v1/heartbeat: the worker
+// extends the leases of the jobs it is still solving.
+type HeartbeatRequest struct {
+	WorkerID string `json:"workerId"`
+	// JobIDs are the jobs the worker claims to still hold.
+	JobIDs []string `json:"jobIds"`
+}
+
+// HeartbeatResponse acknowledges the extension and carries cancellations.
+type HeartbeatResponse struct {
+	// OK confirms the worker is known; false means it should re-register.
+	OK bool `json:"ok"`
+	// Cancel lists claimed jobs the worker no longer holds (lease expired
+	// and was requeued, or the sweep failed); it must abandon them and not
+	// report their points.
+	Cancel []string `json:"cancel,omitempty"`
+}
+
+// ResultRequest is the body of POST /fleet/v1/result. Workers stream
+// per-point progress by posting each point as it finishes (Done false),
+// then close the job with a final Done report; a worker that dies
+// mid-stream simply stops posting, and the lease expiry requeues exactly
+// the unreported remainder.
+type ResultRequest struct {
+	WorkerID string `json:"workerId"`
+	JobID    string `json:"jobId"`
+	// Points are finished grid points (any subset of the job, any order).
+	Points []WirePoint `json:"points,omitempty"`
+	// Done closes the job: every point was either reported or failed.
+	Done bool `json:"done"`
+	// Error reports a hard per-job failure (spec rejected, solver error).
+	// The dispatcher counts it as a failed attempt and requeues unless the
+	// attempt budget is spent.
+	Error string `json:"error,omitempty"`
+}
+
+// ResultResponse acknowledges a result post.
+type ResultResponse struct {
+	// OK is false when the worker no longer holds the job's lease; it
+	// should stop solving the job (points already posted are still used —
+	// first report wins).
+	OK bool `json:"ok"`
+}
+
+// WirePoint is core.SweepPoint on the wire, plus the grid index it merges
+// at. All floats use the exact WF codec.
+type WirePoint struct {
+	Index      int   `json:"index"`
+	Ratio      WF    `json:"ratio"`
+	Price      WF    `json:"price"`
+	Shares     []int `json:"shares"`
+	Utilities  []WF  `json:"utilities"`
+	Welfare    []WF  `json:"welfare"`
+	Efficiency []WF  `json:"efficiency"`
+	Rounds     int   `json:"rounds"`
+	Converged  bool  `json:"converged"`
+}
+
+// ToWire converts a finished sweep point for the result wire.
+func ToWire(index int, pt core.SweepPoint) WirePoint {
+	return WirePoint{
+		Index:      index,
+		Ratio:      WF(pt.Ratio),
+		Price:      WF(pt.Price),
+		Shares:     pt.Shares,
+		Utilities:  wfs(pt.Utilities),
+		Welfare:    wfs(pt.Welfare),
+		Efficiency: wfs(pt.Efficiency),
+		Rounds:     pt.Rounds,
+		Converged:  pt.Converged,
+	}
+}
+
+// Point converts a wire point back to the local sweep's result type. A
+// point that made the round trip compares deep-equal to the local solve.
+func (wp WirePoint) Point() core.SweepPoint {
+	return core.SweepPoint{
+		Ratio:      float64(wp.Ratio),
+		Price:      float64(wp.Price),
+		Shares:     wp.Shares,
+		Utilities:  floats(wp.Utilities),
+		Welfare:    floats(wp.Welfare),
+		Efficiency: floats(wp.Efficiency),
+		Rounds:     wp.Rounds,
+		Converged:  wp.Converged,
+	}
+}
+
+// SubmitRequest is the body of POST /fleet/v1/sweeps: a whole sweep
+// entering the queue. Spec must be normalized spec.Federation JSON — the
+// dispatcher re-normalizes and rejects invalid specs at submit time, so
+// workers only ever see specs that build frameworks.
+type SubmitRequest struct {
+	Spec json.RawMessage `json:"spec"`
+	// Ratios is the C^G/C^P grid, in the order results merge.
+	Ratios []WF `json:"ratios"`
+	// Alphas are the welfare regimes scored per point.
+	Alphas []WF `json:"alphas"`
+	// Initials are optional multi-start seed share vectors per point.
+	Initials [][]int `json:"initials,omitempty"`
+}
+
+// SubmitResponse acknowledges a submitted sweep.
+type SubmitResponse struct {
+	SweepID string `json:"sweepId"`
+	// Total is the number of grid points the sweep will produce.
+	Total int `json:"total"`
+}
+
+// SweepStatus is the body of GET /fleet/v1/sweeps/{id}?from=N — a long
+// poll that answers once a point at or beyond index N completes (or the
+// sweep finishes, fails, or the poll window lapses).
+type SweepStatus struct {
+	SweepID string `json:"sweepId"`
+	Total   int    `json:"total"`
+	// Completed is how many grid points have merged so far.
+	Completed int `json:"completed"`
+	// Points are the contiguous completed points starting at index `from`:
+	// the longest prefix [from, …] with no gaps, so a client draining in
+	// grid order sees exactly the local sweep's merge order.
+	Points []WirePoint `json:"points,omitempty"`
+	// Done reports the sweep finished (all points merged, or Error set).
+	Done bool `json:"done"`
+	// Error is the terminal failure, when the sweep exhausted its attempt
+	// budget or every point of some job kept failing.
+	Error string `json:"error,omitempty"`
+}

@@ -1,0 +1,307 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"scshare/internal/core"
+	"scshare/internal/market"
+	"scshare/internal/spec"
+)
+
+// testFederation is the fleet test workload: the fluid model keeps solves
+// fast, and three SCs give the game a non-trivial equilibrium search.
+func testFederation() spec.Federation {
+	return spec.Federation{
+		SCs: []spec.SC{
+			{VMs: 10, ArrivalRate: 5.8},
+			{VMs: 10, ArrivalRate: 8.4},
+			{VMs: 8, ArrivalRate: 4.1},
+		},
+		Model:    "fluid",
+		MaxShare: 4,
+	}
+}
+
+var (
+	testRatios = []float64{0.2, 0.35, 0.5, 0.65, 0.8, 0.95}
+	testAlphas = []float64{market.AlphaUtilitarian, market.AlphaProportional, market.AlphaMaxMin}
+)
+
+// localSweep is the single-process ground truth the fleet must reproduce
+// bit for bit: one framework, serial schedule, every point cold — the
+// fleet's contract (DESIGN.md §15).
+func localSweep(t *testing.T) []core.SweepPoint {
+	t.Helper()
+	sp := testFederation()
+	if err := sp.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	fw, err := core.New(sp.Config())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts, err := fw.Sweep(testRatios, testAlphas, nil, core.SweepOptions{Workers: 1, WarmStart: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pts
+}
+
+// startWorkers runs n in-process workers against the dispatcher URL and
+// returns a stop function that kills them all and waits them out.
+func startWorkers(t *testing.T, url string, n int) (stop func()) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := range n {
+		w := NewWorker(WorkerOptions{
+			URL:   url,
+			Name:  "test-worker",
+			Procs: 1 + i%2, // mix serial and parallel point solving
+			Poll:  2 * time.Millisecond,
+		})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = w.Run(ctx)
+		}()
+	}
+	return func() {
+		cancel()
+		wg.Wait()
+	}
+}
+
+func submitRequest(t *testing.T) SubmitRequest {
+	t.Helper()
+	sp := testFederation()
+	raw, err := json.Marshal(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return SubmitRequest{Spec: raw, Ratios: wfs(testRatios), Alphas: wfs(testAlphas)}
+}
+
+// comparePoints pins the fleet result to the local ground truth,
+// bit-identically (DeepEqual on float64 fields compares exact bits).
+func comparePoints(t *testing.T, got []WirePoint, want []core.SweepPoint) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("fleet returned %d points, local sweep %d", len(got), len(want))
+	}
+	for i, wp := range got {
+		if wp.Index != i {
+			t.Fatalf("point %d carries index %d: merge order broken", i, wp.Index)
+		}
+		if !reflect.DeepEqual(wp.Point(), want[i]) {
+			t.Fatalf("point %d differs:\nfleet: %+v\nlocal: %+v", i, wp.Point(), want[i])
+		}
+	}
+}
+
+// TestFleetMatchesLocalSweep is the fleet's defining acceptance test: a
+// dispatcher with N in-process workers — including a worker killed
+// mid-grid with its lease requeued — must merge to exactly the bytes of a
+// single-process Framework.Sweep.
+func TestFleetMatchesLocalSweep(t *testing.T) {
+	want := localSweep(t)
+
+	t.Run("Workers1", func(t *testing.T) {
+		srv := httptest.NewServer(NewDispatcher(Options{Poll: 2 * time.Millisecond, Batch: 2}))
+		defer srv.Close()
+		defer startWorkers(t, srv.URL, 1)()
+		got, err := NewClient(srv.URL, nil).RunSweep(context.Background(), submitRequest(t), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		comparePoints(t, got, want)
+	})
+
+	t.Run("WorkersN", func(t *testing.T) {
+		srv := httptest.NewServer(NewDispatcher(Options{Poll: 2 * time.Millisecond, Batch: 1}))
+		defer srv.Close()
+		defer startWorkers(t, srv.URL, 4)()
+		var streamed int
+		got, err := NewClient(srv.URL, nil).RunSweep(context.Background(), submitRequest(t), func(WirePoint) { streamed++ })
+		if err != nil {
+			t.Fatal(err)
+		}
+		comparePoints(t, got, want)
+		if streamed != len(want) {
+			t.Fatalf("onPoint streamed %d points, want %d", streamed, len(want))
+		}
+	})
+
+	t.Run("KilledWorkerRequeues", func(t *testing.T) {
+		d := NewDispatcher(Options{Poll: 2 * time.Millisecond, Batch: 3, LeaseTTL: 150 * time.Millisecond})
+		srv := httptest.NewServer(d)
+		defer srv.Close()
+		ctx := context.Background()
+		c := NewClient(srv.URL, nil)
+
+		// A doomed worker registers by hand, leases the first job (grid
+		// points 0-2), streams only point 0, and dies silently — the crash
+		// path: no final report, no heartbeat.
+		reg, err := c.Register(ctx, RegisterRequest{Version: ProtocolVersion, Name: "doomed"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sub, err := c.SubmitSweep(ctx, submitRequest(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		lease, err := c.Lease(ctx, reg.WorkerID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lease == nil || len(lease.Points) != 3 || lease.Points[0].Index != 0 {
+			t.Fatalf("doomed worker leased %+v, want grid points 0-2", lease)
+		}
+		if _, err := c.Result(ctx, ResultRequest{
+			WorkerID: reg.WorkerID,
+			JobID:    lease.JobID,
+			Points:   []WirePoint{ToWire(0, want[0])},
+		}); err != nil {
+			t.Fatal(err)
+		}
+
+		// Healthy workers drain the rest; once the dead lease expires,
+		// points 1-2 requeue to them.
+		defer startWorkers(t, srv.URL, 2)()
+		var got []WirePoint
+		for len(got) < sub.Total {
+			st, err := c.Watch(ctx, sub.SweepID, len(got))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Error != "" {
+				t.Fatalf("sweep failed: %s", st.Error)
+			}
+			got = append(got, st.Points...)
+		}
+		comparePoints(t, got, want)
+		if st := d.q.stats(); st.ExpiredLeases == 0 || st.Requeues == 0 {
+			t.Fatalf("killed worker's lease never expired/requeued: %+v", st)
+		}
+	})
+}
+
+// TestFleetSnapshotBoot pins the worker warm-boot path: a dispatcher
+// serving a warm-cache snapshot hands it to registering workers, and the
+// fleet still merges bit-identically to the local sweep (a snapshot may
+// change work, never answers).
+func TestFleetSnapshotBoot(t *testing.T) {
+	want := localSweep(t)
+
+	// Build a warm cache by solving the sweep locally through a spec.Cache,
+	// then snapshot it where the dispatcher can serve it.
+	cache := spec.NewCache(0)
+	sp := testFederation()
+	if err := sp.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	fw, err := cache.Framework(&sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.Sweep(testRatios, testAlphas, nil, core.SweepOptions{Workers: 1, WarmStart: false}); err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/snapshot.json"
+	if err := cache.SaveSnapshotFile(path); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := httptest.NewServer(NewDispatcher(Options{Poll: 2 * time.Millisecond, Batch: 2, SnapshotPath: path}))
+	defer srv.Close()
+	reg, err := NewClient(srv.URL, nil).Register(context.Background(), RegisterRequest{Version: ProtocolVersion})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reg.Snapshot {
+		t.Fatal("dispatcher did not offer its snapshot at registration")
+	}
+	defer startWorkers(t, srv.URL, 2)()
+	got, err := NewClient(srv.URL, nil).RunSweep(context.Background(), submitRequest(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comparePoints(t, got, want)
+}
+
+// TestWorkerOutlivesDispatcherRestart pins the re-registration path: a
+// dispatcher restart wipes the worker registry, so the worker's next lease
+// answers 409/ErrUnknownWorker and the worker must register afresh and keep
+// solving — an idle worker must not starve against the restarted queue.
+func TestWorkerOutlivesDispatcherRestart(t *testing.T) {
+	want := localSweep(t)
+
+	// One URL, two dispatcher generations behind it.
+	var current atomic.Pointer[Dispatcher]
+	current.Store(NewDispatcher(Options{Poll: 2 * time.Millisecond, Batch: 2}))
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		current.Load().ServeHTTP(w, r)
+	}))
+	defer srv.Close()
+	defer startWorkers(t, srv.URL, 1)()
+
+	// Wait until the worker registers with generation one, then "restart":
+	// swap in a fresh dispatcher that has never heard of it.
+	deadline := time.Now().Add(5 * time.Second)
+	for current.Load().q.stats().Workers == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never registered with the first dispatcher")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	restarted := NewDispatcher(Options{Poll: 2 * time.Millisecond, Batch: 2})
+	current.Store(restarted)
+
+	got, err := NewClient(srv.URL, nil).RunSweep(context.Background(), submitRequest(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	comparePoints(t, got, want)
+	if restarted.q.stats().Workers == 0 {
+		t.Fatal("worker never re-registered with the restarted dispatcher")
+	}
+}
+
+// TestRegisterRejectsVersionSkew pins the protocol's loud-failure rule.
+func TestRegisterRejectsVersionSkew(t *testing.T) {
+	srv := httptest.NewServer(NewDispatcher(Options{}))
+	defer srv.Close()
+	_, err := NewClient(srv.URL, nil).Register(context.Background(), RegisterRequest{Version: ProtocolVersion + 1})
+	if err == nil {
+		t.Fatal("future protocol version accepted")
+	}
+}
+
+// TestSubmitRejectsBadSpecs pins submit-time validation: a bad federation
+// fails the submitter, never the workers.
+func TestSubmitRejectsBadSpecs(t *testing.T) {
+	srv := httptest.NewServer(NewDispatcher(Options{}))
+	defer srv.Close()
+	c := NewClient(srv.URL, nil)
+	ctx := context.Background()
+	cases := []SubmitRequest{
+		{Spec: json.RawMessage(`{"scs":[]}`), Ratios: wfs([]float64{1}), Alphas: wfs([]float64{0})},
+		{Spec: json.RawMessage(`not json`), Ratios: wfs([]float64{1}), Alphas: wfs([]float64{0})},
+		{Spec: json.RawMessage(`{"scs":[{"vms":1,"arrivalRate":0.5}]}`), Ratios: nil, Alphas: wfs([]float64{0})},
+		{Spec: json.RawMessage(`{"scs":[{"vms":1,"arrivalRate":0.5}]}`), Ratios: wfs([]float64{-1}), Alphas: wfs([]float64{0})},
+		{Spec: json.RawMessage(`{"scs":[{"vms":1,"arrivalRate":0.5}]}`), Ratios: wfs([]float64{1}), Alphas: nil},
+	}
+	for i, req := range cases {
+		if _, err := c.SubmitSweep(ctx, req); err == nil {
+			t.Errorf("case %d: bad submission accepted", i)
+		}
+	}
+}

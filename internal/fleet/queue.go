@@ -1,0 +1,408 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// workerInfo is the dispatcher's view of one registered worker.
+type workerInfo struct {
+	id    string
+	name  string
+	procs int
+}
+
+// job is one leased unit of work: a batch of grid points from one sweep.
+// points always holds exactly the unreported remainder, so a requeue after
+// lease expiry retries only what the lost worker never delivered.
+type job struct {
+	id       string
+	seq      int
+	sweep    *sweepState
+	points   []JobPoint
+	attempts int
+	// Lease state; zero workerID means the job sits in pending.
+	workerID string
+	expiry   time.Time
+}
+
+// sweepState is one submitted sweep: its immutable inputs and the merged
+// results, indexed by grid position so arrival order cannot matter.
+type sweepState struct {
+	id       string
+	spec     json.RawMessage
+	alphas   []float64
+	initials [][]int
+	total    int
+	// results[i] is grid point i once some worker reported it; completed
+	// counts the non-nil entries.
+	results   []*WirePoint
+	completed int
+	done      bool
+	errMsg    string
+	// update is closed and replaced on every state change — the broadcast
+	// the long-poll watchers select on.
+	update chan struct{}
+}
+
+func (sw *sweepState) broadcast() {
+	close(sw.update)
+	sw.update = make(chan struct{})
+}
+
+// queue is the dispatcher's state machine: worker registry, pending and
+// leased jobs, and per-sweep merge state. Every public method takes the one
+// lock and starts by expiring stale leases, so expiry needs no background
+// timer — any worker poll or watcher tick drives it.
+type queue struct {
+	leaseTTL    time.Duration
+	maxAttempts int
+	batch       int
+	now         func() time.Time
+
+	mu sync.Mutex
+	// All queue state below is guarded by mu.
+	seq     int
+	workers map[string]*workerInfo
+	pending []*job // sorted by seq: earliest-submitted work first
+	leased  map[string]*job
+	sweeps  map[string]*sweepState
+	// Monitoring counters, surfaced on the dispatcher's /metrics.
+	expiredLeases, requeues, completedJobs, failedSweeps, doneSweeps int
+}
+
+func newQueue(leaseTTL time.Duration, maxAttempts, batch int, now func() time.Time) *queue {
+	if leaseTTL <= 0 {
+		leaseTTL = 10 * time.Second
+	}
+	if maxAttempts <= 0 {
+		maxAttempts = 5
+	}
+	if batch <= 0 {
+		batch = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &queue{
+		leaseTTL:    leaseTTL,
+		maxAttempts: maxAttempts,
+		batch:       batch,
+		now:         now,
+		workers:     make(map[string]*workerInfo),
+		leased:      make(map[string]*job),
+		sweeps:      make(map[string]*sweepState),
+	}
+}
+
+// register admits a worker and assigns its ID.
+func (q *queue) register(name string, procs int) *workerInfo {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.seq++
+	w := &workerInfo{id: fmt.Sprintf("w%d", q.seq), name: name, procs: procs}
+	q.workers[w.id] = w
+	return w
+}
+
+// submit queues a sweep, splitting the ratio grid into jobs of at most
+// batch points each, in grid order.
+func (q *queue) submit(spec json.RawMessage, ratios, alphas []float64, initials [][]int) *sweepState {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.seq++
+	sw := &sweepState{
+		id:       fmt.Sprintf("s%d", q.seq),
+		spec:     spec,
+		alphas:   alphas,
+		initials: initials,
+		total:    len(ratios),
+		results:  make([]*WirePoint, len(ratios)),
+		update:   make(chan struct{}),
+	}
+	q.sweeps[sw.id] = sw
+	for start := 0; start < len(ratios); start += q.batch {
+		end := min(start+q.batch, len(ratios))
+		pts := make([]JobPoint, 0, end-start)
+		for i := start; i < end; i++ {
+			pts = append(pts, JobPoint{Index: i, Ratio: WF(ratios[i])})
+		}
+		q.seq++
+		q.pending = append(q.pending, &job{
+			id:     fmt.Sprintf("j%d", q.seq),
+			seq:    q.seq,
+			sweep:  sw,
+			points: pts,
+		})
+	}
+	return sw
+}
+
+// lease hands the earliest-submitted pending job to the worker, or nil when
+// nothing is runnable. The second return distinguishes an idle queue from an
+// unknown worker — the latter must re-register (it outlived a dispatcher
+// restart), and conflating the two would starve it forever on an idle queue.
+func (q *queue) lease(workerID string) (*JobLease, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.expireLocked()
+	if _, ok := q.workers[workerID]; !ok {
+		return nil, false
+	}
+	var j *job
+	for j == nil {
+		if len(q.pending) == 0 {
+			return nil, true
+		}
+		j = q.pending[0]
+		q.pending = q.pending[1:]
+		// A requeued job can drain to empty if its lost worker's reports
+		// arrived late; it is already complete, not work.
+		if len(j.points) == 0 {
+			q.completedJobs++
+			j = nil
+		}
+	}
+	j.workerID = workerID
+	j.expiry = q.now().Add(q.leaseTTL)
+	q.leased[j.id] = j
+	lease := &JobLease{
+		JobID:      j.id,
+		SweepID:    j.sweep.id,
+		Spec:       j.sweep.spec,
+		Alphas:     wfs(j.sweep.alphas),
+		Points:     append([]JobPoint(nil), j.points...),
+		Initials:   j.sweep.initials,
+		LeaseTTLMs: q.leaseTTL.Milliseconds(),
+	}
+	return lease, true
+}
+
+// heartbeat extends the leases the worker still holds and reports the jobs
+// it must abandon (requeued from under it, or their sweep failed).
+func (q *queue) heartbeat(workerID string, jobIDs []string) (bool, []string) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.expireLocked()
+	if _, ok := q.workers[workerID]; !ok {
+		return false, jobIDs
+	}
+	var cancel []string
+	deadline := q.now().Add(q.leaseTTL)
+	for _, id := range jobIDs {
+		if j, ok := q.leased[id]; ok && j.workerID == workerID {
+			j.expiry = deadline
+		} else {
+			cancel = append(cancel, id)
+		}
+	}
+	return true, cancel
+}
+
+// result merges reported points (first report wins) and, on done, closes or
+// requeues the job. It reports whether the worker still holds the lease.
+func (q *queue) result(workerID, jobID string, points []WirePoint, done bool, errMsg string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.expireLocked()
+	j := q.findJobLocked(jobID)
+	// Points are merged even off a lost lease: the determinism contract
+	// makes any worker's solve of a point interchangeable, so late work is
+	// still good work. Only the job lifecycle (done/requeue) needs the
+	// lease.
+	if j != nil {
+		// A failed sweep's results slice still exists; merging into it is
+		// harmless and never reported (done stays true with the error).
+		for _, wp := range points {
+			q.mergeLocked(j, wp)
+		}
+	}
+	if j == nil || j.workerID != workerID {
+		return false
+	}
+	if _, leased := q.leased[jobID]; !leased {
+		return false
+	}
+	j.expiry = q.now().Add(q.leaseTTL)
+	if !done {
+		return true
+	}
+	delete(q.leased, jobID)
+	switch {
+	case errMsg != "":
+		q.retryLocked(j, errMsg)
+	case len(j.points) > 0:
+		// The worker claims completion with points still owed — treat it
+		// like a failed attempt so the remainder is retried elsewhere.
+		q.retryLocked(j, "job reported done with unreported points")
+	default:
+		q.completedJobs++
+	}
+	return true
+}
+
+// findJobLocked resolves a job ID whether the job is currently leased or
+// waiting in pending (after a requeue). Callers hold mu.
+func (q *queue) findJobLocked(jobID string) *job {
+	if j, ok := q.leased[jobID]; ok {
+		return j
+	}
+	for _, j := range q.pending {
+		if j.id == jobID {
+			return j
+		}
+	}
+	return nil
+}
+
+// mergeLocked records one reported point against its sweep and job.
+func (q *queue) mergeLocked(j *job, wp WirePoint) {
+	sw := j.sweep
+	if wp.Index < 0 || wp.Index >= sw.total || sw.results[wp.Index] != nil {
+		return
+	}
+	owed := false
+	for i, p := range j.points {
+		if p.Index == wp.Index {
+			j.points = append(j.points[:i], j.points[i+1:]...)
+			owed = true
+			break
+		}
+	}
+	if !owed {
+		return
+	}
+	cp := wp
+	sw.results[wp.Index] = &cp
+	sw.completed++
+	if sw.completed == sw.total && !sw.done {
+		sw.done = true
+		q.doneSweeps++
+	}
+	sw.broadcast()
+}
+
+// expireLocked requeues every leased job whose worker went silent past its
+// lease. Callers hold mu.
+func (q *queue) expireLocked() {
+	now := q.now()
+	for id, j := range q.leased {
+		if j.expiry.After(now) {
+			continue
+		}
+		delete(q.leased, id)
+		q.expiredLeases++
+		q.retryLocked(j, "lease expired")
+	}
+}
+
+// retryLocked puts a job back in pending — at its original submission
+// position, so expired early-grid work retries before later work — or
+// fails its sweep once the attempt budget is spent. Callers hold mu.
+func (q *queue) retryLocked(j *job, reason string) {
+	j.attempts++
+	j.workerID = ""
+	if j.sweep.done {
+		return
+	}
+	if j.attempts >= q.maxAttempts {
+		q.failSweepLocked(j.sweep, fmt.Sprintf("job %s failed %d attempts (last: %s)", j.id, j.attempts, reason))
+		return
+	}
+	q.requeues++
+	at := sort.Search(len(q.pending), func(i int) bool { return q.pending[i].seq > j.seq })
+	q.pending = append(q.pending, nil)
+	copy(q.pending[at+1:], q.pending[at:])
+	q.pending[at] = j
+}
+
+// failSweepLocked terminates a sweep: its remaining jobs are dropped, and
+// workers still holding one learn via heartbeat-cancel or a rejected
+// result. Callers hold mu.
+func (q *queue) failSweepLocked(sw *sweepState, msg string) {
+	sw.done = true
+	sw.errMsg = msg
+	q.failedSweeps++
+	kept := q.pending[:0]
+	for _, j := range q.pending {
+		if j.sweep != sw {
+			kept = append(kept, j)
+		}
+	}
+	for i := len(kept); i < len(q.pending); i++ {
+		q.pending[i] = nil
+	}
+	q.pending = kept
+	for id, j := range q.leased {
+		if j.sweep == sw {
+			delete(q.leased, id)
+		}
+	}
+	sw.broadcast()
+}
+
+// status builds the long-poll answer for a sweep from grid index `from`,
+// along with the broadcast channel to wait on when the answer is empty.
+func (q *queue) status(sweepID string, from int) (SweepStatus, chan struct{}, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.expireLocked()
+	sw, ok := q.sweeps[sweepID]
+	if !ok {
+		return SweepStatus{}, nil, false
+	}
+	st := SweepStatus{
+		SweepID:   sw.id,
+		Total:     sw.total,
+		Completed: sw.completed,
+		Done:      sw.done,
+		Error:     sw.errMsg,
+	}
+	for i := from; i >= 0 && i < sw.total; i++ {
+		if sw.results[i] == nil {
+			break
+		}
+		st.Points = append(st.Points, *sw.results[i])
+	}
+	return st, sw.update, true
+}
+
+// stats is the /metrics snapshot of queue state.
+func (q *queue) stats() queueStats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.expireLocked()
+	active := 0
+	for _, sw := range q.sweeps {
+		if !sw.done {
+			active++
+		}
+	}
+	return queueStats{
+		Workers:       len(q.workers),
+		PendingJobs:   len(q.pending),
+		LeasedJobs:    len(q.leased),
+		CompletedJobs: q.completedJobs,
+		ExpiredLeases: q.expiredLeases,
+		Requeues:      q.requeues,
+		ActiveSweeps:  active,
+		DoneSweeps:    q.doneSweeps,
+		FailedSweeps:  q.failedSweeps,
+	}
+}
+
+// queueStats is the queue section of the dispatcher's GET /metrics.
+type queueStats struct {
+	Workers       int `json:"workers"`
+	PendingJobs   int `json:"pendingJobs"`
+	LeasedJobs    int `json:"leasedJobs"`
+	CompletedJobs int `json:"completedJobs"`
+	ExpiredLeases int `json:"expiredLeases"`
+	Requeues      int `json:"requeues"`
+	ActiveSweeps  int `json:"activeSweeps"`
+	DoneSweeps    int `json:"doneSweeps"`
+	FailedSweeps  int `json:"failedSweeps"`
+}

@@ -1,0 +1,300 @@
+package fleet
+
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// fakeClock drives the queue's injectable clock so lease expiry is exact.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+
+// testQueue builds a queue with a fake clock: 4 points per sweep ratio
+// grid, batch points per job.
+func testQueue(t *testing.T, ttl time.Duration, maxAttempts, batch int) (*queue, *fakeClock) {
+	t.Helper()
+	clock := newFakeClock()
+	return newQueue(ttl, maxAttempts, batch, clock.now), clock
+}
+
+func submitGrid(q *queue, n int) *sweepState {
+	ratios := make([]float64, n)
+	for i := range ratios {
+		ratios[i] = float64(i+1) / 10
+	}
+	return q.submit(json.RawMessage(`{}`), ratios, []float64{0}, nil)
+}
+
+// leaseOK leases for a worker the queue must already know.
+func leaseOK(q *queue, workerID string) *JobLease {
+	l, known := q.lease(workerID)
+	if !known {
+		panic("leaseOK: worker " + workerID + " unknown")
+	}
+	return l
+}
+
+// pointIndexes flattens a lease's grid indexes for comparison.
+func pointIndexes(l *JobLease) []int {
+	if l == nil {
+		return nil
+	}
+	out := make([]int, len(l.Points))
+	for i, p := range l.Points {
+		out[i] = p.Index
+	}
+	return out
+}
+
+func wirePoint(index int) WirePoint {
+	return WirePoint{Index: index, Ratio: WF(float64(index+1) / 10), Rounds: 1, Converged: true}
+}
+
+func TestLeaseExpiryRequeues(t *testing.T) {
+	q, clock := testQueue(t, time.Second, 5, 2)
+	w1 := q.register("w1", 1)
+	w2 := q.register("w2", 1)
+	submitGrid(q, 4)
+
+	l1 := leaseOK(q, w1.id)
+	if got := pointIndexes(l1); !reflect.DeepEqual(got, []int{0, 1}) {
+		t.Fatalf("first lease points = %v, want [0 1]", got)
+	}
+	// Within the TTL the job stays leased: w2 gets the second job, then
+	// nothing.
+	if got := pointIndexes(leaseOK(q, w2.id)); !reflect.DeepEqual(got, []int{2, 3}) {
+		t.Fatalf("second lease points = %v, want [2 3]", got)
+	}
+	if l := leaseOK(q, w2.id); l != nil {
+		t.Fatalf("queue should be empty while leases live, got %v", pointIndexes(l))
+	}
+	// Past the TTL the silent worker's job is requeued and re-leasable.
+	clock.advance(time.Second + time.Millisecond)
+	got := leaseOK(q, w2.id)
+	if !reflect.DeepEqual(pointIndexes(got), []int{0, 1}) {
+		t.Fatalf("post-expiry lease points = %v, want [0 1]", pointIndexes(got))
+	}
+	if got.JobID != l1.JobID {
+		t.Fatalf("post-expiry lease job = %s, want the expired %s", got.JobID, l1.JobID)
+	}
+	st := q.stats()
+	if st.ExpiredLeases == 0 || st.Requeues == 0 {
+		t.Fatalf("expiry not counted: %+v", st)
+	}
+}
+
+func TestRequeueKeepsSubmissionOrder(t *testing.T) {
+	q, clock := testQueue(t, time.Second, 5, 2)
+	w1 := q.register("w1", 1)
+	w2 := q.register("w2", 1)
+	w3 := q.register("w3", 1)
+	submitGrid(q, 6) // jobs: [0 1], [2 3], [4 5]
+
+	leaseOK(q, w1.id) // [0 1]
+	leaseOK(q, w2.id) // [2 3]
+	// Both leases expire while [4 5] still waits in pending. The requeued
+	// jobs must come back BEFORE it — earliest-submitted grid work first —
+	// and in their own original order.
+	clock.advance(2 * time.Second)
+	var order [][]int
+	for {
+		l := leaseOK(q, w3.id)
+		if l == nil {
+			break
+		}
+		order = append(order, pointIndexes(l))
+	}
+	want := [][]int{{0, 1}, {2, 3}, {4, 5}}
+	if !reflect.DeepEqual(order, want) {
+		t.Fatalf("re-lease order = %v, want %v", order, want)
+	}
+}
+
+func TestHeartbeatExtendsLease(t *testing.T) {
+	q, clock := testQueue(t, time.Second, 5, 4)
+	w1 := q.register("w1", 1)
+	w2 := q.register("w2", 1)
+	submitGrid(q, 4)
+
+	l := leaseOK(q, w1.id)
+	for range 5 {
+		clock.advance(900 * time.Millisecond)
+		ok, cancel := q.heartbeat(w1.id, []string{l.JobID})
+		if !ok || len(cancel) != 0 {
+			t.Fatalf("heartbeat rejected: ok=%v cancel=%v", ok, cancel)
+		}
+		if got := leaseOK(q, w2.id); got != nil {
+			t.Fatalf("heartbeated job was re-leased: %v", pointIndexes(got))
+		}
+	}
+	// Silence past the TTL finally expires it; the late heartbeat is told
+	// to abandon the job.
+	clock.advance(time.Second + time.Millisecond)
+	if got := leaseOK(q, w2.id); got == nil {
+		t.Fatal("expired job was not re-leasable")
+	}
+	_, cancel := q.heartbeat(w1.id, []string{l.JobID})
+	if !reflect.DeepEqual(cancel, []string{l.JobID}) {
+		t.Fatalf("late heartbeat cancel = %v, want [%s]", cancel, l.JobID)
+	}
+}
+
+func TestRequeueRetriesOnlyUnreportedPoints(t *testing.T) {
+	q, clock := testQueue(t, time.Second, 5, 3)
+	w1 := q.register("w1", 1)
+	w2 := q.register("w2", 1)
+	sw := submitGrid(q, 3)
+
+	l := leaseOK(q, w1.id)
+	if ok := q.result(w1.id, l.JobID, []WirePoint{wirePoint(1)}, false, ""); !ok {
+		t.Fatal("streamed result rejected")
+	}
+	clock.advance(2 * time.Second)
+	got := leaseOK(q, w2.id)
+	if !reflect.DeepEqual(pointIndexes(got), []int{0, 2}) {
+		t.Fatalf("requeued lease points = %v, want only the unreported [0 2]", pointIndexes(got))
+	}
+	if sw.completed != 1 {
+		t.Fatalf("sweep completed = %d, want the streamed 1", sw.completed)
+	}
+	// Finishing the remainder completes the sweep.
+	if ok := q.result(w2.id, got.JobID, []WirePoint{wirePoint(0), wirePoint(2)}, true, ""); !ok {
+		t.Fatal("final result rejected")
+	}
+	st, _, ok := q.status(sw.id, 0)
+	if !ok || !st.Done || st.Error != "" || st.Completed != 3 {
+		t.Fatalf("sweep status = %+v, want done with 3 points", st)
+	}
+}
+
+func TestFirstReportWins(t *testing.T) {
+	q, clock := testQueue(t, time.Second, 5, 1)
+	w1 := q.register("w1", 1)
+	w2 := q.register("w2", 1)
+	sw := submitGrid(q, 1)
+
+	l1 := leaseOK(q, w1.id)
+	clock.advance(2 * time.Second)
+	l2 := leaseOK(q, w2.id)
+	if l2 == nil || l2.JobID != l1.JobID {
+		t.Fatal("expired job did not requeue")
+	}
+	// The new holder reports first; the lost worker's late duplicate (with
+	// different payload bits) must not overwrite it, and its post tells it
+	// to stop.
+	winner := wirePoint(0)
+	if ok := q.result(w2.id, l2.JobID, []WirePoint{winner}, true, ""); !ok {
+		t.Fatal("new holder's result rejected")
+	}
+	loser := wirePoint(0)
+	loser.Rounds = 99
+	if ok := q.result(w1.id, l1.JobID, []WirePoint{loser}, true, ""); ok {
+		t.Fatal("lost lease still acknowledged OK")
+	}
+	if got := *sw.results[0]; !reflect.DeepEqual(got, winner) {
+		t.Fatalf("merged point = %+v, want first report %+v", got, winner)
+	}
+}
+
+func TestAttemptBudgetFailsSweep(t *testing.T) {
+	q, clock := testQueue(t, time.Second, 2, 4)
+	w1 := q.register("w1", 1)
+	sw := submitGrid(q, 4)
+
+	for range 2 {
+		if leaseOK(q, w1.id) == nil {
+			t.Fatal("lease refused before budget spent")
+		}
+		clock.advance(2 * time.Second)
+	}
+	st, _, ok := q.status(sw.id, 0)
+	if !ok || !st.Done || st.Error == "" {
+		t.Fatalf("sweep status = %+v, want failed", st)
+	}
+	if l := leaseOK(q, w1.id); l != nil {
+		t.Fatalf("failed sweep still leases jobs: %v", pointIndexes(l))
+	}
+}
+
+func TestWorkerErrorCountsAsAttempt(t *testing.T) {
+	q, _ := testQueue(t, time.Second, 2, 4)
+	w1 := q.register("w1", 1)
+	sw := submitGrid(q, 4)
+
+	l := leaseOK(q, w1.id)
+	q.result(w1.id, l.JobID, nil, true, "solver exploded")
+	l = leaseOK(q, w1.id)
+	if l == nil {
+		t.Fatal("errored job was not requeued")
+	}
+	q.result(w1.id, l.JobID, nil, true, "solver exploded again")
+	st, _, _ := q.status(sw.id, 0)
+	if !st.Done || st.Error == "" {
+		t.Fatalf("sweep status = %+v, want failed after repeated job errors", st)
+	}
+}
+
+func TestStatusContiguousPrefix(t *testing.T) {
+	q, _ := testQueue(t, time.Second, 5, 1)
+	w1 := q.register("w1", 1)
+	sw := submitGrid(q, 3)
+
+	// Solve jobs out of grid order: 1 then 2 then 0.
+	leases := make([]*JobLease, 3)
+	for i := range leases {
+		leases[i] = leaseOK(q, w1.id)
+	}
+	for _, i := range []int{1, 2} {
+		q.result(w1.id, leases[i].JobID, []WirePoint{wirePoint(i)}, true, "")
+	}
+	st, _, _ := q.status(sw.id, 0)
+	if len(st.Points) != 0 || st.Completed != 2 {
+		t.Fatalf("status before point 0 = %+v, want 2 completed but no contiguous prefix", st)
+	}
+	q.result(w1.id, leases[0].JobID, []WirePoint{wirePoint(0)}, true, "")
+	st, _, _ = q.status(sw.id, 0)
+	if len(st.Points) != 3 || !st.Done {
+		t.Fatalf("status after point 0 = %+v, want all 3 points done", st)
+	}
+	for i, p := range st.Points {
+		if p.Index != i {
+			t.Fatalf("merged point %d has index %d: merge order broken", i, p.Index)
+		}
+	}
+}
+
+func TestWireFloatRoundTrip(t *testing.T) {
+	vals := []float64{
+		0, 1, -1, 0.1, 1.0 / 3.0, math.Pi,
+		math.MaxFloat64, math.SmallestNonzeroFloat64,
+		math.Inf(1), math.Inf(-1),
+	}
+	for _, v := range vals {
+		b, err := json.Marshal(WF(v))
+		if err != nil {
+			t.Fatalf("marshal %v: %v", v, err)
+		}
+		var got WF
+		if err := json.Unmarshal(b, &got); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if math.Float64bits(float64(got)) != math.Float64bits(v) {
+			t.Fatalf("round trip %v -> %s -> %v: bits differ", v, b, float64(got))
+		}
+	}
+	// NaN compares by bit pattern of the canonical NaN.
+	b, _ := json.Marshal(WF(math.NaN()))
+	var got WF
+	if err := json.Unmarshal(b, &got); err != nil || !math.IsNaN(float64(got)) {
+		t.Fatalf("NaN round trip via %s failed: %v (%v)", b, float64(got), err)
+	}
+	if err := json.Unmarshal([]byte(`"bogus"`), &got); err == nil {
+		t.Fatal("bogus wire float accepted")
+	}
+}

@@ -74,12 +74,12 @@ func BenchmarkServedSweepFig7a(b *testing.B) {
 // baseline the served number is compared against.
 func BenchmarkInProcessSweepFig7a(b *testing.B) {
 	spec := benchSpec()
-	if err := spec.normalize(); err != nil {
+	if err := spec.Normalize(); err != nil {
 		b.Fatal(err)
 	}
 	alphas := []float64{market.AlphaUtilitarian, market.AlphaProportional, market.AlphaMaxMin}
 	for i := 0; i < b.N; i++ {
-		fw, err := core.New(spec.config())
+		fw, err := core.New(spec.Config())
 		if err != nil {
 			b.Fatal(err)
 		}

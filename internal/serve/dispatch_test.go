@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"scshare/internal/fleet"
+)
+
+// startFleet boots an in-process dispatcher with n workers and returns its
+// URL plus a stop function.
+func startFleet(t *testing.T, n int) (url string, stop func()) {
+	t.Helper()
+	srv := httptest.NewServer(fleet.NewDispatcher(fleet.Options{Poll: 2 * time.Millisecond, Batch: 2}))
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for range n {
+		w := fleet.NewWorker(fleet.WorkerOptions{URL: srv.URL, Poll: 2 * time.Millisecond})
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = w.Run(ctx)
+		}()
+	}
+	return srv.URL, func() {
+		cancel()
+		wg.Wait()
+		srv.Close()
+	}
+}
+
+// TestDispatchSweepMatchesLocalStream pins scserve's fleet mode to its
+// local mode byte for byte: the same /v1/sweep request against a local
+// server (serial, cold) and a dispatch-mode server fanning across two
+// workers must produce identical NDJSON bodies.
+func TestDispatchSweepMatchesLocalStream(t *testing.T) {
+	url, stop := startFleet(t, 2)
+	defer stop()
+
+	req := sweepRequest{
+		federationSpec: testSpec(),
+		Ratios:         []float64{0.2, 0.4, 0.6, 0.8},
+		Alphas:         []string{"utilitarian", "maxmin"},
+		// The fleet always solves cold on its own schedule; pin the local
+		// reference to the same contract.
+		Workers:   1,
+		ColdStart: true,
+	}
+	local := postJSON(t, New(Options{}), "/v1/sweep", req)
+	if local.Code != http.StatusOK {
+		t.Fatalf("local sweep = %d: %s", local.Code, local.Body)
+	}
+	s := New(Options{DispatchURL: url})
+	dispatched := postJSON(t, s, "/v1/sweep", req)
+	if dispatched.Code != http.StatusOK {
+		t.Fatalf("dispatched sweep = %d: %s", dispatched.Code, dispatched.Body)
+	}
+	if local.Body.String() != dispatched.Body.String() {
+		t.Fatalf("streams differ:\nlocal:\n%s\ndispatched:\n%s", local.Body, dispatched.Body)
+	}
+	if got := s.snapshot(0).Solver.DispatchedSweeps; got != 1 {
+		t.Fatalf("dispatchedSweeps = %d, want 1", got)
+	}
+	// Dispatch mode must not build local frameworks: the grid solved on
+	// the workers.
+	if _, n := s.cacheStats(); n != 0 {
+		t.Fatalf("dispatch mode built %d local frameworks", n)
+	}
+}
+
+// TestDispatchSweepValidatesBeforeFanout pins that dispatch mode keeps the
+// front door's validation: bad requests fail with 400 JSON errors and
+// never reach the fleet.
+func TestDispatchSweepValidatesBeforeFanout(t *testing.T) {
+	s := New(Options{DispatchURL: "http://127.0.0.1:0"}) // unreachable: must not matter
+	for name, body := range map[string]string{
+		"no ratios": `{"scs":[{"vms":2,"arrivalRate":1}]}`,
+		"bad ratio": `{"scs":[{"vms":2,"arrivalRate":1}],"ratios":[-1]}`,
+		"bad spec":  `{"scs":[],"ratios":[0.5]}`,
+		"bad alpha": `{"scs":[{"vms":2,"arrivalRate":1}],"ratios":[0.5],"alphas":["bogus"]}`,
+	} {
+		rec := httptest.NewRecorder()
+		r := httptest.NewRequest(http.MethodPost, "/v1/sweep", strings.NewReader(body))
+		s.ServeHTTP(rec, r)
+		if rec.Code != http.StatusBadRequest {
+			t.Errorf("%s: status = %d, want 400", name, rec.Code)
+		}
+	}
+}
+
+// TestDispatchSweepReportsFleetFailure pins the mid-stream error contract:
+// an unreachable dispatcher surfaces as a 200 NDJSON trailer carrying the
+// error, exactly like a local solve failure.
+func TestDispatchSweepReportsFleetFailure(t *testing.T) {
+	// A listener that is immediately closed: connections are refused.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	s := New(Options{DispatchURL: dead.URL})
+	rec := postJSON(t, s, "/v1/sweep", sweepRequest{
+		federationSpec: testSpec(),
+		Ratios:         []float64{0.5},
+	})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200 with an error trailer", rec.Code)
+	}
+	var trailer sweepTrailer
+	if err := json.Unmarshal(rec.Body.Bytes(), &trailer); err != nil {
+		t.Fatalf("bad trailer %q: %v", rec.Body, err)
+	}
+	if trailer.Done || trailer.Error == "" {
+		t.Fatalf("trailer = %+v, want an error", trailer)
+	}
+}

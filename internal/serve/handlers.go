@@ -197,7 +197,7 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := req.normalize(); err != nil {
+	if err := req.Normalize(); err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
@@ -297,7 +297,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := req.normalize(); err != nil {
+	if err := req.Normalize(); err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
@@ -319,6 +319,12 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	alphaVals, alphaNames, err := parseAlphas(req.Alphas)
 	if err != nil {
 		s.fail(w, http.StatusBadRequest, err)
+		return
+	}
+	if s.dispatch != nil {
+		// Fleet mode: same validation, admission, and stream shape — the
+		// grid just solves on scworkd workers instead of this process.
+		s.dispatchSweep(w, r, &req, alphaVals, alphaNames)
 		return
 	}
 	fw, err := s.framework(&req.federationSpec)

@@ -22,6 +22,11 @@ type counters struct {
 	// Cumulative solver work: game rounds, model evaluations, streamed
 	// sweep points, and streamed track steps.
 	solveRounds, solveEvals, sweepPoints, trackSteps atomic.Int64
+	// dispatched counts sweeps fanned across the fleet instead of solved
+	// locally (scserve -dispatch); their points still count in sweepPoints
+	// and their game rounds in solveRounds, but not in evaluations — those
+	// happen on the workers.
+	dispatched atomic.Int64
 }
 
 // metricsSnapshot is the GET /metrics payload.
@@ -61,6 +66,8 @@ type solverCounts struct {
 	Evaluations int64 `json:"evaluations"`
 	SweepPoints int64 `json:"sweepPoints"`
 	TrackSteps  int64 `json:"trackSteps"`
+	// DispatchedSweeps counts sweeps fanned across the fleet.
+	DispatchedSweeps int64 `json:"dispatchedSweeps"`
 }
 
 // cacheStatsReport aggregates market.CacheStats across the cached
@@ -100,10 +107,11 @@ func (s *Server) snapshot(uptimeSeconds float64) metricsSnapshot {
 			AvgSolveSeconds:  float64(s.adm.avgSolveNs.Load()) / 1e9,
 		},
 		Solver: solverCounts{
-			Rounds:      s.metrics.solveRounds.Load(),
-			Evaluations: s.metrics.solveEvals.Load(),
-			SweepPoints: s.metrics.sweepPoints.Load(),
-			TrackSteps:  s.metrics.trackSteps.Load(),
+			Rounds:           s.metrics.solveRounds.Load(),
+			Evaluations:      s.metrics.solveEvals.Load(),
+			SweepPoints:      s.metrics.sweepPoints.Load(),
+			TrackSteps:       s.metrics.trackSteps.Load(),
+			DispatchedSweeps: s.metrics.dispatched.Load(),
 		},
 		Cache: cacheStatsReport{
 			Hits:              stats.Hits,

@@ -9,32 +9,31 @@
 // drifting price schedule re-equilibrates warm off the previous step's
 // equilibrium), GET /healthz, and GET /metrics (expvar-style counters) —
 // and keeps one framework per distinct federation configuration alive
-// across requests, so repeated queries at drifting prices are answered from
-// the sharded evaluation cache and the approximate model's warm-start
-// caches instead of from cold solves. Production hardening rides on top:
-// an admission layer bounds concurrent solves (excess load is shed with
-// 429 + Retry-After priced from observed solve latency), requests may
-// shorten the server's solve timeout per call (deadlineMs), and the warm
-// cache spine can be snapshotted on drain and restored on boot so a
-// restarted replica starts hot. Every solve is request-scoped: the request
-// context is threaded through the game loop, so client disconnects and the
-// configured solve timeout cancel in-flight worker-pool rounds and sweep
-// points.
+// across requests (the spec-keyed spec.Cache), so repeated queries at
+// drifting prices are answered from the sharded evaluation cache and the
+// approximate model's warm-start caches instead of from cold solves.
+// Production hardening rides on top: an admission layer bounds concurrent
+// solves (excess load is shed with 429 + Retry-After priced from observed
+// solve latency), requests may shorten the server's solve timeout per call
+// (deadlineMs), and the warm cache spine can be snapshotted on drain and
+// restored on boot so a restarted replica starts hot. Every solve is
+// request-scoped: the request context is threaded through the game loop,
+// so client disconnects and the configured solve timeout cancel in-flight
+// worker-pool rounds and sweep points. With Options.DispatchURL set
+// (scserve -dispatch), /v1/sweep fans the grid across a scdispatch fleet
+// instead of the local worker pool — same admission layer, same stream
+// format, solves on scworkd workers (DESIGN.md §15).
 package serve
 
 import (
 	"net/http"
-	"sync"
 	"time"
 
 	"scshare/internal/core"
+	"scshare/internal/fleet"
 	"scshare/internal/market"
+	"scshare/internal/spec"
 )
-
-// defaultMaxFrameworks bounds the per-configuration framework cache; each
-// entry holds a sharded evaluation cache that only grows, so the map is a
-// deliberate memory/time trade kept small enough to reason about.
-const defaultMaxFrameworks = 32
 
 // Options configures a Server.
 type Options struct {
@@ -50,54 +49,46 @@ type Options struct {
 	// MaxInflight bounds how many solves (advise, sweep, and track
 	// combined) run concurrently; excess requests are shed with 429 and a
 	// Retry-After priced from observed solve latency. 0 means unbounded.
+	// In dispatch mode a fanned-out sweep still holds one slot for its
+	// whole duration — it is one continuous consumer of fleet capacity.
 	MaxInflight int
 	// QueueWait bounds how long a request may wait for a solve slot before
 	// being shed (only meaningful with MaxInflight > 0); 0 sheds
 	// immediately when the server is full.
 	QueueWait time.Duration
+	// DispatchURL, when non-empty, is the base URL of a scdispatch
+	// coordinator; /v1/sweep requests are then fanned across the fleet
+	// instead of solved in-process. Advise and track stay local — they are
+	// single warm-chained negotiations, not grids.
+	DispatchURL string
 }
 
 // Server is the advice service. Create it with New; it implements
-// http.Handler and is safe for concurrent use.
-//
-// What is shared across requests, and why that is safe: frameworks — and
-// with them the memoized evaluator, its 32-way sharded cache, and the
-// approximate model's warm-start caches — are keyed by the full
-// price-independent federation configuration. Performance metrics do not
-// depend on prices (DESIGN.md §10), so two requests that differ only in
-// the federation price C^G legitimately share every cached solve; requests
-// that differ in anything affecting metrics (the SCs, the model, its
-// tuning) or the game (gamma, tabu distance, share caps) get distinct
-// frameworks. Concurrent requests on one framework are safe because the
-// sharded cache deduplicates in-flight solves per key and the game itself
-// is re-entrant (no state on Framework mutates after New).
+// http.Handler and is safe for concurrent use. Frameworks are shared
+// across requests through a spec.Cache — see that type for the exact
+// sharing contract and why it is sound.
 type Server struct {
-	solveTimeout  time.Duration
-	maxFrameworks int
-	start         time.Time
-	mux           *http.ServeMux
-	metrics       counters
-	adm           *admission
-
-	mu sync.Mutex
-	// frameworks and order are guarded by mu: the cache of live
-	// frameworks keyed by canonical configuration, and their keys in
-	// insertion order for FIFO eviction.
-	frameworks map[string]*core.Framework
-	order      []string
+	solveTimeout time.Duration
+	start        time.Time
+	mux          *http.ServeMux
+	metrics      counters
+	adm          *admission
+	cache        *spec.Cache
+	// dispatch is non-nil in dispatch mode: the client half of the fleet
+	// wire protocol, pointed at Options.DispatchURL.
+	dispatch *fleet.Client
 }
 
 // New builds a Server with its routes registered.
 func New(opts Options) *Server {
 	s := &Server{
-		solveTimeout:  opts.SolveTimeout,
-		maxFrameworks: opts.MaxFrameworks,
-		start:         time.Now(),
-		frameworks:    make(map[string]*core.Framework),
-		adm:           newAdmission(opts.MaxInflight, opts.QueueWait),
+		solveTimeout: opts.SolveTimeout,
+		start:        time.Now(),
+		cache:        spec.NewCache(opts.MaxFrameworks),
+		adm:          newAdmission(opts.MaxInflight, opts.QueueWait),
 	}
-	if s.maxFrameworks <= 0 {
-		s.maxFrameworks = defaultMaxFrameworks
+	if opts.DispatchURL != "" {
+		s.dispatch = fleet.NewClient(opts.DispatchURL, nil)
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/advise", s.handleAdvise)
@@ -121,43 +112,11 @@ func (s *Server) InFlight() int64 { return s.metrics.inFlight.Load() }
 // framework returns the cached framework for the spec, building and
 // registering one on first use. The spec must already be normalized.
 func (s *Server) framework(sp *federationSpec) (*core.Framework, error) {
-	key, err := sp.key()
-	if err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if fw, ok := s.frameworks[key]; ok {
-		return fw, nil
-	}
-	fw, err := core.New(sp.config())
-	if err != nil {
-		return nil, err
-	}
-	if len(s.frameworks) >= s.maxFrameworks {
-		oldest := s.order[0]
-		s.order = s.order[1:]
-		delete(s.frameworks, oldest)
-	}
-	s.frameworks[key] = fw
-	s.order = append(s.order, key)
-	return fw, nil
+	return s.cache.Framework(sp)
 }
 
 // cacheStats sums the evaluation-cache statistics over every live
 // framework, together with the cache count.
 func (s *Server) cacheStats() (market.CacheStats, int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	var total market.CacheStats
-	for _, fw := range s.frameworks {
-		if rep, ok := fw.Evaluator().(market.CacheStatsReporter); ok {
-			st := rep.Stats()
-			total.Hits += st.Hits
-			total.Misses += st.Misses
-			total.AllSolves += st.AllSolves
-			total.TargetSolves += st.TargetSolves
-		}
-	}
-	return total, len(s.frameworks)
+	return s.cache.Stats()
 }

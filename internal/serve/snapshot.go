@@ -1,131 +1,47 @@
 package serve
 
 import (
-	"encoding/json"
-	"errors"
-	"fmt"
 	"io"
-	"io/fs"
-	"os"
-	"path/filepath"
 
-	"scshare/internal/core"
+	"scshare/internal/spec"
 )
 
 // ServerSnapshotVersion is the schema version of the serve-level snapshot
-// envelope. The per-layer cache dumps inside it carry their own versions
+// envelope. The envelope itself lives in internal/spec (it is shared with
+// the fleet dispatcher and workers, which boot from the same format); the
+// per-layer cache dumps inside it carry their own versions
 // (core.SnapshotVersion and below), all checked independently on restore.
-const ServerSnapshotVersion = 1
-
-// serverSnapshot is the on-disk warm state of a whole server: one entry
-// per live framework, in FIFO order, each pairing the framework's canonical
-// spec (the framework-cache key, which IS the normalized spec's JSON) with
-// its exported cache spine. Restoring replays the specs through the normal
-// framework constructor and merges each state in, so a restored server is
-// indistinguishable from one that solved everything itself.
-type serverSnapshot struct {
-	Version    int              `json:"version"`
-	Frameworks []frameworkEntry `json:"frameworks"`
-}
-
-// frameworkEntry is one framework's snapshot: Spec is the canonical
-// normalized federationSpec JSON (exactly the cache key), State the warm
-// caches exported from it.
-type frameworkEntry struct {
-	Spec  json.RawMessage `json:"spec"`
-	State core.Snapshot   `json:"state"`
-}
+const ServerSnapshotVersion = spec.SnapshotVersion
 
 // WriteSnapshot serializes every live framework's warm-cache state to w as
 // JSON. Solves may keep running concurrently — both cache layers export
 // under their own locks — so this is safe to call from a drain path while
 // streams finish.
 func (s *Server) WriteSnapshot(w io.Writer) error {
-	s.mu.Lock()
-	snap := serverSnapshot{Version: ServerSnapshotVersion}
-	for _, key := range s.order {
-		fw, ok := s.frameworks[key]
-		if !ok {
-			continue
-		}
-		snap.Frameworks = append(snap.Frameworks, frameworkEntry{
-			Spec:  json.RawMessage(key),
-			State: fw.Snapshot(),
-		})
-	}
-	s.mu.Unlock()
-	enc := json.NewEncoder(w)
-	return enc.Encode(snap)
+	return s.cache.WriteSnapshot(w)
 }
 
 // ReadSnapshot merges a snapshot written by WriteSnapshot into this server:
 // each entry's spec is re-normalized and materialized through the regular
 // framework cache (building frameworks as needed), then its cache state is
-// merged in. Individual entries that no longer normalize or restore —
-// e.g. written by a build with different validation rules — are skipped,
-// because a snapshot is an optimization, not a source of truth; only a
+// merged in. Individual entries that no longer normalize or restore are
+// skipped — a snapshot is an optimization, not a source of truth; only a
 // malformed envelope or a version mismatch is an error. It returns the
 // number of cache entries adopted across all frameworks.
 func (s *Server) ReadSnapshot(r io.Reader) (int, error) {
-	var snap serverSnapshot
-	dec := json.NewDecoder(r)
-	if err := dec.Decode(&snap); err != nil {
-		return 0, fmt.Errorf("serve: decoding snapshot: %w", err)
-	}
-	if snap.Version != ServerSnapshotVersion {
-		return 0, fmt.Errorf("serve: snapshot version %d, want %d", snap.Version, ServerSnapshotVersion)
-	}
-	adopted := 0
-	for _, entry := range snap.Frameworks {
-		var sp federationSpec
-		if err := json.Unmarshal(entry.Spec, &sp); err != nil {
-			continue
-		}
-		if err := sp.normalize(); err != nil {
-			continue
-		}
-		fw, err := s.framework(&sp)
-		if err != nil {
-			continue
-		}
-		n, err := fw.Restore(entry.State)
-		adopted += n
-		_ = err // a partially restored framework still helps; keep going
-	}
-	return adopted, nil
+	return s.cache.ReadSnapshot(r)
 }
 
 // SaveSnapshotFile writes the snapshot to path atomically (temp file in the
 // same directory, then rename), so a crash mid-write never leaves a
 // truncated snapshot where the next boot would read it.
 func (s *Server) SaveSnapshotFile(path string) error {
-	dir := filepath.Dir(path)
-	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	if err := s.WriteSnapshot(tmp); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	return os.Rename(tmp.Name(), path)
+	return s.cache.SaveSnapshotFile(path)
 }
 
 // LoadSnapshotFile restores a snapshot from path, returning the number of
 // cache entries adopted. A missing file is not an error — it is the normal
 // first boot — and reports zero adoptions.
 func (s *Server) LoadSnapshotFile(path string) (int, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		if errors.Is(err, fs.ErrNotExist) {
-			return 0, nil
-		}
-		return 0, err
-	}
-	defer f.Close()
-	return s.ReadSnapshot(f)
+	return s.cache.LoadSnapshotFile(path)
 }

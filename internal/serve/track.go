@@ -128,7 +128,7 @@ func (s *Server) handleTrack(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}
-	if err := req.normalize(); err != nil {
+	if err := req.Normalize(); err != nil {
 		s.fail(w, http.StatusBadRequest, err)
 		return
 	}

@@ -38,7 +38,7 @@ func TestNormalizeRejectsNonFinite(t *testing.T) {
 	for _, tc := range cases {
 		sp := testSpec()
 		tc.mod(&sp)
-		err := sp.normalize()
+		err := sp.Normalize()
 		if err == nil {
 			t.Errorf("%s: normalize accepted the spec", tc.name)
 			continue
@@ -52,7 +52,7 @@ func TestNormalizeRejectsNonFinite(t *testing.T) {
 	for _, gamma := range []float64{0, 1} {
 		sp := testSpec()
 		sp.Gamma = gamma
-		if err := sp.normalize(); err != nil {
+		if err := sp.Normalize(); err != nil {
 			t.Errorf("gamma %v rejected: %v", gamma, err)
 		}
 	}

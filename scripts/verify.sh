@@ -38,6 +38,15 @@ go run ./cmd/scvet -fixtures
 echo "==> snapshot round-trip smoke"
 go test -count=1 -run 'Snapshot' ./internal/serve/ ./cmd/scserve/
 
+# Fleet smoke: a dispatcher with in-process workers (including a worker
+# killed mid-grid whose lease requeues) must merge a sweep bit-identically
+# to the local single-process result, both at the package layer and
+# through the real scdispatch/scworkd command loops.
+echo "==> fleet smoke: dispatcher + workers vs local sweep"
+go test -count=1 -run 'TestFleetMatchesLocalSweep|TestFleetSnapshotBoot' ./internal/fleet/
+go test -count=1 -run 'TestFleetEndToEnd|TestWorkerEndToEnd' ./cmd/scdispatch/ ./cmd/scworkd/
+go test -count=1 -run 'TestDispatchSweep' ./internal/serve/
+
 # Differential fuzz smoke: 30s per target over the committed corpus plus
 # fresh coverage-guided inputs. A genuine envelope violation reproduces from
 # the corpus entry the fuzzer writes under internal/diffcheck/testdata/fuzz.
@@ -54,6 +63,16 @@ for dir in $(find internal -type d -not -path '*/testdata*'); do
     [[ -z "$files" ]] && continue
     if ! grep -l '^// Package ' $files >/dev/null; then
         echo "verify: package in $dir has no '^// Package' comment" >&2
+        missing=1
+    fi
+done
+# Every binary gets the same treatment: a '// Command <name>' doc comment
+# explaining what it runs and its flags.
+for dir in $(find cmd -mindepth 1 -maxdepth 1 -type d); do
+    files=$(find "$dir" -maxdepth 1 -name '*.go' ! -name '*_test.go')
+    [[ -z "$files" ]] && continue
+    if ! grep -l '^// Command ' $files >/dev/null; then
+        echo "verify: binary in $dir has no '^// Command' comment" >&2
         missing=1
     fi
 done
