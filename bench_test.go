@@ -203,14 +203,19 @@ func ablationFederation() (cloud.Federation, []int) {
 }
 
 // BenchmarkAblationApproxOnePass measures the paper-literal single-pass
-// hierarchy (first level never lends).
+// hierarchy (first level never lends) on a reused solver handle — the
+// product configuration since the evaluators pool handles per worker.
 func BenchmarkAblationApproxOnePass(b *testing.B) {
 	fed, shares := ablationFederation()
+	solver, err := approx.NewSolver(approx.Config{
+		Federation: fed, Shares: shares, Passes: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := approx.Solve(approx.Config{
-			Federation: fed, Shares: shares, Passes: 1,
-		}, 1); err != nil {
+		if _, err := solver.Solve(1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -219,11 +224,15 @@ func BenchmarkAblationApproxOnePass(b *testing.B) {
 // BenchmarkAblationApproxTwoPass measures the feedback refinement.
 func BenchmarkAblationApproxTwoPass(b *testing.B) {
 	fed, shares := ablationFederation()
+	solver, err := approx.NewSolver(approx.Config{
+		Federation: fed, Shares: shares, Passes: 2,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := approx.Solve(approx.Config{
-			Federation: fed, Shares: shares, Passes: 2,
-		}, 1); err != nil {
+		if _, err := solver.Solve(1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -247,9 +256,13 @@ func ablationFederation4() (cloud.Federation, []int) {
 // solve for all K SCs at once.
 func BenchmarkAblationApproxEvaluateAll(b *testing.B) {
 	fed, shares := ablationFederation4()
+	solver, err := approx.NewSolver(approx.Config{Federation: fed, Shares: shares})
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := approx.SolveAll(approx.Config{Federation: fed, Shares: shares}); err != nil {
+		if _, err := solver.SolveAll(); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -259,12 +272,71 @@ func BenchmarkAblationApproxEvaluateAll(b *testing.B) {
 // independent per-target hierarchies for the same metrics vector.
 func BenchmarkAblationApproxKTargets(b *testing.B) {
 	fed, shares := ablationFederation4()
+	solver, err := approx.NewSolver(approx.Config{Federation: fed, Shares: shares})
+	if err != nil {
+		b.Fatal(err)
+	}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for t := range shares {
-			if _, err := approx.Solve(approx.Config{Federation: fed, Shares: shares}, t); err != nil {
+			if _, err := solver.Solve(t); err != nil {
 				b.Fatal(err)
 			}
+		}
+	}
+}
+
+// kScalingFederation builds the BENCH_6 federation: K small clouds with a
+// cycling utilization profile, every SC sharing 2 VMs.
+func kScalingFederation(k int) (cloud.Federation, []int) {
+	utils := []float64{0.7, 0.5, 0.8, 0.6, 0.75, 0.65, 0.85, 0.55}
+	fed := cloud.Federation{FederationPrice: 0.5}
+	shares := make([]int, k)
+	for i := 0; i < k; i++ {
+		fed.SCs = append(fed.SCs, cloud.SC{
+			Name: fmt.Sprintf("sc%d", i), VMs: 10,
+			ArrivalRate: 10 * utils[i%len(utils)], ServiceRate: 1, SLA: 0.2, PublicPrice: 1,
+		})
+		shares[i] = 2
+	}
+	return fed, shares
+}
+
+// BenchmarkApproxKScaling is the BENCH_6 large-K cost curve: whole-vector
+// SolveAll on one reused solver handle for K = 4..32, serial (W=1) and with
+// the batched readout pool (W=4). PoolCap pins the interaction grid at the
+// K=4 pool size (every SC shares 2 VMs, so K=4 saturates the cap exactly)
+// the way every large-K caller bounds it — without a cap the auto-sized
+// pool dimension grows linearly in K and the curve would measure grid
+// growth, not K-scaling. With the grid fixed, ns/sc is the per-SC solve
+// cost whose sublinearity in K the allocation diet is accountable for;
+// allocs/op and B/op track the arena reuse.
+func BenchmarkApproxKScaling(b *testing.B) {
+	for _, k := range []int{4, 8, 16, 32} {
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("K=%d/W=%d", k, workers), func(b *testing.B) {
+				fed, shares := kScalingFederation(k)
+				solver, err := approx.NewSolver(approx.Config{
+					Federation: fed, Shares: shares,
+					Prune: 1e-5, PoolCap: 8, Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				// One untimed solve builds the arenas; the timed loop
+				// measures the steady-state reuse path.
+				if _, err := solver.SolveAll(); err != nil {
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := solver.SolveAll(); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(k), "ns/sc")
+			})
 		}
 	}
 }
@@ -379,30 +451,28 @@ func BenchmarkAblationWarmVsCold(b *testing.B) {
 	fed, shares := ablationFederation()
 	neighbor := []int{shares[0] + 1, shares[1]}
 	b.ReportAllocs()
+	// solveOnce runs one per-target solve on a fresh handle with its own
+	// iteration counter (Stats is bound at construction).
+	solveOnce := func(sh []int, warm *approx.WarmCache, stats *markov.SolveStats) {
+		solver, err := approx.NewSolver(approx.Config{
+			Federation: fed, Shares: sh,
+			Warm: warm, Solver: markov.SteadyStateOptions{Stats: stats},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := solver.Solve(1); err != nil {
+			b.Fatal(err)
+		}
+	}
 	var coldIters, warmIters int
 	for i := 0; i < b.N; i++ {
 		warm := approx.NewWarmCache()
-		prime := &markov.SolveStats{}
-		if _, err := approx.Solve(approx.Config{
-			Federation: fed, Shares: shares,
-			Warm: warm, Solver: markov.SteadyStateOptions{Stats: prime},
-		}, 1); err != nil {
-			b.Fatal(err)
-		}
+		solveOnce(shares, warm, &markov.SolveStats{})
 		ws := &markov.SolveStats{}
-		if _, err := approx.Solve(approx.Config{
-			Federation: fed, Shares: neighbor,
-			Warm: warm, Solver: markov.SteadyStateOptions{Stats: ws},
-		}, 1); err != nil {
-			b.Fatal(err)
-		}
+		solveOnce(neighbor, warm, ws)
 		cs := &markov.SolveStats{}
-		if _, err := approx.Solve(approx.Config{
-			Federation: fed, Shares: neighbor,
-			Solver: markov.SteadyStateOptions{Stats: cs},
-		}, 1); err != nil {
-			b.Fatal(err)
-		}
+		solveOnce(neighbor, nil, cs)
 		coldIters += cs.Iterations
 		warmIters += ws.Iterations
 	}

@@ -75,6 +75,7 @@ func run(args []string) error {
 			return err
 		}
 		printWarnings(core.DiagnoseAdvice(adv))
+		printWarnings(core.DiagnosePruning(fw.PruneStats()))
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		return enc.Encode(adv)
@@ -99,6 +100,7 @@ func runEquilibrium(fw *core.Framework, price float64) error {
 		printWarnings([]string{fmt.Sprintf(
 			"negotiation did not converge after %d rounds: the table below is the best terminal state, not an equilibrium", out.Rounds)})
 	}
+	printWarnings(core.DiagnosePruning(fw.PruneStats()))
 	fmt.Printf("equilibrium after %d rounds (%d model evaluations) at C^G=%v\n",
 		out.Rounds, out.Evals, price)
 	fmt.Printf("%-4s %6s %12s %12s %12s\n", "SC", "share", "baseline", "cost", "utility")
@@ -120,6 +122,7 @@ func runSweep(fw *core.Framework, spec string, opts core.SweepOptions) error {
 		return err
 	}
 	printWarnings(core.Diagnose(pts))
+	printWarnings(core.DiagnosePruning(fw.PruneStats()))
 	fmt.Printf("%-8s %-14s %12s %12s %12s %8s\n",
 		"CG/CP", "shares", "utilitarian", "proportional", "max-min", "rounds")
 	for _, pt := range pts {

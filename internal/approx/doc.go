@@ -32,4 +32,18 @@
 // Transient runs are cached per (conditioning group, log-bucketed event
 // duration), which keeps the interaction computation far below the cost of
 // the state-space explosion it replaces (Fig. 8a).
+//
+// The package is driven through a reusable handle: NewSolver(cfg)
+// validates the configuration once and owns every arena a solve needs
+// (level state, generator builders, solver workspaces, interaction
+// scratch); Solve(target, opts...) and SolveAll(opts...) then run in
+// recycled storage, so repeat solves on one handle allocate almost
+// nothing (DESIGN.md §16). WithShares swaps the share vector per call —
+// how the market evaluator serves thousands of vectors from a pool of
+// handles — and WithOrder overrides the chain order. A Solver is
+// single-goroutine; SolveAll can fan its readout levels across
+// Config.Workers goroutines internally, bit-identically to the serial
+// schedule. Summary distributions are adaptively truncated under
+// Config.TruncEps (mass-preserving, default 1e-9, accounted in
+// Config.PruneStats); set TruncEps negative to disable.
 package approx

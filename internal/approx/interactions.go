@@ -60,6 +60,11 @@ type cacheKey struct {
 // therefore computes its iterates once, collapses every iterate to the
 // small summary space (F, lent, dead, cong), and serves any tau bucket as
 // a Poisson-weighted mixture of those cached summaries.
+//
+// An interactions value lives inside a levelSlot arena and is recycled via
+// reset: the caches are cleared but their storage (summary-joint pool,
+// iterate buffers, entry slab, merge scratch) survives, so steady-state
+// builds after the first one run nearly allocation-free.
 type interactions struct {
 	prev     *level
 	curShare int // S of the SC whose level is being built (marked pool)
@@ -77,6 +82,11 @@ type interactions struct {
 	// into disconnected closed classes.
 	preserveS bool
 	prune     float64
+	// truncEps is the adaptive truncation budget each summarized joint may
+	// shed (already resolved by the Solver: <= 0 disables truncation).
+	truncEps float64
+	// counter accumulates the truncated mass; nil disables accounting.
+	counter *PruneCounter
 	// uncondition starts every transient from the unconditioned steady
 	// state (accuracy ablation).
 	uncondition bool
@@ -93,27 +103,54 @@ type interactions struct {
 	// Summary-space strides (see jointIndex).
 	strideC, strideD, strideL, dim int
 
-	// scratch is the dense merge buffer reused by alloc.
-	scratch    []float64
-	scratchDim int
+	// Arena scratch, reused across resets.
+	jointPool    [][]float64   // summary-joint buffers handed out by nextJoint
+	jointN       int           // jointPool[:jointN] are in use this build
+	jsSlab       [][]float64   // backing storage for groupJoints' iterate lists
+	iterA, iterB []float64     // full-state transient iterate buffers
+	mixBuf       []float64     // Fox-Glynn mixture accumulator
+	accBuf       []float64     // disaggregation accumulator
+	entrySlab    []allocEntry  // backing storage for cached vectors
+	entryScratch []allocEntry  // buildVector assembly buffer
+	entryBuf     []allocEntry  // alloc/clamp result buffer, valid until next alloc
+	lineBuf      []float64     // shiftAxisDown line scratch
+	scratch      []float64     // dense merge buffer reused by clamp
+	scratchDim   int
 }
 
-func newInteractions(prev *level, curShare int, peerShares []int, epsilon, prune float64) *interactions {
+// reset re-aims the interactions at a new previous level, clearing the
+// caches while keeping their storage. truncEps must already be resolved
+// (<= 0 disables truncation).
+func (in *interactions) reset(prev *level, curShare int, peerShares []int, epsilon, prune, truncEps float64, counter *PruneCounter) {
 	if epsilon <= 0 {
 		epsilon = 1e-9
 	}
 	if prune <= 0 {
 		prune = defaultPrune
 	}
-	in := &interactions{
-		prev:        prev,
-		curShare:    curShare,
-		peerShares:  peerShares,
-		epsilon:     epsilon,
-		prune:       prune,
-		groupJoints: make(map[int][][]float64),
-		cache:       make(map[cacheKey][]allocEntry),
+	in.prev = prev
+	in.curShare = curShare
+	in.peerShares = peerShares
+	in.epsilon = epsilon
+	in.prune = prune
+	in.truncEps = truncEps
+	in.counter = counter
+	in.preserveS = false
+	in.uncondition = false
+	in.shiftF, in.shiftLent = 0, 0
+	in.jointN = 0
+	in.jsSlab = in.jsSlab[:0]
+	in.entrySlab = in.entrySlab[:0]
+	if in.groupJoints == nil {
+		in.groupJoints = make(map[int][][]float64)
+		in.cache = make(map[cacheKey][]allocEntry)
+	} else {
+		clear(in.groupJoints)
+		clear(in.cache)
 	}
+	in.gamma, in.kmax = 0, 0
+	in.steadyJoint = nil
+	in.strideC, in.strideD, in.strideL, in.dim = 0, 0, 0, 0
 	if prev != nil {
 		in.gamma = prev.gamma
 		in.kmax = int(relaxationCutoff+6*math.Sqrt(relaxationCutoff)) + 4
@@ -123,7 +160,45 @@ func newInteractions(prev *level, curShare int, peerShares []int, epsilon, prune
 		in.dim = in.strideL * (prev.poolDim + 1)
 		in.steadyJoint = in.summarize(prev.steady)
 	}
-	return in
+}
+
+// nextJoint hands out a zeroed summary-joint buffer of the current
+// dimension from the pool, growing it on first use. Buffers stay checked
+// out until the next reset (they back groupJoints and steadyJoint).
+func (in *interactions) nextJoint() []float64 {
+	var j []float64
+	if in.jointN < len(in.jointPool) {
+		j = growFloats(in.jointPool[in.jointN], in.dim)
+		in.jointPool[in.jointN] = j
+		for i := range j {
+			j[i] = 0
+		}
+	} else {
+		j = make([]float64, in.dim)
+		in.jointPool = append(in.jointPool, j)
+	}
+	in.jointN++
+	return j
+}
+
+// nextJS hands out a kmax+1-long iterate list backed by the slab. Earlier
+// lists keep pointing at whatever backing array they were carved from, so
+// slab growth never invalidates them.
+func (in *interactions) nextJS() [][]float64 {
+	start := len(in.jsSlab)
+	want := start + in.kmax + 1
+	for len(in.jsSlab) < want {
+		in.jsSlab = append(in.jsSlab, nil)
+	}
+	return in.jsSlab[start:want:want]
+}
+
+// persist copies a finished interaction vector into the entry slab so it
+// can live in the cache while the assembly buffers are recycled.
+func (in *interactions) persist(src []allocEntry) []allocEntry {
+	start := len(in.entrySlab)
+	in.entrySlab = append(in.entrySlab, src...)
+	return in.entrySlab[start : start+len(src) : start+len(src)]
 }
 
 var pointMass = []allocEntry{{p: 1}}
@@ -137,10 +212,14 @@ var pointMass = []allocEntry{{p: 1}}
 // setSelfExclusion). Without predecessors the current allocations are
 // preserved: they belong to the successor-demand process, which has its
 // own explicit transitions.
+//
+// The returned slice is the interactions' result buffer: it is valid until
+// the next alloc call and must be consumed before then.
 func (in *interactions) alloc(lv *level, s, o, a int, tau float64, capAloc, capArem int) []allocEntry {
 	if in.prev == nil {
 		if in.preserveS {
-			return []allocEntry{{aloc: min(s, capAloc), p: 1}}
+			in.entryBuf = append(in.entryBuf[:0], allocEntry{aloc: min(s, capAloc), p: 1})
+			return in.entryBuf
 		}
 		return pointMass
 	}
@@ -154,10 +233,15 @@ func (in *interactions) jointIndex(f, lent, dead, cong int) int {
 }
 
 // summarize collapses a full distribution over the previous level's states
-// to the summary joint, applying the self-exclusion shifts when installed.
+// to the summary joint, applying the self-exclusion shifts when installed
+// and then the adaptive truncation: cells below the per-cell slice of the
+// truncEps budget are zeroed and the survivors rescaled, so the summary
+// keeps its total mass (event rates are preserved) while the downstream
+// mixing and disaggregation loops skip the dropped support. The discarded
+// mass is recorded in the counter.
 func (in *interactions) summarize(p []float64) []float64 {
 	prev := in.prev
-	out := make([]float64, in.dim)
+	out := in.nextJoint()
 	for idx, w := range p {
 		if w == 0 {
 			continue
@@ -169,10 +253,36 @@ func (in *interactions) summarize(p []float64) []float64 {
 		out[in.jointIndex(prev.foreign[idx], prev.lent[idx], prev.dead[idx], c)] += w
 	}
 	if in.shiftLent > 0 {
-		shiftAxisDown(out, in.strideD, in.strideL/in.strideD, in.shiftLent)
+		in.shiftAxisDown(out, in.strideD, in.strideL/in.strideD, in.shiftLent)
 	}
 	if in.shiftF > 0 {
-		shiftAxisDown(out, in.strideL, len(out)/in.strideL, in.shiftF)
+		in.shiftAxisDown(out, in.strideL, len(out)/in.strideL, in.shiftF)
+	}
+	if in.truncEps > 0 {
+		cell := in.truncEps / float64(len(out))
+		var dropped, kept float64
+		for i, w := range out {
+			if w == 0 {
+				continue
+			}
+			if w < cell {
+				dropped += w
+				out[i] = 0
+			} else {
+				kept += w
+			}
+		}
+		if dropped > 0 {
+			if kept > 0 {
+				scale := (kept + dropped) / kept
+				for i, w := range out {
+					if w != 0 {
+						out[i] = w * scale
+					}
+				}
+			}
+			in.counter.record(dropped)
+		}
 	}
 	return out
 }
@@ -209,14 +319,15 @@ func (in *interactions) setSelfExclusion(shiftF, shiftLent float64) {
 // frac, where shift = n + frac. Mass that would land below zero piles up at
 // zero, so the total is preserved. The axis is addressed by its stride and
 // extent within the flat layout.
-func shiftAxisDown(joint []float64, stride, extent int, shift float64) {
+func (in *interactions) shiftAxisDown(joint []float64, stride, extent int, shift float64) {
 	if shift <= 0 || extent <= 1 {
 		return
 	}
 	n := int(shift)
 	frac := shift - float64(n)
 	outer := len(joint) / (stride * extent)
-	line := make([]float64, extent)
+	in.lineBuf = growFloats(in.lineBuf, extent)
+	line := in.lineBuf[:extent]
 	for o := 0; o < outer; o++ {
 		for r := 0; r < stride; r++ {
 			base := o*stride*extent + r
@@ -245,10 +356,13 @@ func (in *interactions) groupIterates(g int) [][]float64 {
 		return js
 	}
 	prev := in.prev
-	v := in.conditionalStart(g)
-	js := make([][]float64, in.kmax+1)
+	n := len(prev.steady)
+	in.iterA = growFloats(in.iterA, n)
+	in.iterB = growFloats(in.iterB, n)
+	v, next := in.iterA[:n], in.iterB[:n]
+	in.conditionalStartInto(v, g)
+	js := in.nextJS()
 	js[0] = in.summarize(v)
-	next := make([]float64, len(v))
 	relaxed := false
 	for k := 1; k <= in.kmax; k++ {
 		if relaxed {
@@ -287,7 +401,9 @@ func (in *interactions) lookup(g int, tau float64) []allocEntry {
 }
 
 // buildVector mixes the cached iterate summaries with Poisson(gamma*tau)
-// weights and disaggregates the result into interaction atoms.
+// weights and disaggregates the result into interaction atoms. The returned
+// vector is persisted in the entry slab (or is the shared point mass), so
+// it stays valid for the cache while the assembly buffers are reused.
 func (in *interactions) buildVector(g int, tau float64) []allocEntry {
 	prev := in.prev
 	jumps := in.gamma * tau
@@ -300,7 +416,11 @@ func (in *interactions) buildVector(g int, tau float64) []allocEntry {
 	default:
 		js := in.groupIterates(g)
 		fg := numeric.NewFoxGlynn(jumps, in.epsilon)
-		mixed := make([]float64, in.dim)
+		in.mixBuf = growFloats(in.mixBuf, in.dim)
+		mixed := in.mixBuf[:in.dim]
+		for i := range mixed {
+			mixed[i] = 0
+		}
 		for k := fg.Left; k <= fg.Right; k++ {
 			w := fg.Weights[k-fg.Left]
 			src := in.steadyJoint
@@ -324,7 +444,11 @@ func (in *interactions) buildVector(g int, tau float64) []allocEntry {
 	strideC := 2
 	strideD := strideC * (maxDead + 1)
 	strideA := strideD * (maxArem + 1)
-	acc := make([]float64, strideA*(in.curShare+1))
+	in.accBuf = growFloats(in.accBuf, strideA*(in.curShare+1))
+	acc := in.accBuf[:strideA*(in.curShare+1)]
+	for i := range acc {
+		acc[i] = 0
+	}
 	for i, w := range joint {
 		if w < jointMassEps {
 			continue
@@ -348,7 +472,7 @@ func (in *interactions) buildVector(g int, tau float64) []allocEntry {
 			acc[k*strideA+arem*strideD+dead*strideC+c] += w * ph
 		}
 	}
-	var out []allocEntry
+	out := in.entryScratch[:0]
 	total := 0.0
 	for i, w := range acc {
 		if w <= in.prune {
@@ -363,35 +487,40 @@ func (in *interactions) buildVector(g int, tau float64) []allocEntry {
 		})
 		total += w
 	}
+	in.entryScratch = out
 	if len(out) == 0 || total == 0 {
 		return pointMass
 	}
 	for i := range out {
 		out[i].p /= total
 	}
-	return out
+	return in.persist(out)
 }
 
-// conditionalStart restricts the previous level's steady state to the
-// states whose total shared usage equals g (falling back to the nearest
-// non-empty total) and renormalizes: the pi^X construction of the paper
-// applied to the observable aggregate. On SolveAll readout levels the
-// expected self-lending shiftLent is added back first — floored, because
+// conditionalStartInto writes the transient start distribution for
+// conditioning group g into dst (dimensioned to the previous level's state
+// space): the previous level's steady state restricted to the states whose
+// total shared usage equals g (falling back to the nearest non-empty
+// total) and renormalized — the pi^X construction of the paper applied to
+// the observable aggregate. On SolveAll readout levels the expected
+// self-lending shiftLent is added back first — floored, because
 // conditioning feeds the lend dynamics back into the aggregate and rounding
 // the bias up overdrives that loop — since the caller's aggregate excludes
-// the readout SC's own borrowing while the groups do not.
-func (in *interactions) conditionalStart(g int) []float64 {
+// the readout SC's own borrowing while the groups do not. Under the
+// uncondition ablation dst is simply a copy of the steady state.
+func (in *interactions) conditionalStartInto(dst []float64, g int) {
 	prev := in.prev
 	if in.uncondition {
-		return prev.steady
+		copy(dst, prev.steady)
+		return
 	}
-	return in.groupRestriction(g + int(in.shiftLent))
+	in.groupRestrictionInto(dst, g+int(in.shiftLent))
 }
 
-// groupRestriction is conditionalStart's core: restrict the previous
-// level's steady state to usage aggregate g, nearest-neighbor fallback when
-// the group is empty or out of range.
-func (in *interactions) groupRestriction(g int) []float64 {
+// groupRestrictionInto is conditionalStartInto's core: restrict the
+// previous level's steady state to usage aggregate g, nearest-neighbor
+// fallback when the group is empty or out of range.
+func (in *interactions) groupRestrictionInto(dst []float64, g int) {
 	prev := in.prev
 	if g < 0 {
 		g = 0
@@ -399,39 +528,42 @@ func (in *interactions) groupRestriction(g int) []float64 {
 	if g >= len(prev.groups) {
 		g = len(prev.groups) - 1
 	}
-	pick := func(gg int) ([]float64, bool) {
+	pick := func(gg int) bool {
 		if gg < 0 || gg >= len(prev.groups) {
-			return nil, false
+			return false
 		}
 		mass := 0.0
 		for _, idx := range prev.groups[gg] {
 			mass += prev.steady[idx]
 		}
 		if mass <= groupMassEps {
-			return nil, false
+			return false
 		}
-		p0 := make([]float64, len(prev.steady))
+		for i := range dst {
+			dst[i] = 0
+		}
 		for _, idx := range prev.groups[gg] {
-			p0[idx] = prev.steady[idx] / mass
+			dst[idx] = prev.steady[idx] / mass
 		}
-		return p0, true
+		return true
 	}
-	if p0, ok := pick(g); ok {
-		return p0
+	if pick(g) {
+		return
 	}
 	for d := 1; d < len(prev.groups); d++ {
-		if p0, ok := pick(g - d); ok {
-			return p0
+		if pick(g - d) {
+			return
 		}
-		if p0, ok := pick(g + d); ok {
-			return p0
+		if pick(g + d) {
+			return
 		}
 	}
-	return numeric.Clone(prev.steady)
+	copy(dst, prev.steady)
 }
 
 // clamp projects an unclamped vector onto the legal region of the current
-// state, merging atoms that collide after clamping.
+// state, merging atoms that collide after clamping. The result lives in the
+// interactions' result buffer, valid until the next alloc call.
 func (in *interactions) clamp(base []allocEntry, capAloc, capArem int) []allocEntry {
 	if capAloc < 0 {
 		capAloc = 0
@@ -461,7 +593,7 @@ func (in *interactions) clamp(base []allocEntry, capAloc, capArem int) []allocEn
 		}
 		buf[aloc*strideA+arem*strideD+e.dead*strideC+c] += e.p
 	}
-	out := make([]allocEntry, 0, len(base))
+	out := in.entryBuf[:0]
 	for i, w := range buf {
 		if w == 0 {
 			continue
@@ -474,5 +606,6 @@ func (in *interactions) clamp(base []allocEntry, capAloc, capArem int) []allocEn
 			p:    w,
 		})
 	}
+	in.entryBuf = out
 	return out
 }

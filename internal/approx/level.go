@@ -9,7 +9,9 @@ import (
 	"scshare/internal/queueing"
 )
 
-// level is one chain M^i of the hierarchy.
+// level is one chain M^i of the hierarchy. Levels live inside levelSlot
+// arenas and are recycled across builds via reset; every field is either
+// rebuilt or fully overwritten per build.
 type level struct {
 	sc    cloud.SC
 	share int // S_i of this level's SC
@@ -72,29 +74,38 @@ func queueCap(sc cloud.SC, pool int) int {
 	return sc.VMs + int(math.Ceil(m+6*math.Sqrt(m))) + 4
 }
 
-// newLevel allocates the state space scaffolding. poolDim <= pool bounds
-// the modeled shared-VM usage.
-func newLevel(sc cloud.SC, share, pool, poolDim, qcap int) *level {
+// reset re-dimensions the level scaffolding in place. poolDim <= pool
+// bounds the modeled shared-VM usage; the (o, a) index grid is rebuilt only
+// when that bound actually changes.
+func (lv *level) reset(sc cloud.SC, share, pool, poolDim, qcap int) {
 	if poolDim <= 0 || poolDim > pool {
 		poolDim = pool
 	}
 	if qcap <= 0 {
 		qcap = queueCap(sc, poolDim)
 	}
-	lv := &level{sc: sc, share: share, pool: pool, poolDim: poolDim, qmax: qcap}
-	lv.oaIdx = make([][]int, poolDim+1)
+	sameGrid := lv.oaIdx != nil && lv.poolDim == poolDim
+	lv.sc, lv.share, lv.pool, lv.poolDim, lv.qmax = sc, share, pool, poolDim, qcap
+	if sameGrid {
+		return
+	}
+	if cap(lv.oaIdx) < poolDim+1 {
+		lv.oaIdx = make([][]int, poolDim+1)
+	}
+	lv.oaIdx = lv.oaIdx[:poolDim+1]
+	lv.oaList = lv.oaList[:0]
 	for o := 0; o <= poolDim; o++ {
-		lv.oaIdx[o] = make([]int, poolDim+1)
+		row := growInts(lv.oaIdx[o], poolDim+1)
+		lv.oaIdx[o] = row
 		for a := 0; a <= poolDim; a++ {
-			lv.oaIdx[o][a] = -1
+			row[a] = -1
 			if o+a <= poolDim {
-				lv.oaIdx[o][a] = len(lv.oaList)
+				row[a] = len(lv.oaList)
 				lv.oaList = append(lv.oaList, [2]int{o, a})
 			}
 		}
 	}
 	lv.nOA = len(lv.oaList)
-	return lv
 }
 
 // pNoForward is the SLA admission probability for an arrival at this SC
@@ -106,21 +117,26 @@ func (lv *level) pNoForward(q, s, o int) float64 {
 	return queueing.PNoForward(q+o, v, lv.sc.ServiceRate, lv.sc.SLA)
 }
 
-// build assembles the generator of M^i from the predecessor interactions
-// and solves for the steady state. For the first level (no predecessors)
-// demand > 0 adds an explicit successor-demand process: idle shareable VMs
-// are acquired at rate demand and released at the service rate — the
-// feedback refinement described in the package documentation.
-func (lv *level) build(prev *interactions, demand float64, opts markov.SteadyStateOptions) error {
+// build assembles the generator of the slot's level from the predecessor
+// interactions and solves for the steady state, entirely in the slot's
+// arenas: the builder is Reset, the chain Rebuilt in place, and the solve
+// runs through the slot's workspace into the level's steady buffer. For the
+// first level (no predecessors) demand > 0 adds an explicit
+// successor-demand process: idle shareable VMs are acquired at rate demand
+// and released at the service rate — the feedback refinement described in
+// the package documentation.
+func (sl *levelSlot) build(demand float64, opts markov.SteadyStateOptions) error {
+	lv, inter := &sl.lv, &sl.inter
 	n := lv.numStates()
-	b := markov.NewBuilder(n)
-	lv.forward = make([]float64, n)
-	lv.demandDriven = prev.prev == nil && demand > 0
+	bl := sl.bl
+	bl.Reset(n)
+	lv.forward = growFloats(lv.forward, n)
+	for i := range lv.forward {
+		lv.forward[i] = 0
+	}
+	lv.demandDriven = inter.prev == nil && demand > 0
 	lambda, mu := lv.sc.ArrivalRate, lv.sc.ServiceRate
-	// trans merges the per-state contributions (many interaction atoms map
-	// to the same destination) before they reach the builder, which keeps
-	// the generator sparse.
-	trans := make(map[int]float64, 256)
+	trans := sl.trans
 	for idx := 0; idx < n; idx++ {
 		clear(trans)
 		add := func(dst int, rate float64) { trans[dst] += rate }
@@ -133,7 +149,7 @@ func (lv *level) build(prev *interactions, demand float64, opts markov.SteadySta
 		}
 
 		// Successor-demand process (first level under feedback only).
-		if prev.prev == nil && demand > 0 {
+		if inter.prev == nil && demand > 0 {
 			if s < lv.share && q+s < lv.sc.VMs {
 				add(lv.index(q, s+1, lv.oaIdx[o][a]), demand)
 			}
@@ -143,7 +159,7 @@ func (lv *level) build(prev *interactions, demand float64, opts markov.SteadySta
 		}
 
 		// Arrival event (C1-C3).
-		arr := prev.alloc(lv, s, o, a, 1/lambda, capAloc, lv.poolDim-o)
+		arr := inter.alloc(lv, s, o, a, 1/lambda, capAloc, lv.poolDim-o)
 		for _, e := range arr {
 			switch {
 			case q+e.aloc < lv.sc.VMs: // C1: local idle VM
@@ -165,7 +181,7 @@ func (lv *level) build(prev *interactions, demand float64, opts markov.SteadySta
 		// Local departure event (C4).
 		if l := min(q, lv.sc.VMs-s); l > 0 {
 			rate := float64(l) * mu
-			dep := prev.alloc(lv, s, o, a, 1/rate, capAloc, lv.poolDim-o)
+			dep := inter.alloc(lv, s, o, a, 1/rate, capAloc, lv.poolDim-o)
 			for _, e := range dep {
 				switch {
 				case q-1+e.aloc >= lv.sc.VMs: // own queue absorbs the VM
@@ -181,7 +197,7 @@ func (lv *level) build(prev *interactions, demand float64, opts markov.SteadySta
 		// Remote departure event (C5).
 		if o > 0 {
 			rate := float64(o) * mu
-			dep := prev.alloc(lv, s, o, a, 1/rate, capAloc, lv.poolDim-(o-1))
+			dep := inter.alloc(lv, s, o, a, 1/rate, capAloc, lv.poolDim-(o-1))
 			for _, e := range dep {
 				switch {
 				case e.cong && o-1+e.arem+1 <= lv.poolDim: // predecessors take it
@@ -195,15 +211,15 @@ func (lv *level) build(prev *interactions, demand float64, opts markov.SteadySta
 		}
 
 		for dst, rate := range trans {
-			b.Add(idx, dst, rate)
+			bl.Add(idx, dst, rate)
 		}
 	}
-	chain, err := b.Build()
+	chain, err := bl.Rebuild(lv.chain)
 	if err != nil {
 		return fmt.Errorf("approx: level for %s: %w", lv.sc.Name, err)
 	}
 	lv.chain = chain
-	lv.uniform, lv.gamma = chain.Uniformized(1.0)
+	lv.uniform, lv.gamma = chain.UniformizedUnit()
 	pi, err := chain.SteadyStateGaussSeidel(opts)
 	if err != nil {
 		// Power iteration is slower but more robust; fall back.
@@ -218,14 +234,26 @@ func (lv *level) build(prev *interactions, demand float64, opts markov.SteadySta
 }
 
 // summarize precomputes the per-state quantities consumed by the next
-// level's interaction computation.
+// level's interaction computation, reusing the level's summary buffers.
 func (lv *level) summarize() {
 	n := lv.numStates()
-	lv.foreign = make([]int, n)
-	lv.lent = make([]int, n)
-	lv.cong = make([]bool, n)
-	lv.dead = make([]int, n)
-	lv.groups = make([][]int, lv.share+lv.poolDim+1)
+	lv.foreign = growInts(lv.foreign, n)
+	lv.lent = growInts(lv.lent, n)
+	lv.dead = growInts(lv.dead, n)
+	if cap(lv.cong) < n {
+		lv.cong = make([]bool, n)
+	}
+	lv.cong = lv.cong[:n]
+	ng := lv.share + lv.poolDim + 1
+	if cap(lv.groups) < ng {
+		g2 := make([][]int, ng)
+		copy(g2, lv.groups[:cap(lv.groups)])
+		lv.groups = g2
+	}
+	lv.groups = lv.groups[:ng]
+	for g := range lv.groups {
+		lv.groups[g] = lv.groups[g][:0]
+	}
 	for idx := 0; idx < n; idx++ {
 		q, s, o, a := lv.decode(idx)
 		lv.foreign[idx] = o + a
@@ -239,6 +267,7 @@ func (lv *level) summarize() {
 		// Share headroom this SC advertises but cannot back with an idle
 		// VM right now; the next level subtracts it from the borrowable
 		// pool (lender-availability refinement, see package doc).
+		lv.dead[idx] = 0
 		headroom := lv.share - s
 		idle := lv.sc.VMs - q - s
 		if idle < 0 {

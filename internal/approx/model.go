@@ -3,6 +3,7 @@ package approx
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"scshare/internal/cloud"
 	"scshare/internal/markov"
@@ -11,11 +12,13 @@ import (
 
 // Config parameterizes the approximate solves of one federation. It
 // describes the federation and the model's cost/accuracy knobs only — the
-// target SC is an explicit argument of Solve, so a single Config drives any
-// number of per-target solves and whole-vector SolveAll calls.
+// target SC is an explicit argument of Solver.Solve, so a single Config
+// drives any number of per-target solves and whole-vector SolveAll calls.
 type Config struct {
 	Federation cloud.Federation
-	// Shares is S_i for every SC.
+	// Shares is S_i for every SC: the default share vector solves run
+	// against. It may be nil at construction when every call re-aims the
+	// solver with WithShares (the evaluator-pool pattern).
 	Shares []int
 	// QueueCap optionally overrides the per-SC queue truncation.
 	QueueCap []int
@@ -24,6 +27,25 @@ type Config struct {
 	// Prune drops interaction atoms below this probability (default 1e-6);
 	// larger values trade accuracy for speed on big federations.
 	Prune float64
+	// TruncEps is the adaptive state-space truncation budget: the total
+	// probability mass each summarized joint distribution may shed, spread
+	// uniformly over its cells. Cells below TruncEps/dim are zeroed and the
+	// summary renormalized, so event rates are preserved while the transient
+	// mixing loops skip the dropped support. 0 selects the default (1e-9,
+	// three decades below the atom-level Prune — calibrated against the
+	// internal/diffcheck envelopes); negative disables truncation. The
+	// discarded mass is accounted in PruneStats.
+	TruncEps float64
+	// PruneStats optionally accumulates the mass discarded by TruncEps
+	// truncation so an over-aggressive epsilon is observable rather than
+	// silent (core.Diagnose warns on it; scserve surfaces it in /metrics).
+	// Safe to share across solvers and goroutines; nil disables accounting.
+	PruneStats *PruneCounter
+	// Workers bounds the goroutines SolveAll fans the K-1 independent
+	// readout levels across (0 or 1 = serial). Each worker owns a private
+	// level arena and the merge is by SC index, so the result is
+	// bit-identical to the serial schedule.
+	Workers int
 	// Uncondition disables the pi^X conditioning of the interaction
 	// vectors (the transient analysis then always starts from the previous
 	// level's unconditioned steady state). For the ablation benchmarks
@@ -40,7 +62,8 @@ type Config struct {
 	// first level carrying an explicit successor-demand process whose rate
 	// is estimated from the first pass (see package doc and DESIGN.md).
 	Passes int
-	// Solver configures the per-level steady-state solves.
+	// Solver configures the per-level steady-state solves. Dst and Work are
+	// managed by the level arenas and must be left nil.
 	Solver markov.SteadyStateOptions
 	// Warm optionally carries level steady states between Solve and
 	// SolveAll calls to seed the per-level solvers (see WarmCache). Leave
@@ -48,31 +71,63 @@ type Config struct {
 	Warm *WarmCache
 }
 
-// Model is the solved hierarchy for one target SC.
+// defaultTruncEps is the per-summary truncation budget used when
+// Config.TruncEps is zero; see the field's doc for the calibration.
+const defaultTruncEps = 1e-9
+
+// Model is the solved hierarchy for one target SC. It is a self-contained
+// snapshot — metrics and state counts are copied out of the solver's arenas
+// at solve time — so it stays valid after the Solver moves on.
 type Model struct {
-	cfg     Config
-	target  int
-	levels  []*level
-	metrics cloud.Metrics
+	target      int
+	metrics     cloud.Metrics
+	totalStates int
+	levelSizes  []int
 }
 
-// chainSolver carries the validated inputs shared by every chain a
-// Solve/SolveAll call builds.
-type chainSolver struct {
+// Solver owns the validated configuration and the reusable arenas (level
+// scaffolding, interaction scratch, sparse/chain storage, steady-state
+// workspaces) behind Solve and SolveAll. Construct one with NewSolver and
+// reuse it across solves — grid points, warm and cold paths alike — to
+// amortize every per-level allocation; the second solve on a handle runs in
+// the first solve's storage and produces bit-identical metrics.
+//
+// A Solver is NOT safe for concurrent use: one handle serves one goroutine
+// at a time (SolveAll's internal readout workers each own a private arena).
+// Pool handles per worker — market.ApproxEvaluator does exactly that.
+type Solver struct {
 	cfg      Config
 	k        int
 	passes   int
+	workers  int
+	truncEps float64
 	overflow []float64
+
+	// Chain arenas: slots[i] carries level position i of the spine /
+	// per-target chain across passes and solves; rslots[w] is readout
+	// worker w's private arena.
+	slots  []*levelSlot
+	rslots []*levelSlot
+
+	// Reused per-solve scratch.
+	levels   []*level
+	borrow   []float64
+	orderBuf []int
 }
 
-// newChainSolver validates the configuration and precomputes the overflow
-// demand estimates that size the level pools.
-func newChainSolver(cfg Config) (*chainSolver, error) {
+// NewSolver validates the configuration, precomputes the overflow demand
+// estimates that size the level pools, and allocates the (initially empty)
+// arenas. The Config is copied; later WithShares calls never write through
+// to the caller's slice.
+func NewSolver(cfg Config) (*Solver, error) {
 	if err := cfg.Federation.Validate(); err != nil {
 		return nil, fmt.Errorf("approx: %w", err)
 	}
-	if err := cfg.Federation.ValidateShares(cfg.Shares); err != nil {
-		return nil, fmt.Errorf("approx: %w", err)
+	if cfg.Shares != nil {
+		if err := cfg.Federation.ValidateShares(cfg.Shares); err != nil {
+			return nil, fmt.Errorf("approx: %w", err)
+		}
+		cfg.Shares = append([]int(nil), cfg.Shares...)
 	}
 	overflow, err := overflowErlangs(cfg.Federation)
 	if err != nil {
@@ -82,65 +137,134 @@ func newChainSolver(cfg Config) (*chainSolver, error) {
 	if passes <= 0 {
 		passes = 2
 	}
-	return &chainSolver{cfg: cfg, k: len(cfg.Federation.SCs), passes: passes, overflow: overflow}, nil
+	trunc := cfg.TruncEps
+	if trunc == 0 {
+		trunc = defaultTruncEps
+	} else if trunc < 0 {
+		trunc = 0
+	}
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	k := len(cfg.Federation.SCs)
+	s := &Solver{
+		cfg:      cfg,
+		k:        k,
+		passes:   passes,
+		workers:  workers,
+		truncEps: trunc,
+		overflow: overflow,
+		slots:    make([]*levelSlot, k),
+	}
+	for i := range s.slots {
+		s.slots[i] = newLevelSlot()
+	}
+	return s, nil
+}
+
+// SolveOption adjusts one Solve or SolveAll call.
+type SolveOption func(*solveOpts)
+
+type solveOpts struct {
+	order  []int
+	shares []int
+}
+
+// WithOrder fixes the level order of a Solve call; it must be a permutation
+// of the SC indices ending with the target. Solve only — SolveAll's spine
+// order is part of its construction.
+func WithOrder(order []int) SolveOption {
+	return func(o *solveOpts) { o.order = order }
+}
+
+// WithShares re-aims the solver at a new share vector before solving. The
+// vector is validated and copied into the solver's configuration, where it
+// stays for subsequent calls.
+func WithShares(shares []int) SolveOption {
+	return func(o *solveOpts) { o.shares = shares }
+}
+
+// setShares validates and installs a new active share vector, reusing the
+// solver-owned copy.
+func (s *Solver) setShares(shares []int) error {
+	if err := s.cfg.Federation.ValidateShares(shares); err != nil {
+		return fmt.Errorf("approx: %w", err)
+	}
+	s.cfg.Shares = append(s.cfg.Shares[:0], shares...)
+	return nil
+}
+
+// applyOpts folds the per-call options into the solver state.
+func (s *Solver) applyOpts(opts []SolveOption) (solveOpts, error) {
+	var o solveOpts
+	for _, f := range opts {
+		f(&o)
+	}
+	if o.shares != nil {
+		if err := s.setShares(o.shares); err != nil {
+			return o, err
+		}
+	}
+	if s.cfg.Shares == nil {
+		return o, fmt.Errorf("approx: no share vector: set Config.Shares or pass WithShares")
+	}
+	return o, nil
 }
 
 // Solve builds and solves the per-target hierarchy M^1..M^K for the given
 // target SC: the other SCs are processed in ascending index order with the
-// target last. Use SolveOrdered to fix a different level order, and
-// SolveAll for every SC's metrics off one shared hierarchy.
-func Solve(cfg Config, target int) (*Model, error) {
-	s, err := newChainSolver(cfg)
+// target last (override with WithOrder). Use SolveAll for every SC's
+// metrics off one shared hierarchy.
+func (s *Solver) Solve(target int, opts ...SolveOption) (*Model, error) {
+	o, err := s.applyOpts(opts)
 	if err != nil {
 		return nil, err
 	}
 	if target < 0 || target >= s.k {
 		return nil, fmt.Errorf("approx: target %d out of range [0,%d)", target, s.k)
 	}
-	return s.solveOrdered(defaultOrder(s.k, target), target)
-}
-
-// SolveOrdered is Solve with an explicit level order, which must be a
-// permutation of the SC indices ending with target.
-func SolveOrdered(cfg Config, target int, order []int) (*Model, error) {
-	s, err := newChainSolver(cfg)
-	if err != nil {
-		return nil, err
-	}
-	if target < 0 || target >= s.k {
-		return nil, fmt.Errorf("approx: target %d out of range [0,%d)", target, s.k)
-	}
-	if err := validateOrder(order, s.k, target); err != nil {
-		return nil, err
+	order := o.order
+	if order != nil {
+		if err := validateOrder(order, s.k, target); err != nil {
+			return nil, err
+		}
+	} else {
+		order = s.defaultOrder(target)
 	}
 	return s.solveOrdered(order, target)
 }
 
-func (s *chainSolver) solveOrdered(order []int, target int) (*Model, error) {
+func (s *Solver) solveOrdered(order []int, target int) (*Model, error) {
 	levels, err := s.buildChain(order)
 	if err != nil {
 		return nil, err
 	}
-	return &Model{
-		cfg:     s.cfg,
-		target:  target,
-		levels:  levels,
-		metrics: levels[len(levels)-1].metrics(),
-	}, nil
+	m := &Model{
+		target:     target,
+		metrics:    levels[len(levels)-1].metrics(),
+		levelSizes: make([]int, len(levels)),
+	}
+	for i, lv := range levels {
+		m.levelSizes[i] = lv.numStates()
+		m.totalStates += lv.numStates()
+	}
+	return m, nil
 }
 
 // buildChain runs the pass loop over one level order and returns the final
-// pass's solved levels.
-func (s *chainSolver) buildChain(order []int) ([]*level, error) {
+// pass's solved levels — views into the solver's arena slots, valid until
+// the next build.
+func (s *Solver) buildChain(order []int) ([]*level, error) {
 	target := order[len(order)-1]
 	demand := 0.0
-	var levels []*level
+	levels := s.levels[:0]
 	for pass := 0; pass < s.passes; pass++ {
 		levels = levels[:0]
 		var prev *level
 		prevIdx := -1
-		for _, scIdx := range order {
-			lv, err := s.buildLevel(prev, prevIdx, scIdx, demand, target, 0, 0)
+		for pos, scIdx := range order {
+			lv, err := s.buildLevel(s.slots[pos], prev, prevIdx, scIdx, demand, target, 0, 0, s.cfg.Solver.Stats)
 			if err != nil {
 				return nil, err
 			}
@@ -152,19 +276,21 @@ func (s *chainSolver) buildChain(order []int) ([]*level, error) {
 			demand = successorDemand(s.cfg, levels, order)
 		}
 	}
+	s.levels = levels
 	return levels, nil
 }
 
-// buildLevel assembles and solves one hierarchy level: SC scIdx fed by the
-// solved predecessor level (nil for a first level) under the given
-// successor-demand rate. Warm lookups and stores are keyed by warmTarget —
-// the target whose per-target hierarchy this level would belong to — so the
-// shared spine of SolveAll and the chain of Solve(cfg, k-1) warm each
-// other, and each readout level shares warmth with Solve(cfg, t)'s final
-// level. shiftF/shiftLent install the readout self-exclusion shift (see
-// buildReadout); both are 0 for ordinary chain levels.
-func (s *chainSolver) buildLevel(prev *level, prevIdx, scIdx int, demand float64, warmTarget int, shiftF, shiftLent float64) (*level, error) {
-	cfg := s.cfg
+// buildLevel assembles and solves one hierarchy level into the given arena
+// slot: SC scIdx fed by the solved predecessor level (nil for a first
+// level) under the given successor-demand rate. Warm lookups and stores are
+// keyed by warmTarget — the target whose per-target hierarchy this level
+// would belong to — so the shared spine of SolveAll and the chain of
+// Solve(k-1) warm each other, and each readout level shares warmth with
+// Solve(t)'s final level. shiftF/shiftLent install the readout
+// self-exclusion shift (see buildReadout); both are 0 for ordinary chain
+// levels. stats is the per-goroutine iteration sink (nil to skip).
+func (s *Solver) buildLevel(sl *levelSlot, prev *level, prevIdx, scIdx int, demand float64, warmTarget int, shiftF, shiftLent float64, stats *markov.SolveStats) (*level, error) {
+	cfg := &s.cfg
 	sc := cfg.Federation.SCs[scIdx]
 	share := cfg.Shares[scIdx]
 	pool := cloud.PoolExcluding(cfg.Shares, scIdx)
@@ -175,28 +301,41 @@ func (s *chainSolver) buildLevel(prev *level, prevIdx, scIdx int, demand float64
 	// Shares of the other members of the previous level's pool (everyone
 	// except the previous SC and this one); they weight the demand split in
 	// the interaction vectors.
-	var peerShares []int
+	peers := sl.peers[:0]
 	for j, sh := range cfg.Shares {
 		if j != scIdx && j != prevIdx {
-			peerShares = append(peerShares, sh)
+			peers = append(peers, sh)
 		}
 	}
-	lv := newLevel(sc, share, pool, poolDim(cfg, s.overflow, scIdx, pool), qcap)
-	inter := newInteractions(prev, share, peerShares, cfg.Epsilon, cfg.Prune)
-	inter.preserveS = prev == nil && demand > 0
-	inter.uncondition = cfg.Uncondition
+	sl.peers = peers
+	sl.lv.reset(sc, share, pool, poolDim(*cfg, s.overflow, scIdx, pool), qcap)
+	sl.inter.reset(prev, share, peers, cfg.Epsilon, cfg.Prune, s.truncEps, cfg.PruneStats)
+	sl.inter.preserveS = prev == nil && demand > 0
+	sl.inter.uncondition = cfg.Uncondition
 	if shiftF > 0 || shiftLent > 0 {
-		inter.setSelfExclusion(shiftF, shiftLent)
+		sl.inter.setSelfExclusion(shiftF, shiftLent)
 	}
 	solver := cfg.Solver
-	if start := cfg.Warm.lookup(s.k, warmTarget, scIdx, lv.numStates()); start != nil {
+	solver.Stats = stats
+	solver.Dst = sl.lv.steady
+	solver.Work = &sl.work
+	if start := cfg.Warm.lookup(s.k, warmTarget, scIdx, sl.lv.numStates()); start != nil {
 		solver.Start = start
 	}
-	if err := lv.build(inter, demand, solver); err != nil {
+	if err := sl.build(demand, solver); err != nil {
 		return nil, err
 	}
-	cfg.Warm.store(s.k, warmTarget, scIdx, lv.numStates(), lv.steady)
-	return lv, nil
+	cfg.Warm.store(s.k, warmTarget, scIdx, sl.lv.numStates(), sl.lv.steady)
+	return &sl.lv, nil
+}
+
+// readoutSlot returns readout worker w's private arena, growing the pool on
+// first use.
+func (s *Solver) readoutSlot(w int) *levelSlot {
+	for len(s.rslots) <= w {
+		s.rslots = append(s.rslots, newLevelSlot())
+	}
+	return s.rslots[w]
 }
 
 // selfExclusionTol is the per-SC borrow-estimate movement (in VMs) below
@@ -219,21 +358,27 @@ const maxReadoutRounds = 2
 // subtraction is iterated to a fixpoint on the borrow estimates. That is
 // ~K+... level solves per vector in place of the K*K (times passes) a
 // per-target loop pays; DESIGN.md §12 spells out what is and is not
-// identical to K per-target Solve calls.
-func SolveAll(cfg Config) ([]cloud.Metrics, error) {
-	s, err := newChainSolver(cfg)
+// identical to K per-target Solve calls. The K-1 readouts of each fixpoint
+// round are independent and, when Config.Workers > 1, are fanned across
+// that many goroutines with per-worker arenas; the index-ordered merge
+// keeps the result bit-identical to the serial schedule.
+func (s *Solver) SolveAll(opts ...SolveOption) ([]cloud.Metrics, error) {
+	o, err := s.applyOpts(opts)
 	if err != nil {
 		return nil, err
 	}
+	if o.order != nil {
+		return nil, fmt.Errorf("approx: WithOrder applies to Solve only")
+	}
 	k := s.k
 	if k == 1 {
-		m, err := s.solveOrdered([]int{0}, 0)
+		m, err := s.solveOrdered(s.defaultOrder(0), 0)
 		if err != nil {
 			return nil, err
 		}
 		return []cloud.Metrics{m.Metrics()}, nil
 	}
-	spine, err := s.buildChain(defaultOrder(k, k-1))
+	spine, err := s.buildChain(s.defaultOrder(k - 1))
 	if err != nil {
 		return nil, err
 	}
@@ -243,23 +388,27 @@ func SolveAll(cfg Config) ([]cloud.Metrics, error) {
 	// Initial self-usage estimates come from the spine itself: level t
 	// models SC t with only SCs 0..t-1 interacting, so its borrow rate is a
 	// coarse first guess the readout rounds refine.
-	borrow := make([]float64, k)
+	if cap(s.borrow) < k {
+		s.borrow = make([]float64, k)
+	}
+	borrow := s.borrow[:k]
 	for t := 0; t < k-1; t++ {
 		borrow[t] = spine[t].metrics().BorrowRate
 	}
+	workers := s.workers
+	if workers > k-1 {
+		workers = k - 1
+	}
 	for round := 0; round < maxReadoutRounds; round++ {
-		moved := false
-		for t := 0; t < k-1; t++ {
-			lv, err := s.buildReadout(last, k-1, t, borrow[t])
-			if err != nil {
-				return nil, err
-			}
-			m := lv.metrics()
-			if math.Abs(m.BorrowRate-borrow[t]) > selfExclusionTol {
-				moved = true
-			}
-			borrow[t] = m.BorrowRate
-			out[t] = m
+		var moved bool
+		var err error
+		if workers <= 1 {
+			moved, err = s.readoutRoundSerial(last, borrow, out)
+		} else {
+			moved, err = s.readoutRoundParallel(workers, last, borrow, out)
+		}
+		if err != nil {
+			return nil, err
 		}
 		if !moved {
 			break
@@ -268,21 +417,94 @@ func SolveAll(cfg Config) ([]cloud.Metrics, error) {
 	return out, nil
 }
 
-// buildReadout solves SC t's readout level off the shared spine: one final
-// hierarchy level whose predecessor is the spine's last level. The spine
-// includes SC t among the last level's predecessors, so its summary counts
-// SC t's own borrowing as foreign pool usage; the self-exclusion shift
-// subtracts that usage in expectation, split between the last SC's lent
-// count (the borrowed VMs that belong to SC lastIdx) and the foreign usage
-// F (those that belong to the remaining pool members).
-func (s *chainSolver) buildReadout(last *level, lastIdx, t int, borrowEst float64) (*level, error) {
+// readoutRoundSerial runs one readout fixpoint round on the primary readout
+// arena.
+func (s *Solver) readoutRoundSerial(last *level, borrow []float64, out []cloud.Metrics) (bool, error) {
+	k := s.k
+	sl := s.readoutSlot(0)
+	moved := false
+	for t := 0; t < k-1; t++ {
+		lv, err := s.buildReadout(sl, last, k-1, t, borrow[t], s.cfg.Solver.Stats)
+		if err != nil {
+			return false, err
+		}
+		m := lv.metrics()
+		if math.Abs(m.BorrowRate-borrow[t]) > selfExclusionTol {
+			moved = true
+		}
+		borrow[t] = m.BorrowRate
+		out[t] = m
+	}
+	return moved, nil
+}
+
+// readoutRoundParallel fans one fixpoint round's K-1 independent readouts
+// across the worker pool. Worker w handles the strided index set
+// {w, w+workers, ...} with its own arena and iteration-stats sink, writing
+// disjoint elements of borrow and out, so the round is race-free and its
+// merged result bit-identical to the serial schedule (readout t depends
+// only on the shared spine and borrow[t]).
+func (s *Solver) readoutRoundParallel(workers int, last *level, borrow []float64, out []cloud.Metrics) (bool, error) {
+	k := s.k
+	errs := make([]error, workers)
+	stats := make([]markov.SolveStats, workers)
+	movedW := make([]bool, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		sl := s.readoutSlot(w)
+		wg.Add(1)
+		go func(w int, sl *levelSlot) {
+			defer wg.Done()
+			var st *markov.SolveStats
+			if s.cfg.Solver.Stats != nil {
+				st = &stats[w]
+			}
+			for t := w; t < k-1; t += workers {
+				lv, err := s.buildReadout(sl, last, k-1, t, borrow[t], st)
+				if err != nil {
+					errs[w] = err
+					return
+				}
+				m := lv.metrics()
+				if math.Abs(m.BorrowRate-borrow[t]) > selfExclusionTol {
+					movedW[w] = true
+				}
+				borrow[t] = m.BorrowRate
+				out[t] = m
+			}
+		}(w, sl)
+	}
+	wg.Wait()
+	moved := false
+	for w := 0; w < workers; w++ {
+		if errs[w] != nil {
+			return false, errs[w]
+		}
+		moved = moved || movedW[w]
+		if s.cfg.Solver.Stats != nil {
+			s.cfg.Solver.Stats.Iterations += stats[w].Iterations
+			s.cfg.Solver.Stats.Solves += stats[w].Solves
+		}
+	}
+	return moved, nil
+}
+
+// buildReadout solves SC t's readout level off the shared spine into the
+// given arena slot: one final hierarchy level whose predecessor is the
+// spine's last level. The spine includes SC t among the last level's
+// predecessors, so its summary counts SC t's own borrowing as foreign pool
+// usage; the self-exclusion shift subtracts that usage in expectation,
+// split between the last SC's lent count (the borrowed VMs that belong to
+// SC lastIdx) and the foreign usage F (those that belong to the remaining
+// pool members).
+func (s *Solver) buildReadout(sl *levelSlot, last *level, lastIdx, t int, borrowEst float64, stats *markov.SolveStats) (*level, error) {
 	shiftF, shiftLent := 0.0, 0.0
 	if pool := cloud.PoolExcluding(s.cfg.Shares, t); pool > 0 && borrowEst > 0 {
 		wLast := float64(s.cfg.Shares[lastIdx]) / float64(pool)
 		shiftLent = borrowEst * wLast
 		shiftF = borrowEst * (1 - wLast)
 	}
-	return s.buildLevel(last, lastIdx, t, 0, t, shiftF, shiftLent)
+	return s.buildLevel(sl, last, lastIdx, t, 0, t, shiftF, shiftLent, stats)
 }
 
 // successorDemand estimates the rate at which the rest of the federation
@@ -346,18 +568,21 @@ func poolDim(cfg Config, overflow []float64, scIdx, pool int) int {
 }
 
 // defaultOrder is the paper's level order for one target: the other SCs in
-// ascending index order, the target last.
-func defaultOrder(k, target int) []int {
-	order := make([]int, 0, k)
-	for i := 0; i < k; i++ {
+// ascending index order, the target last. The returned slice is solver
+// scratch, valid until the next call.
+func (s *Solver) defaultOrder(target int) []int {
+	order := s.orderBuf[:0]
+	for i := 0; i < s.k; i++ {
 		if i != target {
 			order = append(order, i)
 		}
 	}
-	return append(order, target)
+	order = append(order, target)
+	s.orderBuf = order
+	return order
 }
 
-// validateOrder checks an explicit level order for SolveOrdered.
+// validateOrder checks an explicit level order passed via WithOrder.
 func validateOrder(order []int, k, target int) error {
 	if len(order) != k {
 		return fmt.Errorf("approx: order has %d entries for %d SCs", len(order), k)
@@ -383,19 +608,7 @@ func (m *Model) Target() int { return m.target }
 
 // TotalStates returns the summed size of all level chains; the quantity
 // the paper compares against the exponential detailed model (Fig. 8a).
-func (m *Model) TotalStates() int {
-	t := 0
-	for _, lv := range m.levels {
-		t += lv.numStates()
-	}
-	return t
-}
+func (m *Model) TotalStates() int { return m.totalStates }
 
 // LevelSizes returns the state count of each level in order.
-func (m *Model) LevelSizes() []int {
-	out := make([]int, len(m.levels))
-	for i, lv := range m.levels {
-		out[i] = lv.numStates()
-	}
-	return out
-}
+func (m *Model) LevelSizes() []int { return m.levelSizes }

@@ -22,22 +22,22 @@ func fed2(lambdaPeer, lambdaTarget float64) cloud.Federation {
 
 func TestSolveValidation(t *testing.T) {
 	fed := fed2(7, 7)
-	if _, err := Solve(Config{}, 0); err == nil {
+	if _, err := solveOne(Config{}, 0); err == nil {
 		t.Error("empty config accepted")
 	}
-	if _, err := Solve(Config{Federation: fed, Shares: []int{1}}, 0); err == nil {
+	if _, err := solveOne(Config{Federation: fed, Shares: []int{1}}, 0); err == nil {
 		t.Error("short share vector accepted")
 	}
-	if _, err := Solve(Config{Federation: fed, Shares: []int{1, 1}}, 5); err == nil {
+	if _, err := solveOne(Config{Federation: fed, Shares: []int{1, 1}}, 5); err == nil {
 		t.Error("out-of-range target accepted")
 	}
-	if _, err := SolveOrdered(Config{Federation: fed, Shares: []int{1, 1}}, 1, []int{0}); err == nil {
+	if _, err := solveWithOrder(Config{Federation: fed, Shares: []int{1, 1}}, 1, []int{0}); err == nil {
 		t.Error("short order accepted")
 	}
-	if _, err := SolveOrdered(Config{Federation: fed, Shares: []int{1, 1}}, 1, []int{1, 0}); err == nil {
+	if _, err := solveWithOrder(Config{Federation: fed, Shares: []int{1, 1}}, 1, []int{1, 0}); err == nil {
 		t.Error("order not ending with target accepted")
 	}
-	if _, err := SolveOrdered(Config{Federation: fed, Shares: []int{1, 1}}, 1, []int{0, 0}); err == nil {
+	if _, err := solveWithOrder(Config{Federation: fed, Shares: []int{1, 1}}, 1, []int{0, 0}); err == nil {
 		t.Error("non-permutation order accepted")
 	}
 }
@@ -45,7 +45,7 @@ func TestSolveValidation(t *testing.T) {
 // A single SC with nothing shared must reduce to the Sect. III-A model.
 func TestSingleSCMatchesNoSharing(t *testing.T) {
 	sc := cloud.SC{Name: "solo", VMs: 10, ArrivalRate: 8, ServiceRate: 1, SLA: 0.2, PublicPrice: 1}
-	m, err := Solve(Config{
+	m, err := solveOne(Config{
 		Federation: cloud.Federation{SCs: []cloud.SC{sc}, FederationPrice: 0.5},
 		Shares:     []int{0},
 	}, 0)
@@ -72,7 +72,7 @@ func TestSingleSCMatchesNoSharing(t *testing.T) {
 // models, regardless of K.
 func TestZeroSharesDecouple(t *testing.T) {
 	fed := fed2(7, 5)
-	m, err := Solve(Config{Federation: fed, Shares: []int{0, 0}}, 1)
+	m, err := solveOne(Config{Federation: fed, Shares: []int{0, 0}}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +103,7 @@ func TestAccuracyVsExactTwoSC(t *testing.T) {
 	}
 	for _, tt := range tests {
 		shares := []int{5, tt.share}
-		am, err := Solve(Config{Federation: fed, Shares: shares}, 1)
+		am, err := solveOne(Config{Federation: fed, Shares: shares}, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -140,11 +140,11 @@ func TestFeedbackPassImprovesLendEstimate(t *testing.T) {
 	}
 	fed := fed2(7, 7)
 	shares := []int{5, 5}
-	one, err := Solve(Config{Federation: fed, Shares: shares, Passes: 1}, 1)
+	one, err := solveOne(Config{Federation: fed, Shares: shares, Passes: 1}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	two, err := Solve(Config{Federation: fed, Shares: shares, Passes: 2}, 1)
+	two, err := solveOne(Config{Federation: fed, Shares: shares, Passes: 2}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +162,7 @@ func TestFeedbackPassImprovesLendEstimate(t *testing.T) {
 
 func TestMetricsSanity(t *testing.T) {
 	fed := fed2(8, 6)
-	m, err := Solve(Config{Federation: fed, Shares: []int{3, 4}}, 1)
+	m, err := solveOne(Config{Federation: fed, Shares: []int{3, 4}}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +195,7 @@ func TestMorePeerSharingHelps(t *testing.T) {
 	fed := fed2(5, 9)
 	prev := math.Inf(1)
 	for _, peerShare := range []int{0, 2, 6} {
-		m, err := Solve(Config{Federation: fed, Shares: []int{peerShare, 2}}, 1)
+		m, err := solveOne(Config{Federation: fed, Shares: []int{peerShare, 2}}, 1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -209,7 +209,7 @@ func TestMorePeerSharingHelps(t *testing.T) {
 
 func TestSolveAll(t *testing.T) {
 	fed := fed2(7, 5)
-	ms, err := SolveAll(Config{Federation: fed, Shares: []int{2, 2}})
+	ms, err := solveVec(Config{Federation: fed, Shares: []int{2, 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -233,7 +233,7 @@ func TestStateSpaceReduction(t *testing.T) {
 		})
 		shares[i] = 2
 	}
-	m, err := Solve(Config{Federation: fed, Shares: shares, Passes: 1}, 4)
+	m, err := solveOne(Config{Federation: fed, Shares: shares, Passes: 1}, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -245,11 +245,11 @@ func TestStateSpaceReduction(t *testing.T) {
 
 func TestCustomQueueCap(t *testing.T) {
 	fed := fed2(6, 6)
-	m, err := Solve(Config{Federation: fed, Shares: []int{2, 2}, QueueCap: []int{14, 14}}, 1)
+	m, err := solveOne(Config{Federation: fed, Shares: []int{2, 2}, QueueCap: []int{14, 14}}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	auto, err := Solve(Config{Federation: fed, Shares: []int{2, 2}}, 1)
+	auto, err := solveOne(Config{Federation: fed, Shares: []int{2, 2}}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +264,7 @@ func TestCustomQueueCap(t *testing.T) {
 
 func TestExplicitOrder(t *testing.T) {
 	fed := fed2(7, 7)
-	m, err := SolveOrdered(Config{Federation: fed, Shares: []int{3, 3}}, 0, []int{1, 0})
+	m, err := solveWithOrder(Config{Federation: fed, Shares: []int{3, 3}}, 0, []int{1, 0})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,11 +288,11 @@ func TestConditioningAblationStaysInBand(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := em.Metrics(1)
-	cond, err := Solve(Config{Federation: fed, Shares: shares}, 1)
+	cond, err := solveOne(Config{Federation: fed, Shares: shares}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	uncond, err := Solve(Config{Federation: fed, Shares: shares, Uncondition: true}, 1)
+	uncond, err := solveOne(Config{Federation: fed, Shares: shares, Uncondition: true}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

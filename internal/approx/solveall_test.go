@@ -94,7 +94,7 @@ func TestSolveAllMatchesPerTarget(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			cfg := Config{Federation: tc.fed, Shares: tc.shares}
-			all, err := SolveAll(cfg)
+			all, err := solveVec(cfg)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -103,7 +103,7 @@ func TestSolveAllMatchesPerTarget(t *testing.T) {
 				t.Fatalf("SolveAll returned %d metrics, want %d", len(all), k)
 			}
 			for i := 0; i < k; i++ {
-				pm, err := Solve(cfg, i)
+				pm, err := solveOne(cfg, i)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -121,7 +121,7 @@ func TestSolveAllAccuracyVsExact(t *testing.T) {
 	}
 	for _, shares := range [][]int{{5, 5}, {5, 1}, {2, 8}} {
 		fed := fed2(9, 4)
-		all, err := SolveAll(Config{Federation: fed, Shares: shares})
+		all, err := solveVec(Config{Federation: fed, Shares: shares})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -153,14 +153,14 @@ func TestSolveAllFewerLevelSolves(t *testing.T) {
 	shares := []int{2, 1, 2}
 
 	var allStats markov.SolveStats
-	if _, err := SolveAll(Config{Federation: fed, Shares: shares,
+	if _, err := solveVec(Config{Federation: fed, Shares: shares,
 		Solver: markov.SteadyStateOptions{Stats: &allStats}}); err != nil {
 		t.Fatal(err)
 	}
 
 	var perStats markov.SolveStats
 	for i := range shares {
-		if _, err := Solve(Config{Federation: fed, Shares: shares,
+		if _, err := solveOne(Config{Federation: fed, Shares: shares,
 			Solver: markov.SteadyStateOptions{Stats: &perStats}}, i); err != nil {
 			t.Fatal(err)
 		}
@@ -178,7 +178,7 @@ func TestSolveAllWarmsSolve(t *testing.T) {
 	shares := []int{2, 1, 2}
 	warm := NewWarmCache()
 	cfg := Config{Federation: fed, Shares: shares, Warm: warm}
-	if _, err := SolveAll(cfg); err != nil {
+	if _, err := solveVec(cfg); err != nil {
 		t.Fatal(err)
 	}
 	st := warm.Stats()
@@ -186,7 +186,7 @@ func TestSolveAllWarmsSolve(t *testing.T) {
 		t.Fatalf("SolveAll stored nothing in the warm cache: %+v", st)
 	}
 	for i := range shares {
-		if _, err := Solve(cfg, i); err != nil {
+		if _, err := solveOne(cfg, i); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -203,11 +203,11 @@ func TestSolveAllSingleSC(t *testing.T) {
 		FederationPrice: 0.5,
 	}
 	cfg := Config{Federation: fed, Shares: []int{0}}
-	all, err := SolveAll(cfg)
+	all, err := solveVec(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	m, err := Solve(cfg, 0)
+	m, err := solveOne(cfg, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -23,7 +23,7 @@ func TestTenSCAccuracy(t *testing.T) {
 			ArrivalRate: lams[i], ServiceRate: 1, SLA: 0.2, PublicPrice: 1})
 	}
 	t0 := time.Now()
-	m, err := Solve(Config{Federation: fed, Shares: shares, Prune: 1e-5, PoolCap: 12}, 9)
+	m, err := solveOne(Config{Federation: fed, Shares: shares, Prune: 1e-5, PoolCap: 12}, 9)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -64,13 +64,17 @@ func (w *WarmCache) lookup(k, target, sc, states int) []float64 {
 	return pi
 }
 
-// store records a level's steady state for future lookups.
+// store records a level's steady state for future lookups. The vector is
+// copied: callers hand in arena buffers that the next build overwrites, and
+// concurrent lookups may still be reading the previously stored snapshot.
 func (w *WarmCache) store(k, target, sc, states int, pi []float64) {
 	if w == nil || len(pi) != states {
 		return
 	}
+	cp := make([]float64, len(pi))
+	copy(cp, pi)
 	w.mu.Lock()
-	w.pis[warmKey{k: k, target: target, sc: sc, states: states}] = pi
+	w.pis[warmKey{k: k, target: target, sc: sc, states: states}] = cp
 	w.stores++
 	w.mu.Unlock()
 }

@@ -16,7 +16,7 @@ func TestWarmCacheFewerIterations(t *testing.T) {
 
 	// Prime the cache at (2, 2).
 	prime := &markov.SolveStats{}
-	if _, err := Solve(Config{
+	if _, err := solveOne(Config{
 		Federation: fed, Shares: []int{2, 2},
 		Warm: warm, Solver: markov.SteadyStateOptions{Stats: prime},
 	}, 1); err != nil {
@@ -28,7 +28,7 @@ func TestWarmCacheFewerIterations(t *testing.T) {
 
 	// The Tabu neighbor (3, 2) warm-started from (2, 2)...
 	warmStats := &markov.SolveStats{}
-	mWarm, err := Solve(Config{
+	mWarm, err := solveOne(Config{
 		Federation: fed, Shares: []int{3, 2},
 		Warm: warm, Solver: markov.SteadyStateOptions{Stats: warmStats},
 	}, 1)
@@ -38,7 +38,7 @@ func TestWarmCacheFewerIterations(t *testing.T) {
 
 	// ...versus the same solve cold.
 	coldStats := &markov.SolveStats{}
-	mCold, err := Solve(Config{
+	mCold, err := solveOne(Config{
 		Federation: fed, Shares: []int{3, 2},
 		Solver: markov.SteadyStateOptions{Stats: coldStats},
 	}, 1)

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"strings"
+
+	"scshare/internal/approx"
 )
 
 // Diagnose inspects a finished sweep for the silent failure modes that
@@ -66,6 +68,33 @@ func Diagnose(pts []SweepPoint) []string {
 			"indifference point, not a working market")
 	}
 	return warnings
+}
+
+// pruneMassWarn is the per-summary truncated-mass level above which
+// DiagnosePruning speaks up. The adaptive truncation budget
+// (approx.Config.TruncEps) defaults to 1e-9 — six orders of magnitude
+// below this line — so under the default configuration the warning is
+// unreachable; crossing it means a caller raised the budget far enough
+// that truncation is visibly reshaping summary distributions, not just
+// shedding numerical dust.
+const pruneMassWarn = 1e-3
+
+// DiagnosePruning turns the framework's truncation account into a warning
+// when the discarded mass is large enough to shape results. The stats are
+// cumulative over the framework's lifetime (warm caches make individual
+// solves inseparable anyway), so the warning reads accordingly. Healthy
+// accounts — including the always-zero ones from the non-approx models —
+// produce nil.
+func DiagnosePruning(s approx.PruneStats) []string {
+	if s.MaxMass <= pruneMassWarn {
+		return nil
+	}
+	return []string{fmt.Sprintf(
+		"adaptive truncation discarded up to %.2g probability mass from a "+
+			"single summary distribution (%.3g total over %d summaries since this "+
+			"framework started): the approx TruncEps budget is coarse enough to "+
+			"shape results — lower it, or set it negative to disable truncation",
+		s.MaxMass, s.TotalMass, s.Joints)}
 }
 
 // DiagnoseAdvice inspects a single negotiation outcome for the same class of

@@ -3,6 +3,10 @@ package core
 import (
 	"strings"
 	"testing"
+
+	"scshare/internal/approx"
+	"scshare/internal/cloud"
+	"scshare/internal/market"
 )
 
 // containsWarning reports whether any warning mentions every fragment.
@@ -164,5 +168,63 @@ func TestDiagnoseAdvice(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+func TestDiagnosePruning(t *testing.T) {
+	if got := DiagnosePruning(approx.PruneStats{}); got != nil {
+		t.Errorf("zero account warned: %q", got)
+	}
+	// The default TruncEps budget truncates far below the warning line.
+	quiet := approx.PruneStats{TotalMass: 1e-7, MaxMass: 1e-8, Joints: 40}
+	if got := DiagnosePruning(quiet); got != nil {
+		t.Errorf("healthy account warned: %q", got)
+	}
+	loud := approx.PruneStats{TotalMass: 0.2, MaxMass: 5e-3, Joints: 12}
+	got := DiagnosePruning(loud)
+	if len(got) != 1 || !containsWarning(got, "truncation", "TruncEps") {
+		t.Errorf("coarse account produced %q, want one TruncEps warning", got)
+	}
+}
+
+// TestFrameworkPruneStats pins the framework-wide account: a fluid-model
+// framework never truncates (always zero), and the counter passed through
+// Config.Approx is the one the framework reads back.
+func TestFrameworkPruneStats(t *testing.T) {
+	fw, err := New(Config{Federation: diagnoseFed(), Model: ModelFluid, MaxShares: []int{1, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw.Equilibrium(nil, market.AlphaUtilitarian); err != nil {
+		t.Fatal(err)
+	}
+	if s := fw.PruneStats(); s != (approx.PruneStats{}) {
+		t.Errorf("fluid framework accumulated truncation stats: %+v", s)
+	}
+	counter := &approx.PruneCounter{}
+	fw2, err := New(Config{
+		Federation: diagnoseFed(),
+		MaxShares:  []int{1, 1},
+		Approx:     approx.Config{PruneStats: counter},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fw2.Equilibrium(nil, market.AlphaUtilitarian); err != nil {
+		t.Fatal(err)
+	}
+	if fw2.PruneStats() != counter.Stats() {
+		t.Error("framework does not read back the caller-supplied counter")
+	}
+}
+
+// diagnoseFed is a tiny two-SC federation for the framework-level tests.
+func diagnoseFed() cloud.Federation {
+	return cloud.Federation{
+		FederationPrice: 0.5,
+		SCs: []cloud.SC{
+			{Name: "a", VMs: 3, ArrivalRate: 2.4, ServiceRate: 1, SLA: 0.2, PublicPrice: 1},
+			{Name: "b", VMs: 3, ArrivalRate: 1.2, ServiceRate: 1, SLA: 0.2, PublicPrice: 1},
+		},
 	}
 }

@@ -68,6 +68,11 @@ type Framework struct {
 	// sub-federation evaluator); kept on the struct so Snapshot can export
 	// it and Restore can seed it.
 	warm *approx.WarmCache
+	// prune is the framework-wide truncation account (shared the same way):
+	// every approx solve run on behalf of this framework records the mass
+	// its adaptive truncation discarded, so callers can ask whether the
+	// speed/accuracy diet visibly shaped the results.
+	prune *approx.PruneCounter
 }
 
 // Baseline describes one SC outside the federation.
@@ -112,6 +117,15 @@ func New(cfg Config) (*Framework, error) {
 		opts.Approx.Warm = approx.NewWarmCache()
 	}
 	f.warm = opts.Approx.Warm
+	if opts.Approx.PruneStats == nil {
+		// One truncation account for the whole framework, for the same
+		// reason as the warm cache: sub-federation evaluators come and go,
+		// and the question "did truncation shed noticeable mass" is about
+		// the framework's results as a whole. Harmless under the other
+		// model kinds — nothing ever records into it.
+		opts.Approx.PruneStats = &approx.PruneCounter{}
+	}
+	f.prune = opts.Approx.PruneStats
 	mkEval := func(fed cloud.Federation) market.Evaluator {
 		ev, err := market.NewEvaluator(kind, fed, opts)
 		if err != nil {
@@ -134,6 +148,12 @@ func New(cfg Config) (*Framework, error) {
 
 // Evaluator exposes the framework's memoized performance evaluator.
 func (f *Framework) Evaluator() market.Evaluator { return f.eval }
+
+// PruneStats snapshots the probability mass the approximate model's
+// adaptive truncation has discarded across every solve this framework has
+// run. Always zero under the exact, sim, and fluid models. Feed it to
+// DiagnosePruning to turn the account into a warning when it matters.
+func (f *Framework) PruneStats() approx.PruneStats { return f.prune.Stats() }
 
 // Baselines solves the Sect. III-A no-sharing model for every SC.
 func (f *Framework) Baselines() ([]Baseline, error) {

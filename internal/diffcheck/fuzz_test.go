@@ -41,6 +41,17 @@ func addSeeds(f *testing.F) {
 	}
 }
 
+// solveAll runs one whole-vector approximate solve on a fresh handle
+// (default configuration: adaptive truncation enabled, so every fuzz
+// execution exercises it against the calibrated envelopes).
+func solveAll(fed cloud.Federation, shares []int) ([]cloud.Metrics, error) {
+	solver, err := approx.NewSolver(approx.Config{Federation: fed, Shares: shares})
+	if err != nil {
+		return nil, err
+	}
+	return solver.SolveAll()
+}
+
 // FuzzSolveAllVsSolve cross-checks the whole-vector approximate solve
 // against K independent per-target solves. The two paths share the spine,
 // so they must agree within the tight parity envelope; the target also
@@ -53,8 +64,14 @@ func FuzzSolveAllVsSolve(f *testing.F) {
 		if !ok {
 			t.Skip("input does not decode to a valid federation")
 		}
-		cfg := approx.Config{Federation: fed, Shares: shares}
-		all, err := approx.SolveAll(cfg)
+		// One handle for the whole execution: the per-target solves run in
+		// the SolveAll call's recycled arenas, so the parity check also
+		// exercises solver reuse across entry points.
+		solver, err := approx.NewSolver(approx.Config{Federation: fed, Shares: shares})
+		if err != nil {
+			t.Fatalf("NewSolver: %v", err)
+		}
+		all, err := solver.SolveAll()
 		if err != nil {
 			t.Fatalf("SolveAll: %v", err)
 		}
@@ -62,7 +79,7 @@ func FuzzSolveAllVsSolve(f *testing.F) {
 			t.Error(err)
 		}
 		for i := range fed.SCs {
-			m, err := approx.Solve(cfg, i)
+			m, err := solver.Solve(i)
 			if err != nil {
 				t.Fatalf("Solve(%d): %v", i, err)
 			}
@@ -106,7 +123,7 @@ func FuzzApproxVsExact(f *testing.F) {
 		if err := CheckFlowConservation("exact", exMetrics, flowTol); err != nil {
 			t.Error(err)
 		}
-		all, err := approx.SolveAll(approx.Config{Federation: fed, Shares: shares})
+		all, err := solveAll(fed, shares)
 		if err != nil {
 			t.Fatalf("SolveAll: %v", err)
 		}
@@ -144,7 +161,7 @@ func FuzzApproxVsSim(f *testing.F) {
 		if err := CheckMetrics("sim", res.Metrics); err != nil {
 			t.Error(err)
 		}
-		all, err := approx.SolveAll(approx.Config{Federation: fed, Shares: shares})
+		all, err := solveAll(fed, shares)
 		if err != nil {
 			t.Fatalf("SolveAll: %v", err)
 		}

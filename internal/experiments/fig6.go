@@ -9,6 +9,17 @@ import (
 	"scshare/internal/sim"
 )
 
+// approxSolve runs one per-target hierarchy solve through a one-shot
+// solver handle. The accuracy sweeps re-dimension the federation at every
+// grid point, so there is no arena worth carrying between points.
+func approxSolve(cfg approx.Config, target int) (*approx.Model, error) {
+	s, err := approx.NewSolver(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.Solve(target)
+}
+
 // Fig6TwoSCOptions parameterizes the 2-SC accuracy validation (Figs. 6a,
 // 6b): one fixed peer and a target SC whose load is swept.
 type Fig6TwoSCOptions struct {
@@ -84,7 +95,7 @@ func Fig6TwoSC(opts Fig6TwoSCOptions) ([]Figure, error) {
 			acfg := opts.Approx
 			acfg.Federation = fed
 			acfg.Shares = shares
-			am, err := approx.Solve(acfg, 1)
+			am, err := approxSolve(acfg, 1)
 			if err != nil {
 				return nil, fmt.Errorf("fig6 2sc: %w", err)
 			}
@@ -196,7 +207,7 @@ func Fig6TenSC(opts Fig6TenSCOptions) ([]Figure, error) {
 			acfg := opts.Approx
 			acfg.Federation = fed
 			acfg.Shares = shares
-			am, err := approx.Solve(acfg, target)
+			am, err := approxSolve(acfg, target)
 			if err != nil {
 				return nil, fmt.Errorf("fig6 10sc: %w", err)
 			}
@@ -286,7 +297,7 @@ func Fig6Large(opts Fig6LargeOptions) ([]Figure, error) {
 			acfg := opts.Approx
 			acfg.Federation = fed
 			acfg.Shares = shares
-			am, err := approx.Solve(acfg, 1)
+			am, err := approxSolve(acfg, 1)
 			if err != nil {
 				return nil, fmt.Errorf("fig6 large: %w", err)
 			}

@@ -68,7 +68,11 @@ func Fig8a(opts Fig8aOptions) (Figure, error) {
 			shares[i] = opts.Share
 		}
 		start := time.Now()
-		m, err := approx.Solve(approx.Config{Federation: fed, Shares: shares}, k-1)
+		solver, err := approx.NewSolver(approx.Config{Federation: fed, Shares: shares})
+		if err != nil {
+			return Figure{}, fmt.Errorf("fig8a: K=%d: %w", k, err)
+		}
+		m, err := solver.Solve(k - 1)
 		if err != nil {
 			return Figure{}, fmt.Errorf("fig8a: K=%d: %w", k, err)
 		}

@@ -150,14 +150,18 @@ func NewEvaluator(kind Kind, fed cloud.Federation, opts EvaluatorOptions) (AllEv
 
 // approxEvaluator backs ApproxEvaluator; cfg carries the resolved warm
 // cache, so the struct itself is immutable and safe for concurrent use.
+// Solver handles are pooled per worker: an approx.Solver owns reusable
+// level arenas and is single-goroutine, so each evaluation checks one out,
+// re-aims it with WithShares, and returns it for the next caller.
 type approxEvaluator struct {
-	cfg approx.Config
+	cfg  approx.Config
+	pool *sync.Pool
 }
 
 // ApproxEvaluator evaluates sharing decisions with the hierarchical
 // approximate model — the configuration the paper uses for its market
-// experiments. Per-target probes run approx.Solve; whole-vector
-// evaluations run approx.SolveAll, which amortizes the K per-target
+// experiments. Per-target probes run Solver.Solve; whole-vector
+// evaluations run Solver.SolveAll, which amortizes the K per-target
 // hierarchies into one shared spine plus readout levels.
 //
 // Warm-cache ownership: when cfg.Warm is nil the evaluator allocates a
@@ -168,17 +172,33 @@ type approxEvaluator struct {
 // remains caller-owned and is never reset by the evaluator.
 func ApproxEvaluator(fed cloud.Federation, cfg approx.Config) AllEvaluator {
 	cfg.Federation = fed
+	// The active share vector is per evaluation (WithShares); a stale
+	// vector in the caller's template must not fail construction.
+	cfg.Shares = nil
 	if cfg.Warm == nil {
 		cfg.Warm = approx.NewWarmCache()
 	}
-	return approxEvaluator{cfg: cfg}
+	return approxEvaluator{cfg: cfg, pool: &sync.Pool{}}
+}
+
+// solver checks a Solver handle out of the pool, constructing one on a
+// cold pool. Construction errors (an invalid federation) surface here, at
+// evaluation time, which keeps the constructor's signature error-free.
+func (ae approxEvaluator) solver() (*approx.Solver, error) {
+	if s, ok := ae.pool.Get().(*approx.Solver); ok {
+		return s, nil
+	}
+	return approx.NewSolver(ae.cfg)
 }
 
 // Evaluate implements Evaluator with a per-target hierarchy solve.
 func (ae approxEvaluator) Evaluate(shares []int, target int) (cloud.Metrics, error) {
-	c := ae.cfg
-	c.Shares = shares
-	m, err := approx.Solve(c, target)
+	s, err := ae.solver()
+	if err != nil {
+		return cloud.Metrics{}, err
+	}
+	m, err := s.Solve(target, approx.WithShares(shares))
+	ae.pool.Put(s)
 	if err != nil {
 		return cloud.Metrics{}, err
 	}
@@ -187,9 +207,13 @@ func (ae approxEvaluator) Evaluate(shares []int, target int) (cloud.Metrics, err
 
 // EvaluateAll implements AllEvaluator with one shared-spine SolveAll.
 func (ae approxEvaluator) EvaluateAll(shares []int) ([]cloud.Metrics, error) {
-	c := ae.cfg
-	c.Shares = shares
-	return approx.SolveAll(c)
+	s, err := ae.solver()
+	if err != nil {
+		return nil, err
+	}
+	all, err := s.SolveAll(approx.WithShares(shares))
+	ae.pool.Put(s)
+	return all, err
 }
 
 // exactEvaluator backs ExactEvaluator.

@@ -40,6 +40,15 @@ func NewBuilder(n int) *Builder {
 	return &Builder{n: n, b: sparse.NewBuilder(n, n)}
 }
 
+// Reset discards all accumulated transitions and re-dimensions the builder
+// to n states, retaining its entry storage. Together with Rebuild it lets a
+// long-lived builder assemble successive chains without reallocating.
+func (bl *Builder) Reset(n int) {
+	bl.n = n
+	bl.err = nil
+	bl.b.Reset(n, n)
+}
+
 // Add accumulates a transition at the given rate. Self-loops and
 // non-positive rates are ignored (a CTMC has no self-transitions, and a
 // zero rate is the absence of a transition). A NaN or infinite rate is a
@@ -62,14 +71,30 @@ func (bl *Builder) Add(from, to int, rate float64) {
 // Build produces the CTMC. It fails for empty chains and when any Add was
 // handed a non-finite rate; duplicate (from, to) rates have been summed.
 func (bl *Builder) Build() (*CTMC, error) {
+	return bl.Rebuild(nil)
+}
+
+// Rebuild assembles the accumulated transitions into c, reusing c's
+// generator, exit-rate, and derived-cache storage (c may be nil, which is
+// equivalent to Build). Any uniformized or transposed caches are
+// invalidated but keep their allocations, so re-solving a rebuilt chain of
+// similar size allocates nothing. Previously returned views of the chain
+// (cached DTMCs, steady-state vectors written through Dst) are overwritten.
+func (bl *Builder) Rebuild(c *CTMC) (*CTMC, error) {
 	if bl.err != nil {
 		return nil, bl.err
 	}
 	if bl.n == 0 {
 		return nil, ErrEmptyChain
 	}
-	rates := bl.b.Build()
-	return &CTMC{n: bl.n, rates: rates, exit: rates.RowSums()}, nil
+	if c == nil {
+		c = &CTMC{}
+	}
+	c.n = bl.n
+	c.rates = bl.b.BuildInto(c.rates)
+	c.exit = c.rates.RowSumsInto(c.exit)
+	c.uniOK, c.qtOK, c.ssOK = false, false, false
+	return c, nil
 }
 
 // CTMC is a continuous-time Markov chain represented by its off-diagonal
@@ -79,19 +104,24 @@ type CTMC struct {
 	rates *sparse.CSR
 	exit  []float64
 
-	// uniformizedOnce caches the inflation-1 uniformized chain used by
-	// Transient, which is called thousands of times per chain by the
-	// approximate model's interaction computation.
+	// uniCache caches the inflation-1 uniformized chain used by Transient
+	// and the approximate model's interaction computation, which step it
+	// thousands of times per chain. The struct (and its CSR storage) is
+	// retained across Rebuild cycles; uniOK marks whether its contents
+	// reflect the current generator.
 	uniCache *DTMC
 	uniGamma float64
+	uniOK    bool
 
 	// qtCache caches the transposed rate matrix consumed by the Gauss-Seidel
 	// solver, which otherwise rebuilds it on every call — the dominant
 	// allocation when a chain is re-solved with successive start vectors.
 	qtCache *sparse.CSR
+	qtOK    bool
 	// ssCache caches the inflation-1.05 uniformized chain behind the power
 	// iteration solver, for the same reason.
 	ssCache *DTMC
+	ssOK    bool
 }
 
 // NumStates returns the number of states.
@@ -125,8 +155,35 @@ func (c *CTMC) MaxExitRate() float64 {
 
 // Uniformized returns the DTMC P = I + Q/gamma together with the chosen
 // uniformization rate gamma = inflation * max exit rate. Inflation must be
-// >= 1; values slightly above 1 guarantee aperiodicity via self-loops.
+// >= 1; values slightly above 1 guarantee aperiodicity via self-loops. The
+// returned chain is freshly allocated; the internally cached variants (see
+// UniformizedUnit) reuse their storage instead.
 func (c *CTMC) Uniformized(inflation float64) (*DTMC, float64) {
+	d := &DTMC{}
+	gamma := c.uniformizedInto(d, inflation)
+	return d, gamma
+}
+
+// UniformizedUnit returns the cached inflation-1 uniformized chain and its
+// rate — the pair Transient steps — building it on first use. The returned
+// DTMC is owned by the chain and is rewritten in place by the next Rebuild;
+// callers that outlive the chain must use Uniformized instead.
+func (c *CTMC) UniformizedUnit() (*DTMC, float64) {
+	if !c.uniOK {
+		if c.uniCache == nil {
+			c.uniCache = &DTMC{}
+		}
+		c.uniGamma = c.uniformizedInto(c.uniCache, 1.0)
+		c.uniOK = true
+	}
+	return c.uniCache, c.uniGamma
+}
+
+// uniformizedInto assembles P = I + Q/gamma into d, reusing d's CSR
+// storage. It needs no builder: the generator's rows are already
+// column-sorted and hold no diagonal, so the self-loop slots in at its
+// ordered position during a single merge pass.
+func (c *CTMC) uniformizedInto(d *DTMC, inflation float64) float64 {
 	if inflation < 1 {
 		inflation = 1
 	}
@@ -134,17 +191,41 @@ func (c *CTMC) Uniformized(inflation float64) (*DTMC, float64) {
 	if gamma == 0 {
 		gamma = 1 // absorbing-everywhere chain: P = I
 	}
-	b := sparse.NewBuilder(c.n, c.n)
+	if d.p == nil {
+		d.p = &sparse.CSR{}
+	}
+	p := d.p
+	p.Rows, p.Cols = c.n, c.n
+	if cap(p.RowPtr) < c.n+1 {
+		p.RowPtr = make([]int, c.n+1)
+	}
+	p.RowPtr = p.RowPtr[:c.n+1]
+	p.ColIdx = p.ColIdx[:0]
+	p.Val = p.Val[:0]
+	p.RowPtr[0] = 0
 	for r := 0; r < c.n; r++ {
 		stay := 1 - c.exit[r]/gamma
-		if stay > 0 {
-			b.Add(r, r, stay)
-		}
+		placed := stay <= 0 // a zero self-loop is simply absent
 		for i := c.rates.RowPtr[r]; i < c.rates.RowPtr[r+1]; i++ {
-			b.Add(r, c.rates.ColIdx[i], c.rates.Val[i]/gamma)
+			col := c.rates.ColIdx[i]
+			if !placed && col > r {
+				p.ColIdx = append(p.ColIdx, r)
+				p.Val = append(p.Val, stay)
+				placed = true
+			}
+			if v := c.rates.Val[i] / gamma; v != 0 {
+				p.ColIdx = append(p.ColIdx, col)
+				p.Val = append(p.Val, v)
+			}
 		}
+		if !placed {
+			p.ColIdx = append(p.ColIdx, r)
+			p.Val = append(p.Val, stay)
+		}
+		p.RowPtr[r+1] = len(p.ColIdx)
 	}
-	return &DTMC{n: c.n, p: b.Build()}, gamma
+	d.n = c.n
+	return gamma
 }
 
 // SolveStats accumulates solver effort across one or more solves. Pass one
@@ -171,6 +252,52 @@ type SteadyStateOptions struct {
 	// caller owns the instance; solvers only add to it, so it must not be
 	// shared across goroutines.
 	Stats *SolveStats
+	// Dst optionally receives the solution: the solver resizes it (reusing
+	// its capacity), writes the stationary distribution into it, and
+	// returns it, so a caller cycling one buffer through repeated solves
+	// stops allocating. Dst must not alias Start. When nil the result is a
+	// fresh vector that never aliases solver scratch.
+	Dst []float64
+	// Work optionally lends the solver its iteration scratch. A Workspace
+	// must not be shared across goroutines or concurrently running solves.
+	Work *Workspace
+}
+
+// Workspace owns the iteration buffers of the steady-state solvers. The
+// zero value is ready for use; buffers grow to the largest chain solved and
+// are reused across solves, which removes the per-solve vector allocations
+// from the approximate model's level loop.
+type Workspace struct {
+	a, b []float64
+}
+
+// pair returns two length-n buffers with unspecified contents, reusing the
+// workspace storage; a nil receiver falls back to fresh allocations.
+func (w *Workspace) pair(n int) ([]float64, []float64) {
+	if w == nil {
+		return make([]float64, n), make([]float64, n)
+	}
+	w.a = growVec(w.a, n)
+	w.b = growVec(w.b, n)
+	return w.a, w.b
+}
+
+// growVec returns s resized to length n, reallocating only when the
+// capacity is insufficient. Contents are unspecified.
+func growVec(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+// result returns the buffer a solver should deliver its solution in: Dst
+// (resized over its capacity) when provided, a fresh vector otherwise.
+func (o *SteadyStateOptions) result(n int) []float64 {
+	if o.Dst != nil && cap(o.Dst) >= n {
+		return o.Dst[:n]
+	}
+	return make([]float64, n)
 }
 
 // record adds one finished solve's effort to the optional stats sink.
@@ -195,8 +322,12 @@ func (o *SteadyStateOptions) defaults() {
 // returns a stationary distribution that depends on the starting vector.
 func (c *CTMC) SteadyState(opts SteadyStateOptions) ([]float64, error) {
 	opts.defaults()
-	if c.ssCache == nil {
-		c.ssCache, _ = c.Uniformized(1.05)
+	if !c.ssOK {
+		if c.ssCache == nil {
+			c.ssCache = &DTMC{}
+		}
+		c.uniformizedInto(c.ssCache, 1.05)
+		c.ssOK = true
 	}
 	return c.ssCache.SteadyState(opts)
 }
@@ -208,11 +339,12 @@ func (c *CTMC) SteadyStateGaussSeidel(opts SteadyStateOptions) ([]float64, error
 	opts.defaults()
 	// pi_j * exit_j = sum_{i != j} pi_i * q_ij: we need column access, i.e.
 	// rows of the transposed rate matrix (cached across solves).
-	if c.qtCache == nil {
-		c.qtCache = c.rates.Transpose()
+	if !c.qtOK {
+		c.qtCache = c.rates.TransposeInto(c.qtCache)
+		c.qtOK = true
 	}
 	qt := c.qtCache
-	pi := make([]float64, c.n)
+	pi := opts.result(c.n)
 	if opts.Start != nil {
 		if len(opts.Start) != c.n {
 			return nil, fmt.Errorf("markov: start vector has %d entries, chain has %d states", len(opts.Start), c.n)
@@ -221,7 +353,7 @@ func (c *CTMC) SteadyStateGaussSeidel(opts SteadyStateOptions) ([]float64, error
 	} else {
 		numeric.Fill(pi, 1/float64(c.n))
 	}
-	prev := make([]float64, c.n)
+	prev, _ := opts.Work.pair(c.n)
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		copy(prev, pi)
 		for j := 0; j < c.n; j++ {
@@ -267,10 +399,7 @@ func (c *CTMC) Transient(p0 []float64, t float64, opts TransientOptions) ([]floa
 	if t <= 0 {
 		return numeric.Clone(p0), nil
 	}
-	if c.uniCache == nil {
-		c.uniCache, c.uniGamma = c.Uniformized(1.0)
-	}
-	dt, gamma := c.uniCache, c.uniGamma
+	dt, gamma := c.UniformizedUnit()
 	fg := numeric.NewFoxGlynn(gamma*t, opts.Epsilon)
 	out := make([]float64, c.n)
 	cur := numeric.Clone(p0)

@@ -44,10 +44,13 @@ func (d *DTMC) Step(dst, cur []float64) error {
 	return d.p.MulVecTTo(dst, cur)
 }
 
-// SteadyState computes the stationary distribution by power iteration.
+// SteadyState computes the stationary distribution by power iteration. The
+// iteration runs in workspace buffers when opts.Work is provided; the
+// result is delivered through opts.Dst (or a fresh vector) and never
+// aliases the workspace.
 func (d *DTMC) SteadyState(opts SteadyStateOptions) ([]float64, error) {
 	opts.defaults()
-	cur := make([]float64, d.n)
+	cur, next := opts.Work.pair(d.n)
 	if opts.Start != nil {
 		if len(opts.Start) != d.n {
 			return nil, fmt.Errorf("markov: start vector has %d entries, chain has %d states", len(opts.Start), d.n)
@@ -57,7 +60,6 @@ func (d *DTMC) SteadyState(opts SteadyStateOptions) ([]float64, error) {
 	} else {
 		numeric.Fill(cur, 1/float64(d.n))
 	}
-	next := make([]float64, d.n)
 	for iter := 0; iter < opts.MaxIter; iter++ {
 		if err := d.Step(next, cur); err != nil {
 			return nil, err
@@ -68,7 +70,12 @@ func (d *DTMC) SteadyState(opts SteadyStateOptions) ([]float64, error) {
 			if err := numeric.CheckProbVec(next, probVecTol); err != nil {
 				return nil, err
 			}
-			return next, nil
+			if opts.Work == nil && opts.Dst == nil {
+				return next, nil // next is one of the two fresh buffers
+			}
+			pi := opts.result(d.n)
+			copy(pi, next)
+			return pi, nil
 		}
 		cur, next = next, cur
 	}

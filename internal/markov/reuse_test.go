@@ -1,0 +1,120 @@
+package markov
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomChainInto fills bl (already Reset to n states) with a random
+// irreducible-ish chain: a cycle plus extra random transitions.
+func randomChainInto(bl *Builder, rng *rand.Rand, n int) {
+	for s := 0; s < n; s++ {
+		bl.Add(s, (s+1)%n, 1+rng.Float64())
+	}
+	for k := 0; k < 3*n; k++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		bl.Add(a, b, rng.Float64())
+	}
+}
+
+// TestRebuildMatchesFreshBuild pins the arena contract: a builder cycled
+// through Reset/Rebuild into one CTMC — with Dst and Workspace threaded
+// through the solvers — must produce bit-identical stationary
+// distributions to fresh builds solved without any scratch.
+func TestRebuildMatchesFreshBuild(t *testing.T) {
+	var chain *CTMC
+	bl := NewBuilder(0)
+	var work Workspace
+	var dst []float64
+	for trial := 0; trial < 6; trial++ {
+		// Re-derive the same chain twice from the same seed: once fresh,
+		// once through the reused arena.
+		n := 10 + 7*trial
+		fresh := NewBuilder(n)
+		randomChainInto(fresh, rand.New(rand.NewSource(int64(trial))), n)
+		want, err := fresh.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantPi, err := want.SteadyStateGaussSeidel(SteadyStateOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		bl.Reset(n)
+		randomChainInto(bl, rand.New(rand.NewSource(int64(trial))), n)
+		chain, err = bl.Rebuild(chain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if chain.NumStates() != n || chain.NumTransitions() != want.NumTransitions() {
+			t.Fatalf("trial %d: rebuilt chain has %d states / %d transitions, want %d / %d",
+				trial, chain.NumStates(), chain.NumTransitions(), n, want.NumTransitions())
+		}
+		pi, err := chain.SteadyStateGaussSeidel(SteadyStateOptions{Dst: dst, Work: &work})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(dst) > 0 && cap(dst) >= n && &pi[0] != &dst[0] {
+			t.Fatalf("trial %d: solver did not reuse Dst", trial)
+		}
+		dst = pi
+		for i := range wantPi {
+			if pi[i] != wantPi[i] {
+				t.Fatalf("trial %d: pi[%d] = %v (reused) vs %v (fresh)", trial, i, pi[i], wantPi[i])
+			}
+		}
+		// The power-iteration path must honor the same Dst/Work contract.
+		wantPow, err := want.SteadyState(SteadyStateOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pow, err := chain.SteadyState(SteadyStateOptions{Dst: dst, Work: &work})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst = pow
+		for i := range wantPow {
+			if pow[i] != wantPow[i] {
+				t.Fatalf("trial %d: power pi[%d] = %v (reused) vs %v (fresh)", trial, i, pow[i], wantPow[i])
+			}
+		}
+		// Derived caches must reflect the current generator, not a stale one.
+		dt, gamma := chain.UniformizedUnit()
+		wdt, wgamma := want.Uniformized(1.0)
+		if gamma != wgamma {
+			t.Fatalf("trial %d: unit gamma %v vs %v", trial, gamma, wgamma)
+		}
+		for s := 0; s < n; s++ {
+			if dt.Prob(s, (s+1)%n) != wdt.Prob(s, (s+1)%n) {
+				t.Fatalf("trial %d: cached uniformized chain is stale at state %d", trial, s)
+			}
+		}
+	}
+}
+
+// TestSolveDstWorkspaceAllocFree pins that a warm re-solve of an existing
+// chain with Dst and Workspace provided performs no allocations.
+func TestSolveDstWorkspaceAllocFree(t *testing.T) {
+	const n = 40
+	bl := NewBuilder(n)
+	randomChainInto(bl, rand.New(rand.NewSource(3)), n)
+	chain, err := bl.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var work Workspace
+	dst := make([]float64, n)
+	// Prime the caches (transpose, uniformized) and the start vector.
+	start, err := chain.SteadyStateGaussSeidel(SteadyStateOptions{Work: &work})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(10, func() {
+		if _, err := chain.SteadyStateGaussSeidel(SteadyStateOptions{Start: start, Dst: dst, Work: &work}); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("warm Gauss-Seidel solve allocates %v per run, want 0", allocs)
+	}
+}

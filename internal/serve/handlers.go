@@ -265,7 +265,8 @@ func (s *Server) handleAdvise(w http.ResponseWriter, r *http.Request) {
 		Rounds:          adv.Rounds,
 		Evaluations:     adv.Evaluations,
 		Converged:       adv.Converged,
-		Warnings:        core.DiagnoseAdvice(adv),
+		Warnings: append(core.DiagnoseAdvice(adv),
+			core.DiagnosePruning(fw.PruneStats())...),
 	}
 	for _, sc := range adv.SCs {
 		resp.SCs = append(resp.SCs, scAdviceResponse{
@@ -405,7 +406,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeLine(sweepTrailer{Error: msg})
 		return
 	}
-	writeLine(sweepTrailer{Done: true, Points: len(pts), Warnings: core.Diagnose(pts)})
+	writeLine(sweepTrailer{Done: true, Points: len(pts),
+		Warnings: append(core.Diagnose(pts), core.DiagnosePruning(fw.PruneStats())...)})
 }
 
 // handleHealthz answers liveness probes.

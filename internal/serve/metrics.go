@@ -39,6 +39,7 @@ type metricsSnapshot struct {
 	Admission     admissionReport  `json:"admission"`
 	Solver        solverCounts     `json:"solver"`
 	Cache         cacheStatsReport `json:"cache"`
+	Pruning       pruningReport    `json:"pruning"`
 }
 
 type requestCounts struct {
@@ -84,9 +85,23 @@ type cacheStatsReport struct {
 	Frameworks        int     `json:"frameworks"`
 }
 
+// pruningReport is the adaptive-truncation section of /metrics, aggregated
+// across the live frameworks: how much summary probability mass the approx
+// model's allocation diet (approx.Config.TruncEps) has discarded, the worst
+// single summary, and how many summaries lost any mass. All zero under the
+// non-approx models or with truncation disabled; a MaxSummaryMass anywhere
+// near the configured budget's warning line (core.DiagnosePruning) also
+// surfaces in advise/sweep response warnings.
+type pruningReport struct {
+	TruncatedMass   float64 `json:"truncatedMass"`
+	MaxSummaryMass  float64 `json:"maxSummaryMass"`
+	TruncatedJoints uint64  `json:"truncatedJoints"`
+}
+
 // snapshot collects all counters plus the cross-framework cache totals.
 func (s *Server) snapshot(uptimeSeconds float64) metricsSnapshot {
 	stats, n := s.cacheStats()
+	prune := s.cache.PruneStats()
 	return metricsSnapshot{
 		UptimeSeconds: uptimeSeconds,
 		Requests: requestCounts{
@@ -120,6 +135,11 @@ func (s *Server) snapshot(uptimeSeconds float64) metricsSnapshot {
 			WholeVectorSolves: stats.AllSolves,
 			PerTargetSolves:   stats.TargetSolves,
 			Frameworks:        n,
+		},
+		Pruning: pruningReport{
+			TruncatedMass:   prune.TotalMass,
+			MaxSummaryMass:  prune.MaxMass,
+			TruncatedJoints: prune.Joints,
 		},
 	}
 }

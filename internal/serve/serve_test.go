@@ -282,6 +282,13 @@ func TestHealthzAndMetrics(t *testing.T) {
 	if snap.Cache.WholeVectorSolves+snap.Cache.PerTargetSolves != snap.Cache.Misses {
 		t.Fatalf("solve split does not sum to misses: %+v", snap.Cache)
 	}
+	// The pruning account must be internally consistent: a nonzero discard
+	// implies truncated summaries and a nonzero worst case, and the default
+	// TruncEps budget can never discard whole units of probability mass.
+	p := snap.Pruning
+	if (p.TruncatedJoints == 0) != (p.TruncatedMass == 0) || p.MaxSummaryMass > p.TruncatedMass || p.TruncatedMass >= 1 {
+		t.Fatalf("pruning account inconsistent: %+v", p)
+	}
 }
 
 // TestFrameworkReuseAcrossPrices: two prices on one spec must share a

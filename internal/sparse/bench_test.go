@@ -21,23 +21,23 @@ func benchMatrix(b *testing.B, n, perRow int) (*CSR, []float64) {
 	return bl.Build(), x
 }
 
-func BenchmarkMulVecT(b *testing.B) {
+func BenchmarkMulVecTTo(b *testing.B) {
 	m, x := benchMatrix(b, 20000, 8)
 	dst := make([]float64, m.Cols)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := m.MulVecT(dst, x); err != nil {
+		if err := m.MulVecTTo(dst, x); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
-func BenchmarkMulVec(b *testing.B) {
+func BenchmarkMulVecTo(b *testing.B) {
 	m, x := benchMatrix(b, 20000, 8)
 	dst := make([]float64, m.Rows)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if err := m.MulVec(dst, x); err != nil {
+		if err := m.MulVecTo(dst, x); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -58,6 +58,31 @@ func BenchmarkBuild(b *testing.B) {
 			bl.Add(rows[k], cols[k], 1)
 		}
 		if m := bl.Build(); m.NNZ() == 0 {
+			b.Fatal("empty")
+		}
+	}
+}
+
+// BenchmarkBuildReset measures the arena path: one builder and one CSR
+// cycled through Reset/BuildInto, the shape level rebuilds use.
+func BenchmarkBuildReset(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	const n, nnz = 20000, 160000
+	rows := make([]int, nnz)
+	cols := make([]int, nnz)
+	for i := range rows {
+		rows[i], cols[i] = rng.Intn(n), rng.Intn(n)
+	}
+	bl := NewBuilder(n, n)
+	var m CSR
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bl.Reset(n, n)
+		for k := range rows {
+			bl.Add(rows[k], cols[k], 1)
+		}
+		if bl.BuildInto(&m); m.NNZ() == 0 {
 			b.Fatal("empty")
 		}
 	}

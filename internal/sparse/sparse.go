@@ -17,10 +17,17 @@ var ErrShape = errors.New("sparse: dimension mismatch")
 
 // Builder accumulates coordinate-form entries; duplicate coordinates are
 // summed when the CSR matrix is built, which makes transition-rate assembly
-// ("add rate r from state a to state b") natural.
+// ("add rate r from state a to state b") natural. A Builder owns sorting
+// scratch that is reused across Build calls, so a long-lived Builder cycled
+// through Reset assembles chains without reallocating.
 type Builder struct {
 	rows, cols int
 	entries    []entry
+	// Build scratch, retained across calls so repeated assembly of
+	// similarly sized chains stops allocating.
+	sorted []entry
+	counts []int
+	next   []int
 }
 
 type entry struct {
@@ -31,6 +38,15 @@ type entry struct {
 // NewBuilder returns a builder for a rows x cols matrix.
 func NewBuilder(rows, cols int) *Builder {
 	return &Builder{rows: rows, cols: cols}
+}
+
+// Reset discards all accumulated entries and re-dimensions the builder to
+// rows x cols, retaining the entry and scratch storage so the next assembly
+// reuses it. It is the allocation-free alternative to NewBuilder for level
+// rebuilds.
+func (b *Builder) Reset(rows, cols int) {
+	b.rows, b.cols = rows, cols
+	b.entries = b.entries[:0]
 }
 
 // Add accumulates v at (r, c). Out-of-range coordinates panic: they are
@@ -48,21 +64,42 @@ func (b *Builder) Add(r, c int, v float64) {
 // NNZ returns the number of accumulated (possibly duplicate) entries.
 func (b *Builder) NNZ() int { return len(b.entries) }
 
-// Build produces the CSR matrix, summing duplicates and dropping exact
+// Build produces a fresh CSR matrix, summing duplicates and dropping exact
 // zeros. The builder can be reused afterwards; it is left unchanged.
-// Entries are ordered with a counting sort by row followed by per-row
-// column sorts, which avoids reflection-based sorting on the hot path of
-// chain assembly.
 func (b *Builder) Build() *CSR {
-	counts := make([]int, b.rows+1)
+	return b.BuildInto(nil)
+}
+
+// BuildInto assembles the CSR matrix into m, reusing m's index and value
+// storage when capacities allow (m may be nil or zero-valued, in which case
+// the storage is allocated). Entries are ordered with a counting sort by row
+// followed by per-row column sorts, which avoids reflection-based sorting on
+// the hot path of chain assembly. The returned matrix is m (or a fresh one
+// when m is nil); any previous contents are overwritten.
+func (b *Builder) BuildInto(m *CSR) *CSR {
+	if m == nil {
+		m = &CSR{}
+	}
+	b.counts = growInts(b.counts, b.rows+1)
+	counts := b.counts
+	for i := range counts {
+		counts[i] = 0
+	}
 	for _, e := range b.entries {
 		counts[e.r+1]++
 	}
 	for r := 0; r < b.rows; r++ {
 		counts[r+1] += counts[r]
 	}
-	es := make([]entry, len(b.entries))
-	next := make([]int, b.rows)
+	if cap(b.sorted) < len(b.entries) {
+		b.sorted = make([]entry, len(b.entries))
+	}
+	es := b.sorted[:len(b.entries)]
+	b.next = growInts(b.next, b.rows)
+	next := b.next
+	for i := range next {
+		next[i] = 0
+	}
 	for _, e := range b.entries {
 		pos := counts[e.r] + next[e.r]
 		es[pos] = e
@@ -72,11 +109,13 @@ func (b *Builder) Build() *CSR {
 		row := es[counts[r]:counts[r+1]]
 		slices.SortFunc(row, func(a, b entry) int { return a.c - b.c })
 	}
-	m := &CSR{
-		Rows:   b.rows,
-		Cols:   b.cols,
-		RowPtr: make([]int, b.rows+1),
+	m.Rows, m.Cols = b.rows, b.cols
+	m.RowPtr = growInts(m.RowPtr, b.rows+1)
+	for i := range m.RowPtr {
+		m.RowPtr[i] = 0
 	}
+	m.ColIdx = m.ColIdx[:0]
+	m.Val = m.Val[:0]
 	for i := 0; i < len(es); {
 		j := i
 		v := 0.0
@@ -94,6 +133,15 @@ func (b *Builder) Build() *CSR {
 		m.RowPtr[r+1] += m.RowPtr[r]
 	}
 	return m
+}
+
+// growInts returns s resized to length n, reallocating only when the
+// capacity is insufficient. Contents are unspecified.
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
 }
 
 // CSR is a compressed-sparse-row matrix.
@@ -122,7 +170,9 @@ func (m *CSR) At(r, c int) float64 {
 }
 
 // MulVecTo computes dst = m * x into the caller-provided buffer without
-// allocating. dst and x must not alias.
+// allocating. dst and x must not alias. It is one of the two multiply
+// kernels this package exposes; there is deliberately no allocating
+// convenience variant.
 func (m *CSR) MulVecTo(dst, x []float64) error {
 	if len(x) != m.Cols || len(dst) != m.Rows {
 		return ErrShape
@@ -137,15 +187,10 @@ func (m *CSR) MulVecTo(dst, x []float64) error {
 	return nil
 }
 
-// MulVec computes dst = m * x. It is a thin wrapper around MulVecTo, kept
-// for callers predating the allocation-free naming.
-func (m *CSR) MulVec(dst, x []float64) error {
-	return m.MulVecTo(dst, x)
-}
-
 // MulVecTTo computes dst = x * m (that is, dst = mᵀ x), the operation used
 // to push probability vectors through a transition matrix, into the
-// caller-provided buffer without allocating. dst and x must not alias.
+// caller-provided buffer without allocating. dst and x must not alias. Like
+// MulVecTo it is a dst-first kernel with no allocating variant.
 func (m *CSR) MulVecTTo(dst, x []float64) error {
 	if len(x) != m.Rows || len(dst) != m.Cols {
 		return ErrShape
@@ -165,23 +210,26 @@ func (m *CSR) MulVecTTo(dst, x []float64) error {
 	return nil
 }
 
-// MulVecT is a thin wrapper around MulVecTTo, kept for callers predating
-// the allocation-free naming.
-func (m *CSR) MulVecT(dst, x []float64) error {
-	return m.MulVecTTo(dst, x)
-}
-
 // RowSums returns the vector of row sums.
 func (m *CSR) RowSums() []float64 {
-	out := make([]float64, m.Rows)
+	return m.RowSumsInto(nil)
+}
+
+// RowSumsInto computes the vector of row sums into dst, reusing its storage
+// when the capacity allows (dst may be nil).
+func (m *CSR) RowSumsInto(dst []float64) []float64 {
+	if cap(dst) < m.Rows {
+		dst = make([]float64, m.Rows)
+	}
+	dst = dst[:m.Rows]
 	for r := 0; r < m.Rows; r++ {
 		s := 0.0
 		for i := m.RowPtr[r]; i < m.RowPtr[r+1]; i++ {
 			s += m.Val[i]
 		}
-		out[r] = s
+		dst[r] = s
 	}
-	return out
+	return dst
 }
 
 // Scale multiplies every stored value by f in place.
@@ -193,13 +241,51 @@ func (m *CSR) Scale(f float64) {
 
 // Transpose returns mᵀ as a new CSR matrix.
 func (m *CSR) Transpose() *CSR {
-	b := NewBuilder(m.Cols, m.Rows)
+	return m.TransposeInto(nil)
+}
+
+// TransposeInto computes mᵀ into dst, reusing dst's storage when capacities
+// allow (dst may be nil). It runs a direct counting transpose — no builder,
+// no sort — since CSR rows are already column-ordered.
+func (m *CSR) TransposeInto(dst *CSR) *CSR {
+	if dst == nil {
+		dst = &CSR{}
+	}
+	nnz := len(m.Val)
+	dst.Rows, dst.Cols = m.Cols, m.Rows
+	dst.RowPtr = growInts(dst.RowPtr, m.Cols+1)
+	for i := range dst.RowPtr {
+		dst.RowPtr[i] = 0
+	}
+	dst.ColIdx = growInts(dst.ColIdx, nnz)
+	if cap(dst.Val) < nnz {
+		dst.Val = make([]float64, nnz)
+	}
+	dst.Val = dst.Val[:nnz]
+	for i := 0; i < nnz; i++ {
+		dst.RowPtr[m.ColIdx[i]+1]++
+	}
+	for c := 0; c < m.Cols; c++ {
+		dst.RowPtr[c+1] += dst.RowPtr[c]
+	}
+	// Walking source rows in order fills each destination row with
+	// ascending column indices, preserving the CSR ordering invariant.
+	// RowPtr doubles as the fill cursor (the classic shift trick), so the
+	// transpose needs no scratch of its own.
 	for r := 0; r < m.Rows; r++ {
 		for i := m.RowPtr[r]; i < m.RowPtr[r+1]; i++ {
-			b.Add(m.ColIdx[i], r, m.Val[i])
+			c := m.ColIdx[i]
+			pos := dst.RowPtr[c]
+			dst.ColIdx[pos] = r
+			dst.Val[pos] = m.Val[i]
+			dst.RowPtr[c]++
 		}
 	}
-	return b.Build()
+	for c := m.Cols; c > 0; c-- {
+		dst.RowPtr[c] = dst.RowPtr[c-1]
+	}
+	dst.RowPtr[0] = 0
+	return dst
 }
 
 // Dense expands the matrix to row-major dense form; for tests only.

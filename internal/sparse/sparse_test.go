@@ -69,11 +69,11 @@ func TestBuilderPanicsOutOfRange(t *testing.T) {
 	NewBuilder(2, 2).Add(2, 0, 1)
 }
 
-func TestMulVec(t *testing.T) {
+func TestMulVecTo(t *testing.T) {
 	m := buildSmall(t)
 	x := []float64{1, 2, 3, 4}
 	dst := make([]float64, 3)
-	if err := m.MulVec(dst, x); err != nil {
+	if err := m.MulVecTo(dst, x); err != nil {
 		t.Fatal(err)
 	}
 	want := []float64{9, 6, 19}
@@ -82,16 +82,16 @@ func TestMulVec(t *testing.T) {
 			t.Errorf("dst[%d] = %v, want %v", i, dst[i], want[i])
 		}
 	}
-	if err := m.MulVec(dst, x[:2]); err != ErrShape {
+	if err := m.MulVecTo(dst, x[:2]); err != ErrShape {
 		t.Errorf("shape error not reported: %v", err)
 	}
 }
 
-func TestMulVecT(t *testing.T) {
+func TestMulVecTTo(t *testing.T) {
 	m := buildSmall(t)
 	x := []float64{1, 2, 3}
 	dst := make([]float64, 4)
-	if err := m.MulVecT(dst, x); err != nil {
+	if err := m.MulVecTTo(dst, x); err != nil {
 		t.Fatal(err)
 	}
 	want := []float64{13, 6, 15, 2}
@@ -100,7 +100,7 @@ func TestMulVecT(t *testing.T) {
 			t.Errorf("dst[%d] = %v, want %v", i, dst[i], want[i])
 		}
 	}
-	if err := m.MulVecT(dst[:1], x); err != ErrShape {
+	if err := m.MulVecTTo(dst[:1], x); err != ErrShape {
 		t.Errorf("shape error not reported: %v", err)
 	}
 }
@@ -150,11 +150,11 @@ func TestMulVecTMatchesTransposeMulVec(t *testing.T) {
 			x[i] = rng.NormFloat64()
 		}
 		got := make([]float64, cols)
-		if err := m.MulVecT(got, x); err != nil {
+		if err := m.MulVecTTo(got, x); err != nil {
 			t.Fatal(err)
 		}
 		want := make([]float64, cols)
-		if err := m.Transpose().MulVec(want, x); err != nil {
+		if err := m.Transpose().MulVecTo(want, x); err != nil {
 			t.Fatal(err)
 		}
 		for i := range want {
@@ -209,44 +209,112 @@ func TestBuildOrderIndependentProperty(t *testing.T) {
 	}
 }
 
-func TestMulVecToMatchesMulVec(t *testing.T) {
-	m := buildSmall(t)
-	x := []float64{1, 2, 3, 4}
-	a := make([]float64, m.Rows)
-	b := make([]float64, m.Rows)
-	if err := m.MulVecTo(a, x); err != nil {
-		t.Fatal(err)
+// TestBuilderReset pins the arena contract: a Reset builder accepts a new
+// shape, produces the same matrix a fresh builder would, and a BuildInto on
+// a previously built CSR reuses its storage without allocating.
+func TestBuilderReset(t *testing.T) {
+	b := NewBuilder(3, 4)
+	b.Add(0, 0, 1)
+	b.Add(0, 3, 2)
+	b.Add(1, 1, 3)
+	b.Add(2, 0, 4)
+	b.Add(2, 2, 5)
+	first := b.Build()
+
+	b.Reset(2, 2)
+	if b.NNZ() != 0 {
+		t.Fatalf("NNZ after Reset = %d, want 0", b.NNZ())
 	}
-	if err := m.MulVec(b, x); err != nil {
-		t.Fatal(err)
+	b.Add(0, 1, 7)
+	b.Add(1, 0, 8)
+	small := b.Build()
+	if small.Rows != 2 || small.Cols != 2 || small.At(0, 1) != 7 || small.At(1, 0) != 8 {
+		t.Fatalf("post-Reset build wrong: %v", small.Dense())
 	}
-	for i := range a {
-		if a[i] != b[i] {
-			t.Errorf("row %d: MulVecTo = %v, MulVec = %v", i, a[i], b[i])
+	// The first build must be unaffected by later Reset/Build cycles.
+	if first.At(2, 2) != 5 || first.NNZ() != 5 {
+		t.Fatal("Reset corrupted a previously built matrix")
+	}
+
+	// Rebuilding the original shape into the existing CSR must not allocate
+	// once capacities are in place.
+	b.Reset(3, 4)
+	b.Add(0, 0, 1)
+	b.Add(0, 3, 2)
+	b.Add(1, 1, 3)
+	b.Add(2, 0, 4)
+	b.Add(2, 2, 5)
+	reused := b.BuildInto(small)
+	if reused != small {
+		t.Fatal("BuildInto did not return its destination")
+	}
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 4; c++ {
+			if reused.At(r, c) != first.At(r, c) {
+				t.Fatalf("BuildInto(%d,%d) = %v, want %v", r, c, reused.At(r, c), first.At(r, c))
+			}
 		}
 	}
-	want := []float64{1*1 + 2*4, 3 * 2, 4*1 + 5*3}
-	for i := range want {
-		if a[i] != want[i] {
-			t.Errorf("row %d = %v, want %v", i, a[i], want[i])
+	if n := testing.AllocsPerRun(20, func() {
+		b.Reset(3, 4)
+		b.Add(0, 0, 1)
+		b.Add(0, 3, 2)
+		b.Add(1, 1, 3)
+		b.Add(2, 0, 4)
+		b.Add(2, 2, 5)
+		b.BuildInto(reused)
+	}); n != 0 {
+		t.Errorf("Reset+BuildInto cycle allocates %v per run, want 0", n)
+	}
+}
+
+func TestTransposeInto(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var dst CSR
+	for trial := 0; trial < 20; trial++ {
+		rows, cols := 1+rng.Intn(8), 1+rng.Intn(8)
+		b := NewBuilder(rows, cols)
+		for k := 0; k < rng.Intn(25); k++ {
+			b.Add(rng.Intn(rows), rng.Intn(cols), rng.NormFloat64())
+		}
+		m := b.Build()
+		mt := m.TransposeInto(&dst)
+		if mt != &dst {
+			t.Fatal("TransposeInto did not return its destination")
+		}
+		if mt.Rows != m.Cols || mt.Cols != m.Rows {
+			t.Fatalf("transpose shape %dx%d", mt.Rows, mt.Cols)
+		}
+		for r := 0; r < m.Rows; r++ {
+			for c := 0; c < m.Cols; c++ {
+				if m.At(r, c) != mt.At(c, r) {
+					t.Fatalf("trial %d: transpose mismatch at (%d,%d)", trial, r, c)
+				}
+			}
+		}
+		// The CSR column-ordering invariant must survive the counting
+		// transpose (At depends on it).
+		for r := 0; r < mt.Rows; r++ {
+			for i := mt.RowPtr[r] + 1; i < mt.RowPtr[r+1]; i++ {
+				if mt.ColIdx[i-1] >= mt.ColIdx[i] {
+					t.Fatalf("trial %d: row %d columns not ascending", trial, r)
+				}
+			}
 		}
 	}
 }
 
-func TestMulVecTToMatchesMulVecT(t *testing.T) {
+func TestRowSumsInto(t *testing.T) {
 	m := buildSmall(t)
-	x := []float64{1, 2, 3}
-	a := make([]float64, m.Cols)
-	b := make([]float64, m.Cols)
-	if err := m.MulVecTTo(a, x); err != nil {
-		t.Fatal(err)
+	buf := make([]float64, 3)
+	got := m.RowSumsInto(buf)
+	if &got[0] != &buf[0] {
+		t.Fatal("RowSumsInto did not reuse its buffer")
 	}
-	if err := m.MulVecT(b, x); err != nil {
-		t.Fatal(err)
-	}
-	for i := range a {
-		if a[i] != b[i] {
-			t.Errorf("col %d: MulVecTTo = %v, MulVecT = %v", i, a[i], b[i])
+	want := []float64{3, 3, 9}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("row sum %d = %v, want %v", i, got[i], want[i])
 		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"path/filepath"
 	"sync"
 
+	"scshare/internal/approx"
 	"scshare/internal/core"
 	"scshare/internal/market"
 )
@@ -96,6 +97,24 @@ func (c *Cache) Stats() (market.CacheStats, int) {
 		}
 	}
 	return total, len(c.frameworks)
+}
+
+// PruneStats aggregates the adaptive-truncation account across every live
+// framework: discarded mass and truncated-summary counts sum, and MaxMass
+// is the worst single summary seen by any framework.
+func (c *Cache) PruneStats() approx.PruneStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var total approx.PruneStats
+	for _, fw := range c.frameworks {
+		st := fw.PruneStats()
+		total.TotalMass += st.TotalMass
+		total.Joints += st.Joints
+		if st.MaxMass > total.MaxMass {
+			total.MaxMass = st.MaxMass
+		}
+	}
+	return total
 }
 
 // SnapshotVersion is the schema version of the cache-level snapshot

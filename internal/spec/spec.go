@@ -35,11 +35,17 @@ type SC struct {
 	PublicPrice float64 `json:"publicPrice,omitempty"`
 }
 
-// Approx exposes the approximate model's cost/accuracy knobs.
+// Approx exposes the approximate model's cost/accuracy knobs. TruncEps
+// tunes the adaptive summary truncation (0 = the model's default budget,
+// negative disables it; see approx.Config.TruncEps) and Workers the
+// batched-readout pool — both change cost, never the contract (the
+// parallel schedule is bit-identical to serial).
 type Approx struct {
-	Passes  int     `json:"passes,omitempty"`
-	Prune   float64 `json:"prune,omitempty"`
-	PoolCap int     `json:"poolCap,omitempty"`
+	Passes   int     `json:"passes,omitempty"`
+	Prune    float64 `json:"prune,omitempty"`
+	PoolCap  int     `json:"poolCap,omitempty"`
+	TruncEps float64 `json:"truncEps,omitempty"`
+	Workers  int     `json:"workers,omitempty"`
 }
 
 // Federation is the price-independent part of a request: everything that
@@ -121,6 +127,9 @@ func (sp *Federation) Normalize() error {
 	if sp.Approx != nil && !finite(sp.Approx.Prune) {
 		return fmt.Errorf("bad approx.prune %v: want a finite threshold", sp.Approx.Prune)
 	}
+	if sp.Approx != nil && !finite(sp.Approx.TruncEps) {
+		return fmt.Errorf("bad approx.truncEps %v: want a finite budget (negative disables)", sp.Approx.TruncEps)
+	}
 	if sp.Model == "" {
 		sp.Model = "approx"
 	}
@@ -169,9 +178,11 @@ func (sp *Federation) Config() core.Config {
 	cfg.Model, _ = market.ParseKind(sp.Model)
 	if sp.Approx != nil {
 		cfg.Approx = approx.Config{
-			Passes:  sp.Approx.Passes,
-			Prune:   sp.Approx.Prune,
-			PoolCap: sp.Approx.PoolCap,
+			Passes:   sp.Approx.Passes,
+			Prune:    sp.Approx.Prune,
+			PoolCap:  sp.Approx.PoolCap,
+			TruncEps: sp.Approx.TruncEps,
+			Workers:  sp.Approx.Workers,
 		}
 	}
 	if sp.MaxShare > 0 {

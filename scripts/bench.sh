@@ -250,3 +250,97 @@ END {
 }' "$SOLVEALL_CURRENT" > "$SOLVEALL_OUT"
 
 echo "bench: wrote ${SOLVEALL_OUT}"
+
+KSCALE_CURRENT=results/BENCH_6_current.txt
+KSCALE_OUT=BENCH_6.json
+BASE3=BENCH_3.json
+
+echo "==> go test . -bench ApproxKScaling (GOMAXPROCS=${GOMAXPROCS}, -benchtime=1x -benchmem)"
+go test -run '^$' \
+    -bench '^BenchmarkApproxKScaling$' \
+    -benchtime=1x -benchmem -timeout 60m . | tee "$KSCALE_CURRENT"
+
+echo "==> go test . -bench SweepDriverSerial for the allocation-diet ratio"
+go test -run '^$' \
+    -bench '^BenchmarkSweepDriverSerial$' \
+    -benchtime=1x -benchmem -timeout 60m . | tee -a "$KSCALE_CURRENT"
+
+# The committed BENCH_3.json is the pre-diet allocation baseline for the
+# same Fig. 7a serial sweep; the B/op ratio against it is the headline
+# "allocation diet" number.
+BASE3_B=$(awk -F'"B/op": ' '/"serial"/ {split($2, a, /[,}]/); print a[1]; exit}' "$BASE3")
+
+echo "==> writing ${KSCALE_OUT}"
+awk -v gomaxprocs="$GOMAXPROCS" -v numcpu="$NUM_CPU" -v base_b="${BASE3_B:-0}" '
+/^BenchmarkApproxKScaling\// {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    split(name, parts, "/")
+    k = parts[2]; w = parts[3]
+    if (!(k in kseen)) { ks[++nk] = k; kseen[k] = 1 }
+    if (!((k, w) in kwseen)) { kws[k] = kws[k] (kws[k] ? SUBSEP : "") w; kwseen[k, w] = 1 }
+    for (i = 3; i <= NF; i++) {
+        if ($i !~ /\/(op|sc)$/) continue
+        tbl[k, w, $i] = $(i - 1)
+        if (!((k, w, $i) in useen)) { units[k, w] = units[k, w] (units[k, w] ? SUBSEP : "") $i; useen[k, w, $i] = 1 }
+    }
+}
+/^BenchmarkSweepDriverSerial/ {
+    for (i = 3; i <= NF; i++) {
+        if ($i == "B/op") sweep_b = $(i - 1)
+        if ($i == "ns/op") sweep_ns = $(i - 1)
+        if ($i == "allocs/op") sweep_allocs = $(i - 1)
+    }
+}
+END {
+    printf "{\n"
+    printf "  \"suite\": \"BENCH_6\",\n"
+    printf "  \"benchmark\": \"large-K allocation diet: per-SC solve cost over K (reused Solver arenas, serial vs batched readouts) and Fig. 7a sweep bytes vs the committed BENCH_3 baseline\",\n"
+    printf "  \"gomaxprocs\": %s,\n", gomaxprocs
+    printf "  \"num_cpu\": %s,\n", numcpu
+    printf "  \"benchtime\": \"1x\",\n"
+    printf "  \"k_scaling\": {\n"
+    sep = ""
+    for (i = 1; i <= nk; i++) {
+        k = ks[i]
+        printf "%s    \"%s\": {", sep, k
+        nw = split(kws[k], ws, SUBSEP)
+        sep2 = ""
+        for (j = 1; j <= nw; j++) {
+            w = ws[j]
+            printf "%s\"%s\": {", sep2, w
+            nu = split(units[k, w], us, SUBSEP)
+            sep3 = ""
+            for (u = 1; u <= nu; u++) {
+                printf "%s\"%s\": %s", sep3, us[u], tbl[k, w, us[u]]
+                sep3 = ", "
+            }
+            printf "}"
+            sep2 = ", "
+        }
+        printf "}"
+        sep = ",\n"
+    }
+    printf "\n  },\n"
+    # Per-SC cost growth from the smallest to the largest K at W=1: a ratio
+    # below K_max/K_min means the per-SC cost grew sublinearly in K.
+    kmin = ks[1]; kmax = ks[nk]
+    if (((kmin, "W=1", "ns/sc") in tbl) && tbl[kmin, "W=1", "ns/sc"] + 0 != 0) {
+        ratio = tbl[kmax, "W=1", "ns/sc"] / tbl[kmin, "W=1", "ns/sc"]
+        kmin_n = kmin; kmax_n = kmax
+        sub(/^K=/, "", kmin_n); sub(/^K=/, "", kmax_n)
+        printf "  \"ns_per_sc_ratio_largest_vs_smallest_k\": %.3f,\n", ratio
+        printf "  \"k_ratio\": %.1f,\n", kmax_n / kmin_n
+        printf "  \"per_sc_cost_sublinear_in_k\": %s,\n", (ratio < kmax_n / kmin_n) ? "true" : "false"
+    }
+    printf "  \"sweep_fig7a_serial\": {\"ns/op\": %s, \"B/op\": %s, \"allocs/op\": %s},\n", sweep_ns, sweep_b, sweep_allocs
+    if (base_b + 0 != 0 && sweep_b + 0 != 0) {
+        printf "  \"baseline_sweep_B_per_op\": %s,\n", base_b
+        printf "  \"bytes_reduction_vs_bench3\": %.2f\n", base_b / sweep_b
+    } else {
+        printf "  \"bytes_reduction_vs_bench3\": null\n"
+    }
+    printf "}\n"
+}' "$KSCALE_CURRENT" > "$KSCALE_OUT"
+
+echo "bench: wrote ${KSCALE_OUT}"

@@ -86,4 +86,10 @@ fi
 echo "==> quick-bench smoke (BenchmarkAblationApprox*, 1x)"
 go test -run '^$' -bench 'BenchmarkAblationApprox' -benchtime=1x .
 
+# Allocation-diet smoke: the AllocsPerRun budgets on a reused Solver handle
+# (warm single-level solve and warm whole-vector solve) catch a change that
+# quietly reintroduces per-level or per-state allocation.
+echo "==> allocation-budget smoke (approx Solver arena reuse)"
+go test -count=1 -run 'TestWarmSolveAllocBudget' ./internal/approx/
+
 echo "verify: all checks passed"

@@ -137,7 +137,11 @@ func NoSharing(sc SC) (Baseline, error) {
 // ApproxMetrics evaluates the hierarchical approximate model (Sect. III-C)
 // for one target SC under the given sharing decisions.
 func ApproxMetrics(fed Federation, shares []int, target int) (Metrics, error) {
-	m, err := approx.Solve(approx.Config{Federation: fed, Shares: shares}, target)
+	s, err := approx.NewSolver(approx.Config{Federation: fed, Shares: shares})
+	if err != nil {
+		return Metrics{}, err
+	}
+	m, err := s.Solve(target)
 	if err != nil {
 		return Metrics{}, err
 	}
@@ -145,10 +149,14 @@ func ApproxMetrics(fed Federation, shares []int, target int) (Metrics, error) {
 }
 
 // ApproxAllMetrics evaluates the hierarchical approximate model for every
-// SC at once off one shared spine (approx.SolveAll): roughly the cost of a
+// SC at once off one shared spine (Solver.SolveAll): roughly the cost of a
 // single per-target solve instead of K of them.
 func ApproxAllMetrics(fed Federation, shares []int) ([]Metrics, error) {
-	return approx.SolveAll(approx.Config{Federation: fed, Shares: shares})
+	s, err := approx.NewSolver(approx.Config{Federation: fed, Shares: shares})
+	if err != nil {
+		return nil, err
+	}
+	return s.SolveAll()
 }
 
 // ExactMetrics solves the detailed CTMC of Sect. III-B (Table I) and
